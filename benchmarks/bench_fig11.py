@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 11 (fused vs. unfused SDDMM)."""
+
+from benchmarks.conftest import full_scale
+from repro.studies.fig11 import format_fig11, run_fig11
+
+
+def _series(points, variant):
+    return {p.k: p.cycles for p in points if p.variant == variant}
+
+
+def test_fig11_fusion_study(benchmark):
+    size = 100 if full_scale() else 30
+    points = benchmark.pedantic(
+        lambda: run_fig11(size=size, k_sweep=(1, 10, 100)), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig11(points))
+    assert all(p.correct for p in points)
+    unfused = _series(points, "unfused")
+    locate = _series(points, "fused_locate")
+    coiter = _series(points, "fused_coiter")
+    for k in (1, 10, 100):
+        # "the unfused implementation performs far worse"
+        assert unfused[k] > 3 * coiter[k]
+        assert unfused[k] > 3 * locate[k]
+    # "locating provides significant performance gains when the amount of
+    # computation is modest"
+    assert locate[1] < coiter[1] / 2
+    # "this advantage becomes negligible as K increases"
+    assert locate[100] > 0.5 * coiter[100]

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 12 (SpM*SpM dataflow ordering)."""
+
+from benchmarks.conftest import full_scale
+from repro.studies.fig12 import family_means, format_fig12, run_fig12
+
+
+def test_fig12_dataflow_orders(benchmark):
+    if full_scale():
+        params = dict(i=250, j=250, k=100)
+    else:
+        params = dict(i=60, j=60, k=24)
+    points = benchmark.pedantic(
+        lambda: run_fig12(**params), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig12(points))
+    assert all(p.correct for p in points)
+    means = family_means(points)
+    # "the inner-product algorithms (ijk, jik) perform the worst ... the
+    # linear combination of rows and outer product algorithms perform at
+    # least an order of magnitude better"
+    assert means["inner product"] > 5 * means["linear combination of rows"]
+    assert means["inner product"] > 5 * means["outer product"]
+    # Orders within a family behave alike.
+    by_order = {p.order: p.cycles for p in points}
+    assert abs(by_order["ijk"] - by_order["jik"]) < 0.2 * by_order["ijk"]

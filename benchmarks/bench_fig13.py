@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Figure 13 (iteration acceleration techniques)."""
+
+from repro.studies.fig13 import format_fig13, run_fig13a, run_fig13b, run_fig13c
+
+
+def _series(points, config):
+    return {p.x: p.cycles for p in points if p.config == config}
+
+
+def test_fig13a_sparsity_sweep(benchmark):
+    points = benchmark.pedantic(run_fig13a, rounds=1, iterations=1)
+    print()
+    print(format_fig13(points))
+    assert all(p.correct for p in points)
+    crd = _series(points, "crd")
+    skip = _series(points, "crd_skip")
+    bv = _series(points, "bv")
+    dense = _series(points, "dense")
+    # Dense iteration is flat and worst at high sparsity.
+    assert dense[20] > 10 * crd[20]
+    # "coordinate-skipping behaves exactly the same as the compressed
+    # format since urandom tensors have small run lengths"
+    for x in crd:
+        assert abs(crd[x] - skip[x]) <= 0.05 * crd[x] + 2
+    # "As the sparsity increases, the compressed coordinate format becomes
+    # better than the bitvectors" (bv is pseudo-dense).
+    assert crd[5] < bv[5]
+    assert bv[400] < crd[400]
+
+
+def test_fig13b_run_length_sweep(benchmark):
+    points = benchmark.pedantic(run_fig13b, rounds=1, iterations=1)
+    print()
+    print(format_fig13(points))
+    assert all(p.correct for p in points)
+    crd = _series(points, "crd")
+    skip = _series(points, "crd_skip")
+    bv = _series(points, "bv")
+    # "As run lengths increase, there are more opportunities to skip."
+    assert skip[128] < 0.5 * crd[128]
+    # "The bitvector remains flat since the number of nonzeros remains
+    # about the same for various run lengths."
+    assert max(bv.values()) - min(bv.values()) <= 0.2 * max(bv.values())
+
+
+def test_fig13c_block_size_sweep(benchmark):
+    points = benchmark.pedantic(run_fig13c, rounds=1, iterations=1)
+    print()
+    print(format_fig13(points))
+    assert all(p.correct for p in points)
+    crd = _series(points, "crd")
+    skip = _series(points, "crd_skip")
+    # "This advantage ... remains in the blocks case, without the
+    # dependence on block size": skipping never loses to plain crd.
+    for x in crd:
+        assert skip[x] <= crd[x] + 2

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 14 (stream token composition)."""
+
+from benchmarks.conftest import full_scale
+from repro.studies.fig14 import averages, format_fig14, run_fig14
+
+
+def test_fig14_token_breakdown(benchmark):
+    max_nnz = None if full_scale() else 11000
+    rows = benchmark.pedantic(
+        lambda: run_fig14(max_nnz=max_nnz), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig14(rows))
+    avg = averages(rows)
+    # "Most tokens on the Bi stream are idle since the Bi level scanner is
+    # in the done state while the inner level iterates" (paper: 83.32%).
+    assert avg["outer_idle_pct"] > 50
+    # The inner level is never idle in a fully pipelined run.
+    for row in rows:
+        assert row.inner.fractions()["idle"] < 0.05
+    # "the control token overhead of our representation is reasonable":
+    # inner-level stop overhead stays bounded (paper range 0.12%-33.26%).
+    for row in rows:
+        assert row.inner.control_overhead() < 0.40
+    # Stop overhead shrinks as matrices grow (rows gain more nonzeros).
+    small = [r for r in rows if r.nnz < 1000]
+    large = [r for r in rows if r.nnz > 5000]
+    if small and large:
+        small_stop = sum(r.inner.fractions()["stop"] for r in small) / len(small)
+        large_stop = sum(r.inner.fractions()["stop"] for r in large) / len(large)
+        assert large_stop < small_stop

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 15 (ExTensor recreation).
+
+The full paper sweep (12 dimensions x 4 nnz values) takes minutes; the
+default benchmark runs the "few points" subset the paper's artifact also
+offers, covering all three performance regions.  Set REPRO_FULL_SCALE=1
+for the complete sweep.
+"""
+
+from benchmarks.conftest import full_scale
+from repro.studies.fig15 import PAPER_DIMENSIONS, format_fig15, regions, run_fig15
+
+
+def test_fig15_extensor_recreation(benchmark):
+    if full_scale():
+        dimensions, nnzs = PAPER_DIMENSIONS, (5000, 10000, 25000, 50000)
+    else:
+        dimensions, nnzs = (1024, 3696, 7704, 11712, 15720), (5000, 10000)
+    points = benchmark.pedantic(
+        lambda: run_fig15(dimensions=dimensions, nnzs=nnzs), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig15(points))
+    # Region structure: runtime rises at small dimensions...
+    for nnz in nnzs:
+        series = sorted(
+            [p for p in points if p.nnz == nnz], key=lambda p: p.dimension
+        )
+        assert series[1].cycles > series[0].cycles
+    # ...and the sparsest series has peaked and turned down in range
+    # (sparse tile skipping), per the paper's three regions.
+    rises, falls = regions(points, min(nnzs))
+    assert rises and falls
+    # More nonzeros means more work at every dimension.
+    lo, hi = min(nnzs), max(nnzs)
+    for dim in dimensions:
+        lo_c = next(p.cycles for p in points if p.nnz == lo and p.dimension == dim)
+        hi_c = next(p.cycles for p in points if p.nnz == hi and p.dimension == dim)
+        assert hi_c >= lo_c * 0.9

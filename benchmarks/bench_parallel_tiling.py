@@ -1,0 +1,61 @@
+"""Ablations: Gamma-style lane scaling (section 4.4) and the Figure 9
+tile-sequencing tradeoff (section 4.1 / 6.4)."""
+
+import numpy as np
+
+from repro.data.synthetic import random_sparse_matrix
+from repro.kernels.gamma import gamma_spmm
+from repro.memory import DramModel, tiled_spmm
+
+
+def test_gamma_lane_scaling(benchmark):
+    B = random_sparse_matrix(48, 32, 0.2, seed=0)
+    C = random_sparse_matrix(32, 40, 0.2, seed=1)
+
+    def run():
+        return {lanes: gamma_spmm(B, C, lanes=lanes) for lanes in (1, 2, 4, 8)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'lanes':>6}{'cycles':>9}{'critical path':>15}")
+    for lanes, result in results.items():
+        assert np.allclose(result.output, B @ C)
+        print(f"{lanes:>6}{result.cycles:>9}{result.critical_path:>15}")
+    # The parallel critical path scales down near-linearly with lanes.
+    assert results[4].critical_path < results[1].critical_path / 2.5
+    assert results[2].critical_path < results[1].critical_path / 1.6
+
+
+def test_tile_size_tradeoff(benchmark):
+    B = random_sparse_matrix(32, 32, 0.12, seed=2)
+    C = random_sparse_matrix(32, 32, 0.12, seed=3)
+
+    def run():
+        return {size: tiled_spmm(B, C, tile_size=size) for size in (4, 8, 16)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'tile':>6}{'pairs':>7}{'seq':>7}{'total':>9}")
+    for size, result in results.items():
+        assert np.allclose(result.output, B @ C)
+        print(f"{size:>6}{len(result.pairs):>7}{result.sequencing_cycles:>7}"
+              f"{result.total_cycles:>9.0f}")
+    # Finer tiles sequence more pairs (section 4.1's sequencing overhead).
+    assert len(results[4].pairs) > len(results[16].pairs)
+    assert results[4].sequencing_cycles > results[16].sequencing_cycles
+
+
+def test_bandwidth_bound_tiling(benchmark):
+    B = random_sparse_matrix(32, 32, 0.15, seed=4)
+    C = random_sparse_matrix(32, 32, 0.15, seed=5)
+
+    def run():
+        fast = tiled_spmm(B, C, tile_size=8)
+        slow = tiled_spmm(B, C, tile_size=8, dram=DramModel(bytes_per_cycle=0.25))
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfast DRAM total={fast.total_cycles:.0f}, "
+          f"slow DRAM total={slow.total_cycles:.0f}")
+    # With n-buffering, slow DRAM shifts the bottleneck to loads.
+    assert slow.total_cycles > 2 * fast.total_cycles

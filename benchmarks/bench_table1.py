@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table 1 (SAM primitive counts per expression)."""
+
+from repro.lang import TABLE1_COLUMNS
+from repro.studies.table1 import ENTRIES, KNOWN_DIVERGENCES, format_table1, run_table1
+
+
+def test_table1_counts_match_paper(benchmark):
+    rows = benchmark(run_table1)
+    print()
+    print(format_table1(rows))
+    for entry, _, counts, paper, match in rows:
+        divergences = KNOWN_DIVERGENCES.get(entry.name, {})
+        for column in TABLE1_COLUMNS:
+            if column in divergences:
+                ours, theirs = divergences[column]
+                assert counts[column] == ours and paper[column] == theirs
+            else:
+                assert counts[column] == paper[column], (
+                    f"{entry.name}: {column} = {counts[column]}, "
+                    f"paper says {paper[column]}"
+                )
+
+
+def test_table1_features(benchmark):
+    from repro.lang import compile_expression, expression_features
+
+    def features():
+        out = {}
+        for entry in ENTRIES:
+            program = compile_expression(
+                entry.expression, formats=entry.formats, schedule=entry.schedule
+            )
+            out[entry.name] = expression_features(program)
+        return out
+
+    feats = benchmark(features)
+    # Spot-check the left half of Table 1.
+    assert feats["SpMV"].out_order == 1 and feats["SpMV"].broadcast
+    assert feats["InnerProd"].out_order == 0 and not feats["InnerProd"].broadcast
+    assert feats["MatTransMul"].num_inputs == 5
+    assert feats["MatTransMul"].reduce_order == 1  # the paper's "1"
+    assert feats["MMAdd"].ops == ("+",)
+    assert feats["SDDMM"].num_inputs == 3

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 2 (expressions lost per removed primitive)."""
+
+from benchmarks.conftest import full_scale
+from repro.studies.table2 import format_table2, run_table2
+
+
+def test_table2_ablation(benchmark):
+    distinct = 3839 if full_scale() else 250
+    rows = benchmark.pedantic(
+        lambda: run_table2(distinct=distinct), rounds=1, iterations=1
+    )
+    print()
+    print(format_table2(rows))
+    by_name = {row.scenario: row for row in rows}
+    # The paper's qualitative conclusions:
+    # 1. removing any primitive loses expressions;
+    for row in rows:
+        assert row.lost_unique > 0, f"{row.scenario} lost nothing"
+    # 2. scanners, writers and multipliers are near-universal;
+    assert by_name["comp_and_uncomp_level_scanners"].pct_unique > 95
+    assert by_name["comp_and_uncomp_level_writers"].pct_unique > 95
+    assert by_name["multiplier"].pct_unique > 60
+    # 3. union/adder/dropper affect a minority of algorithms;
+    assert by_name["unioner"].pct_unique < 40
+    assert by_name["adder"].pct_unique < 40
+    assert by_name["coordinate_dropper"].pct_unique < 40
+    # 4. keeping the locator softens intersecter removal.
+    assert (
+        by_name["intersecter_keep_locator"].pct_unique
+        < by_name["intersecter_with_locator_removed"].pct_unique
+    )

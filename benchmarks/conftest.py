@@ -1,0 +1,20 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the rows/series the paper reports (captured with ``pytest -s`` or in the
+benchmark summary).  Scales default to quick-run sizes; set
+``REPRO_FULL_SCALE=1`` to use paper-scale parameters where feasible.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture
+def scale():
+    return "full" if full_scale() else "quick"

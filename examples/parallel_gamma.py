@@ -1,0 +1,43 @@
+"""Coarse-grained parallelism (paper sections 4.4 and 6.5, Gamma).
+
+SAM expresses parallelism by forking streams with parallelizers and
+rejoining them with serializers.  This example distributes the rows of a
+Gustavson SpM*SpM across processing lanes — the structure the paper
+attributes to Gamma — and measures how the parallel critical path scales
+with the lane count.
+"""
+
+import numpy as np
+
+from repro.data.synthetic import random_sparse_matrix
+from repro.kernels.gamma import gamma_spmm
+
+
+def main():
+    B = random_sparse_matrix(64, 48, 0.15, seed=0)
+    C = random_sparse_matrix(48, 56, 0.15, seed=1)
+    expected = B @ C
+
+    print("Gamma-style lane-parallel Gustavson SpM*SpM\n")
+    print(f"{'lanes':>6}{'engine cycles':>15}{'critical path':>15}{'speedup':>9}")
+    print("-" * 45)
+    baseline = None
+    for lanes in (1, 2, 4, 8, 16):
+        result = gamma_spmm(B, C, lanes=lanes)
+        assert np.allclose(result.output, expected)
+        if baseline is None:
+            baseline = result.critical_path
+        print(
+            f"{result.lanes:>6}{result.cycles:>15}{result.critical_path:>15}"
+            f"{baseline / result.critical_path:>8.1f}x"
+        )
+    print(
+        "\nThe per-lane critical path scales near-linearly; the shared\n"
+        "serializer and construction stage bound total engine cycles —\n"
+        "the classic sequential-merge bottleneck Gamma's multi-input\n"
+        "reducer addresses in hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Fusion on the Sparse Abstract Machine (paper section 6.3, Figure 11).
+
+SDDMM — sample a dense matrix product with a sparse matrix — is the
+paper's showcase for why sparse hardware must support fused expressions:
+the unfused form computes the entire dense GEMM first, wasting almost all
+of its work.  This example sweeps the dense depth K and compares
+
+* unfused (factorized, fixed-function-style),
+* fused with dense coiteration,
+* fused with locators (iterate-locate into the dense operands).
+"""
+
+import numpy as np
+
+from repro.kernels.sddmm import (
+    sddmm_fused_coiter,
+    sddmm_fused_locate,
+    sddmm_reference,
+    sddmm_unfused,
+)
+
+
+def main():
+    rng = np.random.default_rng(0)
+    size, sparsity = 32, 0.95
+    B = (rng.random((size, size)) > sparsity) * rng.random((size, size))
+    print(f"SDDMM with {size}x{size} B at {sparsity:.0%} sparsity\n")
+    print(f"{'K':>5}{'unfused':>10}{'coiter':>10}{'locate':>10}   speedup(fused best)")
+    print("-" * 55)
+    for k in (1, 4, 16, 64):
+        C = rng.random((size, k))
+        D = rng.random((size, k))
+        reference = sddmm_reference(B, C, D)
+        results = {}
+        for fn in (sddmm_unfused, sddmm_fused_coiter, sddmm_fused_locate):
+            res = fn(B, C, D)
+            assert np.allclose(res.output, reference), res.variant
+            results[res.variant] = res.cycles
+        best = min(results["fused_coiter"], results["fused_locate"])
+        print(
+            f"{k:>5}{results['unfused']:>10}{results['fused_coiter']:>10}"
+            f"{results['fused_locate']:>10}   {results['unfused'] / best:>6.1f}x"
+        )
+    print(
+        "\nLocating wins when computation is modest (small K); the gap\n"
+        "closes as the dense K loop dominates — exactly Figure 11."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Exploring SpM*SpM dataflow orders (paper sections 3.4 and 6.3).
+
+Runs sparse matrix multiply in all six index orderings — inner product,
+linear combination of rows (Gustavson), and outer product — on the same
+operands and reports cycles, primitive counts, and the reducer each
+dataflow needs (scalar, vector, or matrix).  This is the Figure 12
+experiment at example scale.
+"""
+
+import numpy as np
+
+from repro.kernels.spmm import FAMILY, ORDERS, run_spmm, spmm_program
+from repro.lang import primitive_row
+
+
+def main():
+    rng = np.random.default_rng(7)
+    size, k, density = 40, 20, 0.08
+    B = (rng.random((size, k)) < density) * rng.random((size, k))
+    C = (rng.random((k, size)) < density) * rng.random((k, size))
+    expected = B @ C
+
+    print(f"SpM*SpM on {size}x{k} times {k}x{size}, density {density}\n")
+    header = f"{'order':>6} {'family':<28}{'cycles':>8}  reducer  droppers"
+    print(header)
+    print("-" * len(header))
+    for order in ORDERS:
+        program = spmm_program(order)
+        counts = primitive_row(program)
+        reducer_n = max(
+            (n.params.get("n", 0) for n in program.graph.nodes_of_kind("reduce")),
+            default=-1,
+        )
+        reducer = {0: "scalar", 1: "vector", 2: "matrix"}.get(reducer_n, "-")
+        result = run_spmm(B, C, order)
+        assert np.allclose(result.to_numpy(), expected)
+        print(
+            f"{order:>6} {FAMILY[order]:<28}{result.cycles:>8}  "
+            f"{reducer:<8} {counts['crd_drop']}"
+        )
+    print(
+        "\nNote the paper's observation: k-late (inner product) orders pay\n"
+        "for intersecting after expansion; k-early orders filter first."
+    )
+
+
+if __name__ == "__main__":
+    main()

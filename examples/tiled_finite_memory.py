@@ -1,0 +1,46 @@
+"""Tiling for finite memories (paper section 4.1, Figure 9).
+
+Tensors too large for an accelerator's scratchpad are tiled; a SAM
+*tile sequencing graph* coiterates the tile-ID levels (tile IDs are
+coordinates, values are references to tiles) and each surviving tile
+pair runs the ordinary SAM computation graph.  This example executes
+both graphs on the cycle simulator and explores the memory-configuration
+tradeoff: tile size vs. sequencing overhead vs. DRAM traffic.
+"""
+
+import numpy as np
+
+from repro.data.synthetic import random_sparse_matrix
+from repro.memory import DramModel, tiled_spmm
+
+
+def main():
+    B = random_sparse_matrix(32, 32, 0.12, seed=0)
+    C = random_sparse_matrix(32, 32, 0.12, seed=1)
+    expected = B @ C
+
+    print("Tiled SpM*SpM (SAM tile sequencing + per-tile SAM compute)\n")
+    print(f"{'tile':>6}{'pairs':>7}{'seq cyc':>9}{'compute':>9}{'dram':>8}{'total':>9}")
+    print("-" * 48)
+    for tile_size in (4, 8, 16, 32):
+        result = tiled_spmm(B, C, tile_size=tile_size)
+        assert np.allclose(result.output, expected)
+        print(
+            f"{tile_size:>6}{len(result.pairs):>7}{result.sequencing_cycles:>9}"
+            f"{result.compute_cycles:>9}{result.dram_cycles:>8.0f}"
+            f"{result.total_cycles:>9.0f}"
+        )
+
+    print("\nWith slow DRAM (bandwidth-bound, loads dominate the overlap):")
+    slow = tiled_spmm(B, C, tile_size=8, dram=DramModel(bytes_per_cycle=0.5))
+    assert np.allclose(slow.output, expected)
+    print(f"  tile=8, 0.5 B/cycle DRAM: total {slow.total_cycles:.0f} cycles "
+          f"(dram {slow.dram_cycles:.0f})")
+    print(
+        "\nSmall tiles sequence more pairs (overhead); large tiles reload\n"
+        "more useless zeros — the memory-hierarchy tradeoff of section 6.4."
+    )
+
+
+if __name__ == "__main__":
+    main()

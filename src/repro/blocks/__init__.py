@@ -1,0 +1,73 @@
+"""The nine SAM dataflow block families (paper sections 3 and 4)."""
+
+from .array import ArrayLoad, ArrayStore
+from .base import Block, BlockError, Fanout, RootFeeder, Sink, StreamFeeder
+from .bitvector import BVExpander, BVIntersect, BVUnion, BitvectorConverter
+from .compute import ALU, Exp, OPERATORS, ScalarALU
+from .drop import CoordDropper, ValueDropper
+from .locate import Locator
+from .merge import Intersect, MergeSide, Union
+from .parallel import InterleaveSerializer, Parallelizer, Serializer
+from .reduce import MatrixReducer, ScalarReducer, VectorReducer
+from .repeat import REPEAT, RepeatSigGen, Repeater, make_repeater
+from .scanner import (
+    BitvectorLevelScanner,
+    CompressedLevelScanner,
+    LevelScanner,
+    UncompressedLevelScanner,
+    make_scanner,
+)
+from .writer import (
+    CompressedLevelWriter,
+    LinkedListLevelWriter,
+    ScatterValsWriter,
+    UncompressedLevelWriter,
+    ValsWriter,
+    assemble_tensor,
+)
+
+__all__ = [
+    "ALU",
+    "ArrayLoad",
+    "ArrayStore",
+    "BVExpander",
+    "BVIntersect",
+    "BVUnion",
+    "BitvectorConverter",
+    "BitvectorLevelScanner",
+    "Block",
+    "BlockError",
+    "CompressedLevelScanner",
+    "CompressedLevelWriter",
+    "CoordDropper",
+    "Exp",
+    "Fanout",
+    "Intersect",
+    "InterleaveSerializer",
+    "LevelScanner",
+    "LinkedListLevelWriter",
+    "Locator",
+    "MatrixReducer",
+    "MergeSide",
+    "OPERATORS",
+    "Parallelizer",
+    "REPEAT",
+    "RepeatSigGen",
+    "Repeater",
+    "RootFeeder",
+    "ScalarALU",
+    "ScalarReducer",
+    "ScatterValsWriter",
+    "Serializer",
+    "Sink",
+    "StreamFeeder",
+    "UncompressedLevelScanner",
+    "UncompressedLevelWriter",
+    "Union",
+    "ValsWriter",
+    "ValueDropper",
+    "VectorReducer",
+    "assemble_tensor",
+    "make_repeater",
+    "make_scanner",
+]

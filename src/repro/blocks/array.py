@@ -1,0 +1,96 @@
+"""Array blocks: memory proxies (Definition 3.5).
+
+An array block is "a proxy for a memory interface".  In load mode it
+turns a reference stream into a data stream by indexing a contiguous
+memory; in store mode it writes a data stream to the locations named by a
+reference stream.  Arrays store values, coordinates, and references; the
+common case in compute pipelines is a value load feeding an ALU.
+
+``N`` references load as ``0.0`` — this, together with the unioner's
+``N`` emission and the ALU's N-as-zero rule, implements addition's
+identity without materialising zeros.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..streams.channel import Channel
+from ..streams.token import is_data, is_done, is_empty
+from .base import Block, BlockError
+
+
+class ArrayLoad(Block):
+    """Load mode: reference stream in, data stream out (one-cycle memory)."""
+
+    primitive = "array"
+
+    def __init__(
+        self,
+        memory: Sequence[float],
+        in_ref: Channel,
+        out_data: Channel,
+        empty_value: float = 0.0,
+        name: str = "array",
+    ):
+        super().__init__(name)
+        self.memory = memory
+        self.in_ref = self._in("in_ref", in_ref)
+        self.out_data = self._out("out_data", out_data)
+        self.empty_value = empty_value
+        self.loads = 0
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_ref)
+            if is_data(token):
+                self.loads += 1
+                self.out_data.push(self.memory[token])
+            elif is_empty(token):
+                self.out_data.push(self.empty_value)
+            else:
+                self.out_data.push(token)
+            yield True
+            if is_done(token):
+                return
+
+
+class ArrayStore(Block):
+    """Store mode: writes data tokens at the referenced locations.
+
+    The backing list grows on demand; control tokens on either stream are
+    consumed in lockstep and produce no side effect.
+    """
+
+    primitive = "array"
+
+    def __init__(
+        self,
+        in_ref: Channel,
+        in_data: Channel,
+        memory: Optional[List[float]] = None,
+        name: str = "array_store",
+    ):
+        super().__init__(name)
+        self.memory: List[float] = memory if memory is not None else []
+        self.in_ref = self._in("in_ref", in_ref)
+        self.in_data = self._in("in_data", in_data)
+        self.stores = 0
+
+    def _run(self):
+        while True:
+            ref = yield from self._get(self.in_ref)
+            data = yield from self._get(self.in_data)
+            if is_done(ref) and is_done(data):
+                yield True
+                return
+            if is_data(ref):
+                if not is_data(data) and not is_empty(data):
+                    raise BlockError(
+                        f"{self.name}: reference {ref} paired with {data!r}"
+                    )
+                while len(self.memory) <= ref:
+                    self.memory.append(0.0)
+                self.memory[ref] = 0.0 if is_empty(data) else data
+                self.stores += 1
+            yield True

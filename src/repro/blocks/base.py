@@ -1,0 +1,180 @@
+"""Block base class: generator-driven dataflow FSMs.
+
+Every SAM primitive is written once, as a Python generator that yields
+exactly once per simulated cycle.  A ``yield True`` means the block did
+work this cycle; ``yield False`` means it stalled waiting for input.  The
+cycle engine (:mod:`repro.sim.engine`) steps all blocks each cycle, which
+realises the paper's cycle-approximate model: fully pipelined blocks that
+produce one token per port per cycle, with unbounded queues and
+single-cycle memories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..streams.channel import Channel
+from ..streams.token import DONE, is_data, is_done, is_stop
+
+
+class BlockError(RuntimeError):
+    """Raised when a block observes a protocol violation on its streams."""
+
+
+class Block:
+    """Base class for SAM dataflow blocks.
+
+    Subclasses implement :meth:`_run` as a generator following the
+    one-yield-per-cycle discipline and register their channels through
+    ``inputs``/``outputs`` so the engine and statistics can find them.
+    """
+
+    #: class-level primitive name used by graph analyses ("level_scanner", ...)
+    primitive = "block"
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        self.inputs: Dict[str, Channel] = {}
+        self.outputs: Dict[str, Channel] = {}
+        self.finished = False
+        self.busy_cycles = 0
+        self.stall_cycles = 0
+        self._gen = None
+
+    # -- wiring ---------------------------------------------------------
+    def _in(self, port: str, channel: Channel) -> Channel:
+        self.inputs[port] = channel
+        return channel
+
+    def _out(self, port: str, channel: Channel) -> Channel:
+        self.outputs[port] = channel
+        return channel
+
+    # -- execution ------------------------------------------------------
+    def _run(self):
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        """Advance one cycle; returns True if the block made progress."""
+        if self.finished:
+            return False
+        if self._gen is None:
+            self._gen = self._run()
+        try:
+            progressed = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            return False
+        if progressed:
+            self.busy_cycles += 1
+        else:
+            self.stall_cycles += 1
+        return bool(progressed)
+
+    # -- generator helpers -------------------------------------------------
+    def _get(self, channel: Channel):
+        """Pop the next token, yielding stall cycles while the input is empty."""
+        while channel.empty():
+            yield False
+        return channel.pop()
+
+    def _peek(self, channel: Channel):
+        """Peek the next token, yielding stall cycles while the input is empty."""
+        while channel.empty():
+            yield False
+        return channel.peek()
+
+    def _emit(self, channel: Optional[Channel], token) -> None:
+        """Push *token* if the port is connected (ports may be left open)."""
+        if channel is not None:
+            channel.push(token)
+
+    def _emit_all(self, channels: Iterable[Optional[Channel]], token) -> None:
+        for channel in channels:
+            self._emit(channel, token)
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"<{type(self).__name__} {self.name!r} ({state})>"
+
+
+class StreamFeeder(Block):
+    """Source block that plays a pre-built token list onto a channel."""
+
+    primitive = "source"
+
+    def __init__(self, tokens, out: Channel, name: str = "feeder"):
+        super().__init__(name)
+        self.tokens = list(tokens)
+        self.out = self._out("out", out)
+
+    def _run(self):
+        for token in self.tokens:
+            self.out.push(token)
+            yield True
+
+
+class RootFeeder(StreamFeeder):
+    """Plays the ``D, 0`` root reference stream that starts tensor iteration."""
+
+    def __init__(self, out: Channel, name: str = "root"):
+        super().__init__([0, DONE], out, name=name)
+
+
+class Fanout(Block):
+    """Copies a stream to several consumers.
+
+    Physically a SAM stream is a wire that can fan out to any number of
+    block inputs; our channels are single-consumer FIFOs, so explicit
+    fanout blocks model the wire split.  Fanouts are wiring, not SAM
+    primitives, and are excluded from primitive counts.
+    """
+
+    primitive = "wire"
+
+    def __init__(self, in_: Channel, outs, name: str = "fanout"):
+        super().__init__(name)
+        self.in_ = self._in("in", in_)
+        self.outs = [self._out(f"out{i}", ch) for i, ch in enumerate(outs)]
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_)
+            for channel in self.outs:
+                channel.push(token)
+            yield True
+            if is_done(token):
+                return
+
+
+class Sink(Block):
+    """Consumes a stream (one token per cycle) and records it."""
+
+    primitive = "sink"
+
+    def __init__(self, in_: Channel, name: str = "sink"):
+        super().__init__(name)
+        self.in_ = self._in("in", in_)
+        self.tokens: List = []
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_)
+            self.tokens.append(token)
+            yield True
+            if is_done(token):
+                return
+
+
+def expect_data(token, block: Block, what: str = "data token"):
+    """Protocol assertion helper with a readable error message."""
+    if not is_data(token):
+        raise BlockError(f"{block.name}: expected {what}, got {token!r}")
+    return token
+
+
+def stop_level(token) -> int:
+    """Level of a stop token (protocol-checked)."""
+    if not is_stop(token):
+        raise BlockError(f"expected stop token, got {token!r}")
+    return token.level

@@ -1,0 +1,226 @@
+"""Bitvector stream blocks (paper section 4.3).
+
+Bitvector streams are an alternative compression protocol on the wires:
+one data token carries ``b`` coordinates as a bit mask, so merging and
+iteration run ``b`` coordinates per cycle (pseudo-dense, but massively
+parallel).  These blocks convert between protocols and merge bitvector
+streams word-wise:
+
+* :class:`BitvectorConverter` — Definition 4.2: packs a coordinate
+  stream into bitvector words;
+* :class:`BVIntersect` / :class:`BVUnion` — word-wise AND / OR merges
+  that also forward each side's word and popcount base so references can
+  be recovered;
+* :class:`BVExpander` — unpacks merged words back into coordinate and
+  per-side reference streams using the popcount protocol.
+"""
+
+from __future__ import annotations
+
+from ..formats.bitvector import popcount
+from ..streams.channel import Channel
+from ..streams.token import DONE, EMPTY, is_data, is_done, is_stop
+from .base import Block, BlockError
+
+
+class BitvectorConverter(Block):
+    """Packs each fiber of a coordinate stream into bitvector words."""
+
+    primitive = "bv_convert"
+
+    def __init__(
+        self,
+        size: int,
+        bits_per_word: int,
+        in_crd: Channel,
+        out_bv: Channel,
+        name: str = "bvconv",
+    ):
+        super().__init__(name)
+        self.size = size
+        self.bits_per_word = bits_per_word
+        self.in_crd = self._in("in_crd", in_crd)
+        self.out_bv = self._out("out_bv", out_bv)
+
+    def _run(self):
+        num_words = max(1, -(-self.size // self.bits_per_word))
+        words = [0] * num_words
+        while True:
+            token = yield from self._get(self.in_crd)
+            if is_data(token):
+                words[token // self.bits_per_word] |= 1 << (token % self.bits_per_word)
+                yield True
+                continue
+            if is_stop(token):
+                for word in words:
+                    self.out_bv.push(word)
+                    yield True
+                self.out_bv.push(token)
+                words = [0] * num_words
+                yield True
+                continue
+            self.out_bv.push(DONE)
+            yield True
+            return
+
+
+class _BVMerge(Block):
+    """Shared word-aligned machinery for bitvector intersect/union."""
+
+    combine = staticmethod(lambda a, b: a & b)
+
+    def __init__(
+        self,
+        in_bv_a: Channel,
+        in_base_a: Channel,
+        in_bv_b: Channel,
+        in_base_b: Channel,
+        out_bv: Channel,
+        out_word_a: Channel,
+        out_base_a: Channel,
+        out_word_b: Channel,
+        out_base_b: Channel,
+        name: str = "bvmerge",
+    ):
+        super().__init__(name)
+        self.in_bv_a = self._in("in_bv_a", in_bv_a)
+        self.in_base_a = self._in("in_base_a", in_base_a)
+        self.in_bv_b = self._in("in_bv_b", in_bv_b)
+        self.in_base_b = self._in("in_base_b", in_base_b)
+        self.out_bv = self._out("out_bv", out_bv)
+        self.out_word_a = self._out("out_word_a", out_word_a)
+        self.out_base_a = self._out("out_base_a", out_base_a)
+        self.out_word_b = self._out("out_word_b", out_word_b)
+        self.out_base_b = self._out("out_base_b", out_base_b)
+
+    def _outs(self):
+        return (
+            self.out_bv,
+            self.out_word_a,
+            self.out_base_a,
+            self.out_word_b,
+            self.out_base_b,
+        )
+
+    def _run(self):
+        while True:
+            wa = yield from self._get(self.in_bv_a)
+            ba = yield from self._get(self.in_base_a)
+            wb = yield from self._get(self.in_bv_b)
+            bb = yield from self._get(self.in_base_b)
+            if is_done(wa) and is_done(wb):
+                self._emit_all(self._outs(), DONE)
+                yield True
+                return
+            if is_stop(wa) and is_stop(wb):
+                if wa.level != wb.level:
+                    raise BlockError(f"{self.name}: misaligned stops {wa!r}/{wb!r}")
+                self._emit_all(self._outs(), wa)
+                yield True
+                continue
+            if is_data(wa) and is_data(wb):
+                self.out_bv.push(self.combine(wa, wb))
+                self.out_word_a.push(wa)
+                self.out_base_a.push(ba)
+                self.out_word_b.push(wb)
+                self.out_base_b.push(bb)
+                yield True
+                continue
+            raise BlockError(
+                f"{self.name}: bitvector streams not word-aligned ({wa!r} vs {wb!r})"
+            )
+
+
+class BVIntersect(_BVMerge):
+    """Word-wise AND of two aligned bitvector streams."""
+
+    primitive = "intersect"
+    combine = staticmethod(lambda a, b: a & b)
+
+
+class BVUnion(_BVMerge):
+    """Word-wise OR of two aligned bitvector streams."""
+
+    primitive = "union"
+    combine = staticmethod(lambda a, b: a | b)
+
+
+class BVExpander(Block):
+    """Expand merged bitvector words into coordinate and reference streams.
+
+    References follow the popcount protocol: the reference of bit ``i``
+    on a side is the side's word base plus the popcount of the side's
+    word below bit ``i``.  Bits absent on a side expand to ``N``.
+    """
+
+    primitive = "bv_expand"
+
+    def __init__(
+        self,
+        bits_per_word: int,
+        in_bv: Channel,
+        in_word_a: Channel,
+        in_base_a: Channel,
+        in_word_b: Channel,
+        in_base_b: Channel,
+        out_crd: Channel,
+        out_ref_a: Channel,
+        out_ref_b: Channel,
+        name: str = "bvexpand",
+    ):
+        super().__init__(name)
+        self.bits_per_word = bits_per_word
+        self.in_bv = self._in("in_bv", in_bv)
+        self.in_word_a = self._in("in_word_a", in_word_a)
+        self.in_base_a = self._in("in_base_a", in_base_a)
+        self.in_word_b = self._in("in_word_b", in_word_b)
+        self.in_base_b = self._in("in_base_b", in_base_b)
+        self.out_crd = self._out("out_crd", out_crd)
+        self.out_ref_a = self._out("out_ref_a", out_ref_a)
+        self.out_ref_b = self._out("out_ref_b", out_ref_b)
+
+    def _outs(self):
+        return (self.out_crd, self.out_ref_a, self.out_ref_b)
+
+    def _run(self):
+        word_index = 0
+        while True:
+            merged = yield from self._get(self.in_bv)
+            if is_done(merged):
+                self._emit_all(self._outs(), DONE)
+                yield True
+                return
+            if is_stop(merged):
+                for channel in (
+                    self.in_word_a,
+                    self.in_base_a,
+                    self.in_word_b,
+                    self.in_base_b,
+                ):
+                    yield from self._get(channel)
+                self._emit_all(self._outs(), merged)
+                word_index = 0
+                yield True
+                continue
+            word_a = yield from self._get(self.in_word_a)
+            base_a = yield from self._get(self.in_base_a)
+            word_b = yield from self._get(self.in_word_b)
+            base_b = yield from self._get(self.in_base_b)
+            if merged:
+                base = word_index * self.bits_per_word
+                for bit in range(self.bits_per_word):
+                    if not merged >> bit & 1:
+                        continue
+                    below = (1 << bit) - 1
+                    self.out_crd.push(base + bit)
+                    if word_a >> bit & 1:
+                        self.out_ref_a.push(base_a + popcount(word_a & below))
+                    else:
+                        self.out_ref_a.push(EMPTY)
+                    if word_b >> bit & 1:
+                        self.out_ref_b.push(base_b + popcount(word_b & below))
+                    else:
+                        self.out_ref_b.push(EMPTY)
+                    yield True
+            word_index += 1
+            yield True

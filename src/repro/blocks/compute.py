@@ -1,0 +1,158 @@
+"""ALUs: streaming arithmetic on value streams (Definition 3.6).
+
+An ALU consumes two value streams and produces one, applying add,
+subtract or multiply element-wise.  Empty (``N``) tokens are treated as
+zeros, which is what makes union-merged addition work: the unioner emits
+``N`` references for absent operands, arrays turn them into ``N`` values,
+and the adder treats them as 0.
+
+:class:`ScalarALU` is the one-input variant used for scalar coefficients
+(``alpha * ...``): a constant folded into the block.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+from ..streams.channel import Channel
+from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
+from .base import Block, BlockError
+
+OPERATORS = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+}
+
+
+def _as_number(token) -> float:
+    """Value of a data token, with ``N`` reading as zero."""
+    return 0.0 if is_empty(token) else token
+
+
+class ALU(Block):
+    """Two-input streaming ALU."""
+
+    primitive = "alu"
+
+    def __init__(
+        self,
+        op: str,
+        in_a: Channel,
+        in_b: Channel,
+        out: Channel,
+        name: str = "",
+    ):
+        super().__init__(name or f"alu_{op}")
+        if op not in OPERATORS:
+            raise BlockError(f"unknown ALU op {op!r} (choose from {sorted(OPERATORS)})")
+        self.op = op
+        self._fn: Callable = OPERATORS[op]
+        self.in_a = self._in("in_a", in_a)
+        self.in_b = self._in("in_b", in_b)
+        self.out = self._out("out", out)
+
+    def _drain_phantoms(self, a, b):
+        """Realign around phantom zeros.
+
+        A zero-policy reducer facing a completely empty region emits an
+        unavoidable phantom 0.0 with no counterpart on the other operand
+        (the region has no coordinates at all).  Phantoms are always
+        exactly zero, so they are discarded to restore alignment.
+        """
+        while True:
+            a_is_value = is_data(a) or is_empty(a)
+            b_is_value = is_data(b) or is_empty(b)
+            if a_is_value == b_is_value:
+                return a, b
+            if a_is_value:
+                if _as_number(a) != 0.0:
+                    raise BlockError(
+                        f"{self.name}: misaligned value streams ({a!r} vs {b!r})"
+                    )
+                a = yield from self._get(self.in_a)
+            else:
+                if _as_number(b) != 0.0:
+                    raise BlockError(
+                        f"{self.name}: misaligned value streams ({a!r} vs {b!r})"
+                    )
+                b = yield from self._get(self.in_b)
+
+    def _run(self):
+        while True:
+            a = yield from self._get(self.in_a)
+            b = yield from self._get(self.in_b)
+            a, b = yield from self._drain_phantoms(a, b)
+            if is_done(a) and is_done(b):
+                self.out.push(DONE)
+                yield True
+                return
+            if is_stop(a) and is_stop(b):
+                if a.level != b.level:
+                    raise BlockError(f"{self.name}: misaligned stops {a!r} vs {b!r}")
+                self.out.push(a)
+                yield True
+                continue
+            if (is_data(a) or is_empty(a)) and (is_data(b) or is_empty(b)):
+                self.out.push(self._fn(_as_number(a), _as_number(b)))
+                yield True
+                continue
+            raise BlockError(f"{self.name}: misaligned value streams ({a!r} vs {b!r})")
+
+
+class ScalarALU(Block):
+    """One-input ALU with a folded constant (e.g. ``alpha * v``)."""
+
+    primitive = "alu"
+
+    def __init__(
+        self,
+        op: str,
+        constant: float,
+        in_a: Channel,
+        out: Channel,
+        name: str = "",
+    ):
+        super().__init__(name or f"alu_{op}_const")
+        if op not in OPERATORS:
+            raise BlockError(f"unknown ALU op {op!r} (choose from {sorted(OPERATORS)})")
+        self.op = op
+        self.constant = float(constant)
+        self._fn: Callable = OPERATORS[op]
+        self.in_a = self._in("in_a", in_a)
+        self.out = self._out("out", out)
+
+    def _run(self):
+        while True:
+            a = yield from self._get(self.in_a)
+            if is_data(a) or is_empty(a):
+                self.out.push(self._fn(_as_number(a), self.constant))
+            else:
+                self.out.push(a)
+            yield True
+            if is_done(a):
+                return
+
+
+class Exp(Block):
+    """Pass-through unary map block (utility for custom element-wise ops)."""
+
+    primitive = "alu"
+
+    def __init__(self, fn: Callable, in_a: Channel, out: Channel, name: str = "map"):
+        super().__init__(name)
+        self._fn = fn
+        self.in_a = self._in("in_a", in_a)
+        self.out = self._out("out", out)
+
+    def _run(self):
+        while True:
+            a = yield from self._get(self.in_a)
+            if is_data(a) or is_empty(a):
+                self.out.push(self._fn(_as_number(a)))
+            else:
+                self.out.push(a)
+            yield True
+            if is_done(a):
+                return

@@ -1,0 +1,205 @@
+"""Coordinate droppers (Definition 3.9, Figure 8).
+
+Ineffectual merges (empty intersections, zero values) leave outer-level
+result coordinates with nothing underneath them.  The coordinate dropper
+pairs each outer coordinate with its inner fiber and removes both when
+the fiber is empty, merging the freed stop tokens into the surrounding
+boundary — exactly the Figure 8 transformation, where coordinate 2 and
+its ``S0, S0`` empty fiber disappear and the trailing ``S0`` is promoted.
+
+Two modes:
+
+* *fiber mode* (the Figure 8 / Figure 4 block): the inner stream is one
+  nesting level deeper than the outer coordinate stream; a fiber is
+  dropped when it contains no data tokens.
+* *value mode* (the "droppers with value stream inputs" of section 3.7):
+  the inner stream is a value stream at the *same* level, one value per
+  outer coordinate; pairs whose value is zero (or ``N``) are dropped.
+  This is the dropper scalar-reduced expressions like SpMV need.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..streams.channel import Channel
+from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
+from .base import Block, BlockError
+
+
+class CoordDropper(Block):
+    """Fiber-mode coordinate dropper."""
+
+    primitive = "crd_drop"
+
+    def __init__(
+        self,
+        in_outer_crd: Channel,
+        in_inner: Channel,
+        out_outer_crd: Channel,
+        out_inner: Channel,
+        drop_zeros: bool = False,
+        name: str = "crddrop",
+    ):
+        super().__init__(name)
+        self.in_outer_crd = self._in("in_outer_crd", in_outer_crd)
+        self.in_inner = self._in("in_inner", in_inner)
+        self.out_outer_crd = self._out("out_outer_crd", out_outer_crd)
+        self.out_inner = self._out("out_inner", out_inner)
+        #: when the inner stream is a value stream, also treat explicit
+        #: zeros as ineffectual
+        self.drop_zeros = drop_zeros
+        self.dropped = 0
+
+    def _effectual(self, fiber: List) -> bool:
+        if self.drop_zeros:
+            return any(is_data(tok) and tok != 0 for tok in fiber)
+        return any(is_data(tok) for tok in fiber)
+
+    def _merge_held(self, held: Optional[Stop], stop: Stop, dropped: bool) -> Optional[Stop]:
+        """Combine a fiber's terminating stop into the lazily-held boundary."""
+        if not dropped:
+            return stop
+        if held is not None:
+            return Stop(max(held.level, stop.level))
+        # Nothing emitted before this dropped fiber; a boundary only
+        # materialises if a later fiber survives — unless it also closes
+        # an outer level, which must stay visible.
+        return stop if stop.level > 0 else None
+
+    def _run(self):
+        # The inner stream mirrors the outer one: each outer coordinate
+        # owns one inner fiber, and the fiber's terminating stop, when
+        # elevated (level >= 1), folds the outer stream's following stop
+        # token (the Figure 8 pairing).  A bare outer stop (an empty
+        # outer region) pairs with a bare elevated inner stop.
+        held_stop: Optional[Stop] = None  # lazily emitted inner boundary
+        while True:
+            outer = yield from self._get(self.in_outer_crd)
+            if is_done(outer):
+                inner = yield from self._get(self.in_inner)
+                if not is_done(inner):
+                    raise BlockError(
+                        f"{self.name}: inner stream out of sync at D, got {inner!r}"
+                    )
+                if held_stop is not None:
+                    self.out_inner.push(held_stop)
+                self.out_outer_crd.push(DONE)
+                self.out_inner.push(DONE)
+                yield True
+                return
+            if is_stop(outer):
+                # Empty outer region: consume the matching elevated stop.
+                inner = yield from self._get(self.in_inner)
+                if not (is_stop(inner) and inner.level == outer.level + 1):
+                    raise BlockError(
+                        f"{self.name}: outer stop {outer!r} expects inner stop "
+                        f"S{outer.level + 1}, got {inner!r}"
+                    )
+                held_stop = (
+                    Stop(max(held_stop.level, inner.level))
+                    if held_stop is not None
+                    else inner
+                )
+                self.out_outer_crd.push(outer)
+                yield True
+                continue
+            # Outer coordinate: gather its inner fiber up to the next stop.
+            fiber: List = []
+            while True:
+                token = yield from self._get(self.in_inner)
+                if is_stop(token):
+                    fiber_stop = token
+                    break
+                if is_done(token):
+                    raise BlockError(f"{self.name}: inner stream ended mid-fiber")
+                fiber.append(token)
+                yield True
+            if self._effectual(fiber):
+                self.out_outer_crd.push(outer)
+                if held_stop is not None:
+                    self.out_inner.push(held_stop)
+                for token in fiber:
+                    self.out_inner.push(token)
+                held_stop = fiber_stop
+            else:
+                self.dropped += 1
+                held_stop = self._merge_held(held_stop, fiber_stop, dropped=True)
+            yield True
+            if fiber_stop.level >= 1:
+                # The elevated fiber stop folds the outer boundary: pull
+                # the outer stream's matching stop token through.
+                nxt = yield from self._get(self.in_outer_crd)
+                if not (is_stop(nxt) and nxt.level == fiber_stop.level - 1):
+                    raise BlockError(
+                        f"{self.name}: inner stop {fiber_stop!r} expects outer "
+                        f"stop S{fiber_stop.level - 1}, got {nxt!r}"
+                    )
+                self.out_outer_crd.push(nxt)
+                yield True
+
+
+class ValueDropper(Block):
+    """Value-mode dropper: removes (coordinate, value) pairs with zero value."""
+
+    primitive = "crd_drop"
+
+    def __init__(
+        self,
+        in_crd: Channel,
+        in_val: Channel,
+        out_crd: Channel,
+        out_val: Channel,
+        name: str = "valdrop",
+    ):
+        super().__init__(name)
+        self.in_crd = self._in("in_crd", in_crd)
+        self.in_val = self._in("in_val", in_val)
+        self.out_crd = self._out("out_crd", out_crd)
+        self.out_val = self._out("out_val", out_val)
+        self.dropped = 0
+
+    def _run(self):
+        # Driven by the coordinate stream: every coordinate pairs with one
+        # value; at boundaries, phantom zeros — values a zero-policy
+        # reducer emitted for regions with no coordinates at all — are
+        # discarded before matching the boundary stop.
+        while True:
+            crd = yield from self._get(self.in_crd)
+            if is_data(crd):
+                val = yield from self._get(self.in_val)
+                if is_stop(val) or is_done(val):
+                    raise BlockError(
+                        f"{self.name}: value stream ran out mid-fiber ({val!r})"
+                    )
+                if is_empty(val) or val == 0:
+                    self.dropped += 1
+                else:
+                    self.out_crd.push(crd)
+                    self.out_val.push(val)
+                yield True
+                continue
+            # Boundary (stop or done): drain phantom zero values.
+            while True:
+                val = yield from self._get(self.in_val)
+                if is_data(val) or is_empty(val):
+                    if not is_empty(val) and val != 0:
+                        raise BlockError(
+                            f"{self.name}: non-zero value {val!r} has no coordinate"
+                        )
+                    yield True
+                    continue
+                break
+            if is_done(crd) and is_done(val):
+                self.out_crd.push(DONE)
+                self.out_val.push(DONE)
+                yield True
+                return
+            if is_stop(crd) and is_stop(val):
+                if crd.level != val.level:
+                    raise BlockError(f"{self.name}: misaligned stops {crd!r}/{val!r}")
+                self.out_crd.push(crd)
+                self.out_val.push(val)
+                yield True
+                continue
+            raise BlockError(f"{self.name}: misaligned streams ({crd!r} vs {val!r})")

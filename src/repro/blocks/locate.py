@@ -1,0 +1,102 @@
+"""Locator block (Definition 4.1): iterate-locate / leader-follower merge.
+
+Rather than co-iterating two compressed levels with a two-finger merge,
+a locator *asks* one tensor whether it contains each coordinate of the
+other.  For each input (coordinate, reference) pair it probes the target
+level; on a hit it emits the found child reference together with the
+input coordinate and reference, and on a miss it emits an empty (``N``)
+token on all three outputs so stream shapes stay aligned.
+
+Locators replace intersecters when one operand is far denser (SpMV with a
+dense vector, the SDDMM sampled lookup of section 6.3) and enable
+scatter into random-insert result formats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..formats.level import Level
+from ..streams.channel import Channel
+from ..streams.token import DONE, EMPTY, is_data, is_done, is_empty, is_stop
+from .base import Block, BlockError
+
+
+class Locator(Block):
+    """Probe a level for each coordinate of an input stream.
+
+    When ``in_target_ref`` is wired, one target-fiber reference is
+    consumed per input fiber (matrix levels); otherwise fiber 0 is probed
+    (vectors and root levels).
+    """
+
+    primitive = "locate"
+
+    def __init__(
+        self,
+        level: Level,
+        in_crd: Channel,
+        in_ref: Channel,
+        out_crd: Channel,
+        out_ref_found: Channel,
+        out_ref_in: Channel,
+        in_target_ref: Optional[Channel] = None,
+        name: str = "locate",
+    ):
+        super().__init__(name)
+        self.level = level
+        self.in_crd = self._in("in_crd", in_crd)
+        self.in_ref = self._in("in_ref", in_ref)
+        self.out_crd = self._out("out_crd", out_crd)
+        self.out_ref_found = self._out("out_ref_found", out_ref_found)
+        self.out_ref_in = self._out("out_ref_in", out_ref_in)
+        self.in_target_ref = (
+            self._in("in_target_ref", in_target_ref) if in_target_ref is not None else None
+        )
+        self.probes = 0
+        self.hits = 0
+
+    def _outs(self):
+        return (self.out_crd, self.out_ref_found, self.out_ref_in)
+
+    def _run(self):
+        target = 0
+        have_target = self.in_target_ref is None
+        while True:
+            crd = yield from self._get(self.in_crd)
+            ref = yield from self._get(self.in_ref)
+            if is_done(crd):
+                if self.in_target_ref is not None:
+                    # Drain the target stream's trailing control tokens.
+                    while not self.in_target_ref.empty():
+                        if is_done(self.in_target_ref.pop()):
+                            break
+                self._emit_all(self._outs(), DONE)
+                yield True
+                return
+            if is_stop(crd):
+                self._emit_all(self._outs(), crd)
+                if self.in_target_ref is not None:
+                    have_target = False  # next fiber probes a fresh target
+                yield True
+                continue
+            if not have_target:
+                while True:
+                    target = yield from self._get(self.in_target_ref)
+                    if not is_stop(target):
+                        break
+                have_target = True
+            if is_empty(crd) or is_empty(target):
+                self._emit_all(self._outs(), EMPTY)
+                yield True
+                continue
+            self.probes += 1
+            found = self.level.locate(target, crd)
+            if found is None:
+                self._emit_all(self._outs(), EMPTY)
+            else:
+                self.hits += 1
+                self.out_crd.push(crd)
+                self.out_ref_found.push(found)
+                self.out_ref_in.push(ref)
+            yield True

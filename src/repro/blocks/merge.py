@@ -1,0 +1,202 @@
+"""Stream merging: intersecters and unioners (Definitions 3.2 and 3.3).
+
+Merging combines the coordinate streams of the same level of ``m``
+operand tensors, fiber by fiber, with an m-finger merge.  Intersection
+(for multiplication, since ``a * 0 = 0``) emits a coordinate only when
+all inputs carry it; union (for addition, since ``a + 0 = a``) emits a
+coordinate when any input carries it, substituting ``N`` empty tokens on
+the reference streams of absent inputs (Figure 5).
+
+Both definitions in the paper are m-ary ("an intersecter has m pairs of
+coordinate and reference streams go in"), which is also what Table 1's
+primitive counts assume (Plus3's three-way union is one unioner per
+level).  Each *side* carries one coordinate channel plus any number of
+reference channels, so mergers also chain: the (crd, refs...) output of
+an intersecter can feed one side of a unioner, which is how Custard
+merges additive terms of products.
+
+``MergeSide.skip`` optionally connects back to the side's trailing level
+scanner for the coordinate-skipping (galloping) optimisation of
+section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..streams.channel import Channel
+from ..streams.token import DONE, EMPTY, is_data, is_done, is_stop
+from .base import Block, BlockError
+
+
+@dataclass
+class MergeSide:
+    """One input side of a merger: a coordinate stream plus its references."""
+
+    crd: Channel
+    refs: List[Channel] = field(default_factory=list)
+    skip: Optional[Channel] = None  # feedback to the side's scanner
+
+
+class _Merger(Block):
+    """Shared wiring and m-finger machinery for intersecters and unioners."""
+
+    def __init__(
+        self,
+        sides: Sequence[MergeSide],
+        out_crd: Channel,
+        out_refs: Sequence[Sequence[Channel]],
+        name: str = "merge",
+    ):
+        super().__init__(name)
+        self.sides = list(sides)
+        if len(self.sides) < 2:
+            raise BlockError(f"{name}: mergers need at least two sides")
+        if len(out_refs) != len(self.sides):
+            raise BlockError(f"{name}: one output reference group per side required")
+        for side, group in zip(self.sides, out_refs):
+            if len(group) != len(side.refs):
+                raise BlockError(f"{name}: output reference arity mismatch")
+        for i, side in enumerate(self.sides):
+            self._in(f"crd{i}", side.crd)
+            for j, channel in enumerate(side.refs):
+                self._in(f"ref{i}_{j}", channel)
+        self.out_crd = self._out("out_crd", out_crd)
+        self.out_refs: List[List[Channel]] = []
+        for i, group in enumerate(out_refs):
+            self.out_refs.append(
+                [self._out(f"out_ref{i}_{j}", ch) for j, ch in enumerate(group)]
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.sides)
+
+    def _pop_side(self, index: int):
+        """Pop one aligned (crd, refs...) tuple from side *index*.
+
+        When the coordinate is a control token, zero-valued data tokens on
+        a reference channel are phantom zeros from zero-policy reducers in
+        fully-empty regions (post-compute unions carry value streams on
+        reference ports); they are drained to preserve alignment.
+        """
+        side = self.sides[index]
+        crd = yield from self._get(side.crd)
+        refs = []
+        for channel in side.refs:
+            ref = yield from self._get(channel)
+            if is_stop(crd) or is_done(crd):
+                while is_data(ref) and ref == 0:
+                    ref = yield from self._get(channel)
+            refs.append(ref)
+        return crd, refs
+
+    def _all_outs(self):
+        outs = [self.out_crd]
+        for group in self.out_refs:
+            outs.extend(group)
+        return outs
+
+    def _pop_all(self):
+        tokens = []
+        for i in range(self.arity):
+            token = yield from self._pop_side(i)
+            tokens.append(token)
+        return tokens
+
+    def _check_stops(self, tokens):
+        levels = {crd.level for crd, _ in tokens}
+        if len(levels) != 1:
+            raise BlockError(f"{self.name}: misaligned stops {[t[0] for t in tokens]}")
+
+
+class Intersect(_Merger):
+    """M-ary intersecter (Definition 3.2), optionally emitting skip hints.
+
+    Skip hints are (fiber_index, coordinate) pairs: the fiber index counts
+    the stop tokens consumed on that side, which matches the producing
+    scanner's emitted-fiber count, so scanners can discard hints that
+    arrive after they have moved on to another fiber.
+    """
+
+    primitive = "intersect"
+
+    def _run(self):
+        self._side_fibers = [0] * self.arity
+        tokens = yield from self._pop_all()
+        while True:
+            crds = [crd for crd, _ in tokens]
+            if all(is_done(c) for c in crds):
+                self._emit_all(self._all_outs(), DONE)
+                yield True
+                return
+            if all(is_stop(c) for c in crds):
+                self._check_stops(tokens)
+                self._emit_all(self._all_outs(), crds[0])
+                for i in range(self.arity):
+                    self._side_fibers[i] += 1
+                yield True
+                tokens = yield from self._pop_all()
+                continue
+            data_sides = [i for i, c in enumerate(crds) if is_data(c)]
+            if len(data_sides) < self.arity:
+                # Some side hit its fiber boundary: drain the sides that
+                # still carry coordinates (they cannot match anything).
+                yield True
+                for i in data_sides:
+                    tokens[i] = yield from self._pop_side(i)
+                continue
+            low = min(crds)
+            if all(c == low for c in crds):
+                self.out_crd.push(low)
+                for group, (_, refs) in zip(self.out_refs, tokens):
+                    for channel, ref in zip(group, refs):
+                        channel.push(ref)
+                yield True
+                tokens = yield from self._pop_all()
+                continue
+            high = max(crds)
+            yield True
+            for i, c in enumerate(crds):
+                if c < high:
+                    side = self.sides[i]
+                    if side.skip is not None:
+                        side.skip.push((self._side_fibers[i], high))
+                    tokens[i] = yield from self._pop_side(i)
+
+
+class Union(_Merger):
+    """M-ary unioner (Definition 3.3, Figure 5)."""
+
+    primitive = "union"
+
+    def _run(self):
+        tokens = yield from self._pop_all()
+        while True:
+            crds = [crd for crd, _ in tokens]
+            if all(is_done(c) for c in crds):
+                self._emit_all(self._all_outs(), DONE)
+                yield True
+                return
+            data_sides = [i for i, c in enumerate(crds) if is_data(c)]
+            if not data_sides:
+                # All sides at a boundary (stop); done was handled above.
+                self._check_stops(tokens)
+                self._emit_all(self._all_outs(), crds[0])
+                yield True
+                tokens = yield from self._pop_all()
+                continue
+            low = min(crds[i] for i in data_sides)
+            present = [i for i in data_sides if crds[i] == low]
+            self.out_crd.push(low)
+            for i, (group, (_, refs)) in enumerate(zip(self.out_refs, tokens)):
+                if i in present:
+                    for channel, ref in zip(group, refs):
+                        channel.push(ref)
+                else:
+                    for channel in group:
+                        channel.push(EMPTY)
+            yield True
+            for i in present:
+                tokens[i] = yield from self._pop_side(i)

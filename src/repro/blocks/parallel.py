@@ -1,0 +1,183 @@
+"""Coarse-grained parallelism: parallelizers and serializers (section 4.4).
+
+SAM expresses coarse-grained parallelism by forking streams with a
+parallelizer and joining them with a serializer.  Our blocks distribute
+*fibers* round-robin across lanes (the granularity Gamma-style designs
+parallelise at): every lane receives every stop/done token so each lane
+remains a well-formed stream, but the data tokens of fiber ``f`` go only
+to lane ``f mod L``.  The serializer is the exact inverse, interleaving
+lane fibers back into one sequential stream.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..streams.channel import Channel
+from ..streams.token import DONE, Stop, is_data, is_done, is_stop
+from .base import Block, BlockError
+
+
+class Parallelizer(Block):
+    """Fork one stream into L lanes, round-robin.
+
+    Two granularities:
+
+    * ``"fiber"`` (default) — fiber ``f``'s data tokens go to lane
+      ``f mod L``; every lane sees every stop so lane streams keep the
+      original shape (fine-grained work distribution);
+    * ``"element"`` — data tokens rotate lanes within each fiber; stops
+      broadcast.  This is the Gamma-style row distribution: splitting a
+      flat stream of row coordinates/references across processing lanes
+      that each run a complete downstream pipeline.
+    """
+
+    primitive = "parallelize"
+
+    def __init__(
+        self,
+        in_: Channel,
+        outs: List[Channel],
+        granularity: str = "fiber",
+        name: str = "par",
+    ):
+        super().__init__(name)
+        if not outs:
+            raise BlockError(f"{name}: need at least one output lane")
+        if granularity not in ("fiber", "element"):
+            raise BlockError(f"{name}: unknown granularity {granularity!r}")
+        self.in_ = self._in("in", in_)
+        self.outs = [self._out(f"out{i}", ch) for i, ch in enumerate(outs)]
+        self.granularity = granularity
+
+    def _run(self):
+        lane = 0
+        while True:
+            token = yield from self._get(self.in_)
+            if is_data(token):
+                self.outs[lane % len(self.outs)].push(token)
+                if self.granularity == "element":
+                    lane += 1
+            elif is_stop(token):
+                for channel in self.outs:
+                    channel.push(token)
+                if self.granularity == "fiber":
+                    lane += 1
+                else:
+                    lane = 0
+            else:  # done
+                for channel in self.outs:
+                    channel.push(DONE)
+                yield True
+                return
+            yield True
+
+
+class Serializer(Block):
+    """Join L lane streams produced by a Parallelizer back into one."""
+
+    primitive = "serialize"
+
+    def __init__(self, ins: List[Channel], out: Channel, name: str = "ser"):
+        super().__init__(name)
+        if not ins:
+            raise BlockError(f"{name}: need at least one input lane")
+        self.ins = [self._in(f"in{i}", ch) for i, ch in enumerate(ins)]
+        self.out = self._out("out", out)
+
+    def _run(self):
+        lane = 0
+        while True:
+            active = self.ins[lane % len(self.ins)]
+            token = yield from self._get(active)
+            if is_data(token):
+                self.out.push(token)
+                yield True
+                continue
+            if is_stop(token):
+                # Other lanes carry the same stop; consume theirs too.
+                for i, channel in enumerate(self.ins):
+                    if channel is active:
+                        continue
+                    other = yield from self._get(channel)
+                    if other != token:
+                        raise BlockError(
+                            f"{self.name}: lane {i} out of sync ({other!r} vs {token!r})"
+                        )
+                self.out.push(token)
+                lane += 1
+                yield True
+                continue
+            # done on the active lane: all lanes must be done.
+            for channel in self.ins:
+                if channel is active:
+                    continue
+                other = yield from self._get(channel)
+                if not is_done(other):
+                    raise BlockError(f"{self.name}: lane desync at D ({other!r})")
+            self.out.push(DONE)
+            yield True
+            return
+
+
+class InterleaveSerializer(Block):
+    """Rejoin *independent* lane streams produced by element-granularity
+    distribution followed by per-lane pipelines.
+
+    Each lane stream carries its own fibers (no shared boundary tokens);
+    the serializer emits one whole fiber at a time, round-robin across
+    lanes, reconstructing the original element order.  Lane fiber counts
+    may differ by one; lanes exhaust in rotation order, so the first D on
+    the active lane signals global completion.
+
+    The block handles two-level lane streams (one output fiber per
+    distributed element): per-lane hierarchical closures are normalised
+    to plain fiber boundaries (each lane's final stop is elevated for
+    *its* stream, which no longer holds after joining) and the joined
+    stream's own final stop is re-promoted.
+    """
+
+    primitive = "serialize"
+
+    def __init__(self, ins: List[Channel], out: Channel, name: str = "iser"):
+        super().__init__(name)
+        if not ins:
+            raise BlockError(f"{name}: need at least one input lane")
+        self.ins = [self._in(f"in{i}", ch) for i, ch in enumerate(ins)]
+        self.out = self._out("out", out)
+
+    def _run(self):
+        fiber_index = 0
+        pending_stop = None  # held so the final fiber's stop can promote
+        while True:
+            active = self.ins[fiber_index % len(self.ins)]
+            token = yield from self._get(active)
+            if is_done(token):
+                for i, channel in enumerate(self.ins):
+                    if channel is active:
+                        continue
+                    other = yield from self._get(channel)
+                    if not is_done(other):
+                        raise BlockError(
+                            f"{self.name}: lane {i} desync at D ({other!r})"
+                        )
+                if pending_stop is not None:
+                    # The joined stream's last fiber also closes the level
+                    # above (hierarchical stop encoding, Figure 1d).
+                    self.out.push(Stop(pending_stop.level + 1))
+                self.out.push(DONE)
+                yield True
+                return
+            if pending_stop is not None:
+                self.out.push(pending_stop)
+                pending_stop = None
+                yield True
+            # Copy one whole fiber (data tokens, holding back its stop,
+            # normalised to a plain fiber boundary).
+            while not is_stop(token):
+                self.out.push(token)
+                yield True
+                token = yield from self._get(active)
+            pending_stop = Stop(0)
+            fiber_index += 1
+            yield True

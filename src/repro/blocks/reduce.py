@@ -1,0 +1,293 @@
+"""Reducers (Definition 3.7, Figure 7).
+
+A reducer is configured by ``n``, the dimension of the memory needed for
+the reduction:
+
+* ``n = 0`` — :class:`ScalarReducer`: sums each innermost fiber to one
+  value (inner-product style reductions);
+* ``n = 1`` — :class:`VectorReducer`: accumulates a row at a time, the
+  Gustavson linear-combination-of-rows workhorse (Figure 4);
+* ``n = 2`` — :class:`MatrixReducer`: accumulates a whole matrix, as the
+  outer-product dataflow requires.
+
+Reducers deduplicate coordinates, sum their values, and emit the result
+with unique, sorted coordinates once the reduction region closes (a stop
+above the accumulation depth, or ``D``).
+
+Empty-fiber policy (end of section 3.6): an ineffectual intersection
+reaches the reducer as an empty fiber.  A scalar reducer can accumulate
+it "into an explicit zero (the identity for addition)" —
+``empty_policy="zero"`` — or suppress the output token so a downstream
+coordinate dropper removes the dangling coordinate —
+``empty_policy="drop"``.  Vector/matrix reducers always emit the region
+boundary (an empty output fiber) and leave removal to droppers, which is
+the configuration Table 1's dropper counts assume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..streams.channel import Channel
+from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
+from .base import Block, BlockError
+
+EMPTY_POLICIES = ("zero", "drop")
+
+
+class ScalarReducer(Block):
+    """Sums each innermost fiber of a value stream to a single value.
+
+    Stream shape: the output drops one nesting level — every ``S0``
+    becomes an output value, and ``Sn`` (n >= 1) becomes a value followed
+    by ``Sn-1`` (Figure 7 logic applied at depth 0).
+    """
+
+    primitive = "reduce"
+
+    def __init__(
+        self,
+        in_val: Channel,
+        out_val: Channel,
+        empty_policy: str = "zero",
+        name: str = "reduce0",
+    ):
+        super().__init__(name)
+        if empty_policy not in EMPTY_POLICIES:
+            raise BlockError(f"unknown empty policy {empty_policy!r}")
+        self.in_val = self._in("in_val", in_val)
+        self.out_val = self._out("out_val", out_val)
+        self.empty_policy = empty_policy
+
+    def _run(self):
+        acc = 0.0
+        saw_value = False
+        while True:
+            token = yield from self._get(self.in_val)
+            if is_data(token) or is_empty(token):
+                acc += 0.0 if is_empty(token) else token
+                saw_value = True
+                yield True
+                continue
+            if is_stop(token):
+                if saw_value or self.empty_policy == "zero":
+                    self.out_val.push(acc)
+                acc, saw_value = 0.0, False
+                if token.level >= 1:
+                    self.out_val.push(Stop(token.level - 1))
+                yield True
+                continue
+            # Done: a trailing unterminated accumulation would be a protocol
+            # error (streams close fibers before D), so just forward.
+            self.out_val.push(DONE)
+            yield True
+            return
+
+
+class VectorReducer(Block):
+    """Accumulates fibers into a one-dimensional workspace (Figure 7).
+
+    Input: an inner coordinate stream and an aligned value stream holding
+    repeated coordinate points (e.g. the j coordinates of partial rows of
+    Gustavson's algorithm).  Fibers separated by ``S0`` belong to the same
+    reduction region; a stop of level >= 1 closes the region, flushing the
+    workspace as one output fiber with deduplicated, sorted coordinates
+    and summed values, terminated by the region stop lowered one level.
+    """
+
+    primitive = "reduce"
+
+    def __init__(
+        self,
+        in_crd: Channel,
+        in_val: Channel,
+        out_crd: Channel,
+        out_val: Channel,
+        flush_level: int = 1,
+        name: str = "reduce1",
+    ):
+        super().__init__(name)
+        self.in_crd = self._in("in_crd", in_crd)
+        self.in_val = self._in("in_val", in_val)
+        self.out_crd = self._out("out_crd", out_crd)
+        self.out_val = self._out("out_val", out_val)
+        #: stop level that closes a reduction region; lower stops are
+        #: absorbed (they separate the repeated fibers being accumulated).
+        self.flush_level = flush_level
+        self._emitted_since_flush = False
+
+    def _flush(self, table: Dict[int, float], stop: Stop):
+        for crd in sorted(table):
+            self.out_crd.push(crd)
+            self.out_val.push(table[crd])
+            yield True
+        self.out_crd.push(stop)
+        self.out_val.push(stop)
+        yield True
+        table.clear()
+        self._emitted_since_flush = True
+
+    def _run(self):
+        table: Dict[int, float] = {}
+        while True:
+            crd = yield from self._get(self.in_crd)
+            val = yield from self._get(self.in_val)
+            if is_stop(crd) or is_done(crd):
+                # Drain phantom zeros from upstream zero-policy reducers
+                # (fully-empty regions have values but no coordinates).
+                while is_data(val) or is_empty(val):
+                    if not is_empty(val) and val != 0.0:
+                        raise BlockError(
+                            f"{self.name}: non-zero value {val!r} without a "
+                            f"coordinate"
+                        )
+                    val = yield from self._get(self.in_val)
+            if is_done(crd) and is_done(val):
+                if table or not self._emitted_since_flush:
+                    # Reduction over an outermost variable: the whole
+                    # stream was one region, closed only by D.
+                    yield from self._flush(table, Stop(0))
+                self.out_crd.push(DONE)
+                self.out_val.push(DONE)
+                yield True
+                return
+            if is_stop(crd) and is_stop(val):
+                if crd.level != val.level:
+                    raise BlockError(f"{self.name}: misaligned stops {crd!r}/{val!r}")
+                if crd.level < self.flush_level:
+                    yield True  # same region continues; absorb the boundary
+                    continue
+                yield from self._flush(table, Stop(crd.level - self.flush_level))
+                continue
+            if is_data(crd):
+                table[crd] = table.get(crd, 0.0) + (0.0 if is_empty(val) else val)
+                yield True
+                continue
+            raise BlockError(f"{self.name}: misaligned inputs ({crd!r} vs {val!r})")
+
+
+class MatrixReducer(Block):
+    """Accumulates a two-level (outer, inner) structure, e.g. outer products.
+
+    Inputs: an outer coordinate stream, an inner coordinate stream one
+    level deeper, and a value stream aligned with the inner coordinates.
+    Each outer coordinate owns the next inner fiber.  The whole stream is
+    one reduction region (the outer-product SpM*SpM case, where the
+    reduced variable is outermost); the workspace flushes at ``D`` as a
+    two-level structure with sorted unique coordinates.
+    """
+
+    primitive = "reduce"
+
+    def __init__(
+        self,
+        in_crd_outer: Channel,
+        in_crd_inner: Channel,
+        in_val: Channel,
+        out_crd_outer: Channel,
+        out_crd_inner: Channel,
+        out_val: Channel,
+        name: str = "reduce2",
+    ):
+        super().__init__(name)
+        self.in_crd_outer = self._in("in_crd_outer", in_crd_outer)
+        self.in_crd_inner = self._in("in_crd_inner", in_crd_inner)
+        self.in_val = self._in("in_val", in_val)
+        self.out_crd_outer = self._out("out_crd_outer", out_crd_outer)
+        self.out_crd_inner = self._out("out_crd_inner", out_crd_inner)
+        self.out_val = self._out("out_val", out_val)
+
+    def _pop_inner_pair(self):
+        """Pop an aligned (crd, val) pair, draining phantom zeros."""
+        crd = yield from self._get(self.in_crd_inner)
+        val = yield from self._get(self.in_val)
+        if is_stop(crd) or is_done(crd):
+            while is_data(val) or is_empty(val):
+                if not is_empty(val) and val != 0.0:
+                    raise BlockError(
+                        f"{self.name}: non-zero value {val!r} without a coordinate"
+                    )
+                val = yield from self._get(self.in_val)
+        return crd, val
+
+    def _run(self):
+        # The inner streams mirror the outer one (the CoordDropper/Repeater
+        # pairing): each outer coordinate owns one inner fiber whose
+        # terminating stop, when elevated, folds the outer stream's next
+        # stop token; a bare outer stop pairs with a bare elevated inner
+        # stop (an empty outer region).
+        table: Dict[int, Dict[int, float]] = {}
+        while True:
+            outer = yield from self._get(self.in_crd_outer)
+            if is_done(outer):
+                crd, val = yield from self._pop_inner_pair()
+                if not (is_done(crd) and is_done(val)):
+                    raise BlockError(
+                        f"{self.name}: inner streams out of sync at D "
+                        f"({crd!r}, {val!r})"
+                    )
+                yield from self._flush(table)
+                self.out_crd_outer.push(DONE)
+                self.out_crd_inner.push(DONE)
+                self.out_val.push(DONE)
+                yield True
+                return
+            if is_stop(outer):
+                # Empty outer region: consume the matching elevated stops.
+                crd, val = yield from self._pop_inner_pair()
+                if not (is_stop(crd) and crd.level == outer.level + 1):
+                    raise BlockError(
+                        f"{self.name}: outer stop {outer!r} expects inner stop "
+                        f"S{outer.level + 1}, got {crd!r}"
+                    )
+                yield True
+                continue
+            # Outer coordinate: consume its inner fiber up to the next stop.
+            row = table.setdefault(outer, {})
+            yield True
+            while True:
+                crd, val = yield from self._pop_inner_pair()
+                if is_stop(crd) and is_stop(val):
+                    fiber_stop = crd
+                    yield True
+                    break
+                if not is_data(crd):
+                    raise BlockError(
+                        f"{self.name}: unexpected inner token {crd!r} inside fiber"
+                    )
+                row[crd] = row.get(crd, 0.0) + (0.0 if is_empty(val) else val)
+                yield True
+            if fiber_stop.level >= 1:
+                # The elevated fiber stop folds the outer boundary.
+                nxt = yield from self._get(self.in_crd_outer)
+                if not (is_stop(nxt) and nxt.level == fiber_stop.level - 1):
+                    raise BlockError(
+                        f"{self.name}: inner stop {fiber_stop!r} expects outer "
+                        f"stop S{fiber_stop.level - 1}, got {nxt!r}"
+                    )
+                yield True
+
+    def _flush(self, table: Dict[int, Dict[int, float]]):
+        rows = sorted(table)
+        for i, outer in enumerate(rows):
+            self.out_crd_outer.push(outer)
+            yield True
+            row = table[outer]
+            for inner in sorted(row):
+                self.out_crd_inner.push(inner)
+                self.out_val.push(row[inner])
+                yield True
+            last = i == len(rows) - 1
+            inner_stop = Stop(1) if last else Stop(0)
+            self.out_crd_inner.push(inner_stop)
+            self.out_val.push(inner_stop)
+            if last:
+                self.out_crd_outer.push(Stop(0))
+            yield True
+        if not rows:
+            # Empty result: still close the (empty) structure.
+            self.out_crd_outer.push(Stop(0))
+            self.out_crd_inner.push(Stop(1))
+            self.out_val.push(Stop(1))
+            yield True
+        table.clear()

@@ -1,0 +1,140 @@
+"""Repeaters (Definition 3.4, Figure 6) and repeat-signal generation.
+
+A repeater broadcasts a tensor across a dimension of another tensor: each
+non-control token on its input reference stream is repeated once per
+non-control token of the driving coordinate stream's current fiber.  The
+repeater is the primitive that lets SAM broadcast without pre-configured
+iteration counters (the limitation the paper calls out in SPU, ExTensor
+and Capstan).
+
+The implementation follows the two-piece structure of the SAM hardware:
+a :class:`RepeatSigGen` that turns a coordinate stream into a repeat
+signal (one ``R`` per coordinate, stops passed through), and the
+:class:`Repeater` proper.  :func:`make_repeater` wires both and is what
+graphs count as a single "repeater" primitive, matching Table 1.
+
+Repeat-signal protocol of the repeater:
+
+* ``R``      — emit the current reference (popping a fresh one if needed);
+* ``Sn``     — end of the driving fiber: emit ``Sn``; the repeated
+  reference is exhausted; if the reference stream's next token is itself
+  a stop (the driving stop closed an outer level), consume it.  If no
+  ``R`` arrived for the pending reference (empty driving fiber), the
+  pending reference is popped and discarded;
+* ``D``      — consume the reference stream's ``D`` and pass ``D`` on.
+"""
+
+from __future__ import annotations
+
+from ..streams.channel import Channel
+from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
+from .base import Block, BlockError
+
+#: the repeat token emitted by RepeatSigGen for every coordinate
+REPEAT = "R"
+
+
+class RepeatSigGen(Block):
+    """Turns a coordinate stream into a repeat-signal stream."""
+
+    primitive = "repeat_sig_gen"
+
+    def __init__(self, in_crd: Channel, out_repsig: Channel, name: str = "repsig"):
+        super().__init__(name)
+        self.in_crd = self._in("in_crd", in_crd)
+        self.out_repsig = self._out("out_repsig", out_repsig)
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_crd)
+            if is_data(token):
+                self.out_repsig.push(REPEAT)
+            else:
+                self.out_repsig.push(token)
+            yield True
+            if is_done(token):
+                return
+
+
+class Repeater(Block):
+    """Repeats references according to a repeat-signal stream."""
+
+    primitive = "repeat"
+
+    def __init__(
+        self,
+        in_ref: Channel,
+        in_repsig: Channel,
+        out_ref: Channel,
+        name: str = "repeat",
+    ):
+        super().__init__(name)
+        self.in_ref = self._in("in_ref", in_ref)
+        self.in_repsig = self._in("in_repsig", in_repsig)
+        self.out_ref = self._out("out_ref", out_ref)
+
+    def _run(self):
+        # Invariant: the driving coordinate stream is exactly one nesting
+        # level deeper than the reference stream, so a driver stop Sn
+        # always pairs with a reference-stream stop S(n-1) when n >= 1.
+        while True:
+            token = yield from self._get(self.in_ref)
+            if is_data(token) or is_empty(token):
+                # Repeat this reference across one driving fiber.
+                while True:
+                    signal = yield from self._get(self.in_repsig)
+                    if signal == REPEAT:
+                        self.out_ref.push(token)
+                        yield True
+                        continue
+                    if is_stop(signal):
+                        self.out_ref.push(signal)
+                        yield True
+                        if signal.level >= 1:
+                            nxt = yield from self._get(self.in_ref)
+                            if not (is_stop(nxt) and nxt.level == signal.level - 1):
+                                raise BlockError(
+                                    f"{self.name}: driver stop {signal!r} expects "
+                                    f"reference stop S{signal.level - 1}, got {nxt!r}"
+                                )
+                        break
+                    raise BlockError(
+                        f"{self.name}: driver stream ended mid-fiber ({signal!r})"
+                    )
+            elif is_stop(token):
+                # Empty reference fiber: the driver carries the elevated stop.
+                signal = yield from self._get(self.in_repsig)
+                if not (is_stop(signal) and signal.level == token.level + 1):
+                    raise BlockError(
+                        f"{self.name}: reference stop {token!r} expects driver "
+                        f"stop S{token.level + 1}, got {signal!r}"
+                    )
+                self.out_ref.push(signal)
+                yield True
+            else:  # done
+                signal = yield from self._get(self.in_repsig)
+                if not is_done(signal):
+                    raise BlockError(
+                        f"{self.name}: driver stream out of sync at D ({signal!r})"
+                    )
+                self.out_ref.push(DONE)
+                yield True
+                return
+
+
+def make_repeater(
+    in_crd: Channel,
+    in_ref: Channel,
+    out_ref: Channel,
+    name: str = "repeat",
+):
+    """Build the (RepeatSigGen, Repeater) pair the paper draws as one block.
+
+    Returns the two blocks; graphs count them together as one repeater
+    primitive (the signal generator is an implementation detail of the
+    block, exactly as in the SAM hardware description).
+    """
+    repsig = Channel(f"{name}.repsig", kind="repsig")
+    sig_gen = RepeatSigGen(in_crd, repsig, name=f"{name}.sig")
+    repeater = Repeater(in_ref, repsig, out_ref, name=name)
+    return sig_gen, repeater

@@ -1,0 +1,224 @@
+"""Level scanners (paper Definition 3.1, Figures 2 and 3).
+
+A level scanner converts one fibertree level into streams: it consumes a
+reference stream, and for each input reference emits the coordinates and
+child references of that fiber, followed by a stop token.  Scanners chain
+to iterate multidimensional tensors: the reference stream emitted by one
+scanner locates the fibers of the next.
+
+Stop-token protocol (derived from Figure 2): after emitting a fiber,
+
+* if the next input token is data, emit ``S0`` (more fibers follow at
+  this level);
+* if the next input token is ``Sn``, consume it and emit ``Sn+1`` (the
+  scanner "adds a level to the hierarchy by incrementing all input stop
+  tokens by one");
+* if the next input token is ``D``, emit ``S0`` then pass ``D`` through.
+
+An ``N`` (empty) input reference — produced upstream by unioners — scans
+as an empty fiber, keeping stream shapes aligned across union branches.
+
+Scanners optionally take a *skip* channel for the coordinate-skipping
+(galloping) optimisation of section 4.2: an intersecter feeds back the
+next needed coordinate and the scanner jumps ahead in a single cycle
+instead of streaming the coordinates in between.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..formats.level import Level
+from ..streams.channel import Channel
+from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
+from .base import Block, BlockError
+
+
+class LevelScanner(Block):
+    """Format-agnostic level scanner over any :class:`Level`."""
+
+    primitive = "level_scanner"
+
+    def __init__(
+        self,
+        level: Level,
+        in_ref: Channel,
+        out_crd: Channel,
+        out_ref: Channel,
+        in_skip: Optional[Channel] = None,
+        name: str = "scan",
+    ):
+        super().__init__(name)
+        self.level = level
+        self.in_ref = self._in("in_ref", in_ref)
+        self.out_crd = self._out("out_crd", out_crd)
+        self.out_ref = self._out("out_ref", out_ref)
+        self.in_skip = self._in("in_skip", in_skip) if in_skip is not None else None
+        #: coordinates skipped thanks to galloping (statistics)
+        self.skipped_coordinates = 0
+        #: fibers emitted so far; skip hints are tagged with the emitting
+        #: intersecter's matching fiber count so stale hints from a
+        #: previous fiber scan are ignored (scanners may rescan a level
+        #: many times, e.g. a broadcast vector).
+        self._fiber_index = 0
+
+    # -- helpers ----------------------------------------------------------
+    def _skip_target(self) -> Optional[int]:
+        """Latest coordinate requested on the skip channel for this fiber."""
+        if self.in_skip is None:
+            return None
+        target = None
+        while not self.in_skip.empty():
+            token = self.in_skip.pop()
+            if isinstance(token, tuple):
+                fiber, coord = token
+                if fiber != self._fiber_index:
+                    continue  # stale hint from an earlier fiber
+            elif is_data(token):
+                coord = token
+            else:
+                continue
+            target = coord if target is None else max(target, coord)
+        return target
+
+    def _scan_fiber(self, ref):
+        """Emit one fiber (yields one cycle per emitted token or skip jump)."""
+        if is_empty(ref):
+            return
+        pairs = self.level.fiber(ref)
+        pos = 0
+        while pos < len(pairs):
+            target = self._skip_target()
+            if target is not None and pairs[pos][0] < target:
+                new_pos = self.level.skip_to(ref, pos, target)
+                self.skipped_coordinates += new_pos - pos
+                pos = new_pos
+                yield True  # the jump costs one cycle
+                continue
+            crd, child = pairs[pos]
+            self.out_crd.push(crd)
+            self.out_ref.push(child)
+            pos += 1
+            yield True
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_ref)
+            if is_done(token):
+                self.out_crd.push(DONE)
+                self.out_ref.push(DONE)
+                yield True
+                return
+            if is_stop(token):
+                # Stray stop (region of empty fibers upstream): re-emit one
+                # level up to preserve the hierarchy.
+                level_up = Stop(token.level + 1)
+                self.out_crd.push(level_up)
+                self.out_ref.push(level_up)
+                self._fiber_index += 1
+                yield True
+                continue
+            yield from self._scan_fiber(token)
+            nxt = yield from self._peek(self.in_ref)
+            if is_stop(nxt):
+                self.in_ref.pop()
+                stop = Stop(nxt.level + 1)
+            else:
+                stop = Stop(0)
+            self.out_crd.push(stop)
+            self.out_ref.push(stop)
+            self._fiber_index += 1
+            yield True
+
+
+class CompressedLevelScanner(LevelScanner):
+    """Scanner over a compressed (seg/crd) level."""
+
+    def __init__(self, level, *args, **kwargs):
+        if level.format_name != "compressed":
+            raise BlockError(
+                f"CompressedLevelScanner needs a compressed level, got {level.format_name}"
+            )
+        super().__init__(level, *args, **kwargs)
+
+
+class UncompressedLevelScanner(LevelScanner):
+    """Scanner over an uncompressed (dense) level."""
+
+    def __init__(self, level, *args, **kwargs):
+        if level.format_name != "dense":
+            raise BlockError(
+                f"UncompressedLevelScanner needs a dense level, got {level.format_name}"
+            )
+        super().__init__(level, *args, **kwargs)
+
+
+class BitvectorLevelScanner(Block):
+    """Scanner over a bitvector level (paper section 4.3).
+
+    Emits one *word* token per cycle on the bitvector output — the
+    implicit parallelism that makes bitvectors fast — and the popcount
+    base reference of each word on the reference output.  Zero words are
+    emitted too (pseudo-dense iteration), keeping two bitvector streams
+    word-aligned for word-wise intersection/union.
+    """
+
+    primitive = "level_scanner"
+
+    def __init__(
+        self,
+        level,
+        in_ref: Channel,
+        out_bv: Channel,
+        out_ref: Channel,
+        name: str = "bvscan",
+    ):
+        super().__init__(name)
+        if level.format_name != "bitvector":
+            raise BlockError(
+                f"BitvectorLevelScanner needs a bitvector level, got {level.format_name}"
+            )
+        self.level = level
+        self.in_ref = self._in("in_ref", in_ref)
+        self.out_bv = self._out("out_bv", out_bv)
+        self.out_ref = self._out("out_ref", out_ref)
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_ref)
+            if is_done(token):
+                self.out_bv.push(DONE)
+                self.out_ref.push(DONE)
+                yield True
+                return
+            if is_stop(token):
+                level_up = Stop(token.level + 1)
+                self.out_bv.push(level_up)
+                self.out_ref.push(level_up)
+                yield True
+                continue
+            if not is_empty(token):
+                for _, word, base in self.level.words(token):
+                    self.out_bv.push(word)
+                    self.out_ref.push(base)
+                    yield True
+            nxt = yield from self._peek(self.in_ref)
+            if is_stop(nxt):
+                self.in_ref.pop()
+                stop = Stop(nxt.level + 1)
+            else:
+                stop = Stop(0)
+            self.out_bv.push(stop)
+            self.out_ref.push(stop)
+            yield True
+
+
+def make_scanner(level, in_ref, out_crd, out_ref, in_skip=None, name="scan"):
+    """Build the right scanner class for *level*'s format."""
+    if level.format_name == "bitvector":
+        if in_skip is not None:
+            raise BlockError("bitvector scanners do not support skip channels")
+        return BitvectorLevelScanner(level, in_ref, out_crd, out_ref, name=name)
+    if level.format_name == "dense":
+        return UncompressedLevelScanner(level, in_ref, out_crd, out_ref, in_skip, name)
+    return LevelScanner(level, in_ref, out_crd, out_ref, in_skip, name)

@@ -1,0 +1,188 @@
+"""Level writers (Definition 3.8): storing result streams back to memory.
+
+A level writer wraps the store mode of an array plus the metadata
+bookkeeping of its level format: it consumes one coordinate (or value)
+stream and internally generates the references and auxiliary structures
+(segment arrays, dimension sizes, linked-list pointers).
+
+Writers accumulate into a format object which is available once the
+stream completes; :func:`assemble_tensor` stitches per-level writers into
+a :class:`~repro.formats.tensor.FiberTensor`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..formats.compressed import CompressedLevel
+from ..formats.dense import DenseLevel
+from ..formats.linkedlist import LinkedListLevel
+from ..formats.tensor import FiberTensor
+from ..streams.channel import Channel
+from ..streams.token import is_data, is_done, is_empty, is_stop
+from .base import Block, BlockError
+
+
+class CompressedLevelWriter(Block):
+    """Writes a coordinate stream as a compressed (seg/crd) level.
+
+    Every stop token closes one fiber at this level; consecutive stops
+    produce empty segments (callers normally drop those upstream with a
+    coordinate dropper, but the writer stays correct either way).
+    """
+
+    primitive = "level_writer"
+
+    def __init__(self, in_crd: Channel, name: str = "wr_comp"):
+        super().__init__(name)
+        self.in_crd = self._in("in_crd", in_crd)
+        self.seg: List[int] = [0]
+        self.crd: List[int] = []
+        self._level: Optional[CompressedLevel] = None
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_crd)
+            if is_data(token):
+                self.crd.append(token)
+            elif is_stop(token):
+                self.seg.append(len(self.crd))
+            elif is_done(token):
+                if self.seg[-1] != len(self.crd):  # unterminated trailing fiber
+                    self.seg.append(len(self.crd))
+                self._level = CompressedLevel(self.seg, self.crd)
+                yield True
+                return
+            yield True
+
+    @property
+    def level(self) -> CompressedLevel:
+        if self._level is None:
+            raise BlockError(f"{self.name}: stream not finished")
+        return self._level
+
+
+class UncompressedLevelWriter(Block):
+    """Writes an uncompressed level: records the fiber count for a known size."""
+
+    primitive = "level_writer"
+
+    def __init__(self, size: int, in_crd: Channel, name: str = "wr_dense"):
+        super().__init__(name)
+        self.size = size
+        self.in_crd = self._in("in_crd", in_crd)
+        self._fibers = 0
+        self._level: Optional[DenseLevel] = None
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_crd)
+            if is_stop(token):
+                self._fibers += 1
+            elif is_done(token):
+                self._level = DenseLevel(self.size, num_fibers=max(1, self._fibers))
+                yield True
+                return
+            yield True
+
+    @property
+    def level(self) -> DenseLevel:
+        if self._level is None:
+            raise BlockError(f"{self.name}: stream not finished")
+        return self._level
+
+
+class ValsWriter(Block):
+    """Writes a value stream to a contiguous value array, in arrival order."""
+
+    primitive = "level_writer"
+
+    def __init__(self, in_val: Channel, name: str = "wr_vals"):
+        super().__init__(name)
+        self.in_val = self._in("in_val", in_val)
+        self.vals: List[float] = []
+
+    def _run(self):
+        while True:
+            token = yield from self._get(self.in_val)
+            if is_data(token):
+                self.vals.append(float(token))
+            elif is_empty(token):
+                self.vals.append(0.0)
+            yield True
+            if is_done(token):
+                return
+
+
+class ScatterValsWriter(Block):
+    """Random-insert value writer for dense left-hand sides (section 4.2).
+
+    With a locate-style reference stream, results scatter directly into a
+    dense value array, which is how linear-combination SpMV avoids a
+    vector reducer.
+    """
+
+    primitive = "level_writer"
+
+    def __init__(self, size: int, in_ref: Channel, in_val: Channel, name: str = "wr_scatter"):
+        super().__init__(name)
+        self.in_ref = self._in("in_ref", in_ref)
+        self.in_val = self._in("in_val", in_val)
+        self.vals: List[float] = [0.0] * size
+
+    def _run(self):
+        while True:
+            ref = yield from self._get(self.in_ref)
+            val = yield from self._get(self.in_val)
+            if is_done(ref) and is_done(val):
+                yield True
+                return
+            if is_data(ref) and (is_data(val) or is_empty(val)):
+                self.vals[ref] += 0.0 if is_empty(val) else val
+            yield True
+
+
+class LinkedListLevelWriter(Block):
+    """Discordant-order level writer backed by linked lists (section 6.5).
+
+    Consumes paired (parent reference, coordinate) streams and appends
+    each coordinate under its parent fiber, in arrival order — the
+    OuterSPACE multiply-phase write of ``Y[i,k,j]`` produced in
+    ``k,i,j`` dataflow order.
+    """
+
+    primitive = "level_writer"
+
+    def __init__(self, in_parent_ref: Channel, in_crd: Channel, name: str = "wr_ll"):
+        super().__init__(name)
+        self.in_parent_ref = self._in("in_parent_ref", in_parent_ref)
+        self.in_crd = self._in("in_crd", in_crd)
+        self.level = LinkedListLevel()
+        #: child reference produced for each appended coordinate
+        self.child_refs: List[int] = []
+
+    def _run(self):
+        while True:
+            parent = yield from self._get(self.in_parent_ref)
+            crd = yield from self._get(self.in_crd)
+            if is_done(parent) and is_done(crd):
+                yield True
+                return
+            if is_data(parent) and is_data(crd):
+                self.child_refs.append(self.level.append(parent, crd))
+            yield True
+
+
+def assemble_tensor(
+    shape: Sequence[int],
+    level_writers: Sequence,
+    vals_writer: ValsWriter,
+    mode_order: Optional[Sequence[int]] = None,
+    name: str = "X",
+) -> FiberTensor:
+    """Combine finished level writers and a value writer into a FiberTensor."""
+    levels = [writer.level for writer in level_writers]
+    vals = list(vals_writer.vals)
+    # Dense trailing levels imply a positional value array; compressed ones
+    # already wrote values in position order, so the vals line up either way.
+    return FiberTensor(shape, levels, vals, mode_order=mode_order, name=name)

@@ -1,0 +1,135 @@
+"""Command-line interface: run reproduction studies and one-off kernels.
+
+Usage::
+
+    python -m repro table1                # Table 1 primitive counts
+    python -m repro table2 --distinct 400
+    python -m repro fig11 --size 40
+    python -m repro fig12 --size 80
+    python -m repro fig13
+    python -m repro fig14
+    python -m repro fig15 --quick
+    python -m repro compile "x(i) = B(i,j) * c(j)" --dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args) -> None:
+    from .studies.table1 import main
+
+    main()
+
+
+def _cmd_table2(args) -> None:
+    from .studies.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2(distinct=args.distinct)))
+
+
+def _cmd_fig11(args) -> None:
+    from .studies.fig11 import format_fig11, run_fig11
+
+    print(format_fig11(run_fig11(size=args.size)))
+
+
+def _cmd_fig12(args) -> None:
+    from .studies.fig12 import format_fig12, run_fig12
+
+    print(format_fig12(run_fig12(i=args.size, j=args.size, k=max(4, args.size // 3))))
+
+
+def _cmd_fig13(args) -> None:
+    from .studies.fig13 import main
+
+    main()
+
+
+def _cmd_fig14(args) -> None:
+    from .studies.fig14 import format_fig14, run_fig14
+
+    print(format_fig14(run_fig14(max_nnz=args.max_nnz)))
+
+
+def _cmd_fig15(args) -> None:
+    from .studies.fig15 import PAPER_DIMENSIONS, format_fig15, run_fig15
+
+    if args.quick:
+        dims, nnzs = (1024, 3696, 7704, 11712, 15720), (5000, 10000)
+    else:
+        dims, nnzs = PAPER_DIMENSIONS, (5000, 10000, 25000, 50000)
+    print(format_fig15(run_fig15(dimensions=dims, nnzs=nnzs)))
+
+
+def _cmd_compile(args) -> None:
+    from .lang import compile_expression, expression_features, primitive_row
+
+    program = compile_expression(args.expression, schedule=args.schedule)
+    print("concrete index notation:", program.cin)
+    print("primitive counts:       ", primitive_row(program))
+    print("features:               ", expression_features(program))
+    if args.dot:
+        print(program.to_dot())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'The Sparse Abstract Machine' "
+        "(ASPLOS 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="SAM primitive counts (Table 1)")
+
+    p = sub.add_parser("table2", help="primitive-removal ablation (Table 2)")
+    p.add_argument("--distinct", type=int, default=400,
+                   help="distinct corpus algorithms (paper: 3839)")
+
+    p = sub.add_parser("fig11", help="fused vs. unfused SDDMM (Figure 11)")
+    p.add_argument("--size", type=int, default=40, help="matrix dimension")
+
+    p = sub.add_parser("fig12", help="SpM*SpM dataflow orders (Figure 12)")
+    p.add_argument("--size", type=int, default=80, help="matrix dimension")
+
+    sub.add_parser("fig13", help="acceleration structures (Figure 13)")
+
+    p = sub.add_parser("fig14", help="stream token composition (Figure 14)")
+    p.add_argument("--max-nnz", type=int, default=30000,
+                   help="largest Table 3 stand-in to include")
+
+    p = sub.add_parser("fig15", help="ExTensor recreation (Figure 15)")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced sweep covering all three regions")
+
+    p = sub.add_parser("compile", help="compile an expression and inspect it")
+    p.add_argument("expression", help='e.g. "x(i) = B(i,j) * c(j)"')
+    p.add_argument("--schedule", nargs="*", default=None,
+                   help="index-variable order, e.g. --schedule i k j")
+    p.add_argument("--dot", action="store_true", help="print the DOT graph")
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "fig14": _cmd_fig14,
+    "fig15": _cmd_fig15,
+    "compile": _cmd_compile,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Workload generators: synthetic tensors and the expression corpus."""
+
+from .corpus import Corpus, CorpusEntry, generate_corpus
+from .suitesparse import LARGE, MEDIUM, SMALL, TABLE3, MatrixSpec, generate, load_all
+from .synthetic import (
+    blocks_vectors,
+    extensor_matrix,
+    frostt_like_tensor,
+    random_sparse_matrix,
+    runs_vectors,
+    urandom_vector,
+)
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "LARGE",
+    "MEDIUM",
+    "MatrixSpec",
+    "SMALL",
+    "TABLE3",
+    "blocks_vectors",
+    "extensor_matrix",
+    "frostt_like_tensor",
+    "generate",
+    "generate_corpus",
+    "load_all",
+    "random_sparse_matrix",
+    "runs_vectors",
+    "urandom_vector",
+]

@@ -1,0 +1,107 @@
+"""Bitvector level format (paper section 4.3).
+
+Coordinates are encoded as machine words of ``bits_per_word`` bits with a
+1 wherever an explicit coordinate exists.  Iteration is pseudo-dense —
+every word in the fiber's span is visited, zero or not — but an n-bit
+word is processed in a single cycle, which is the whole point.
+
+Child references follow the paper's popcount protocol: the reference
+attached to a word is the cumulative popcount of all preceding words, so
+downstream levels index memory by summed bitcounts (the ``D, S0, 3, 2, 0``
+reference stream of the section 4.3 example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .level import Level
+
+
+def popcount(word: int) -> int:
+    """Number of set bits in *word*."""
+    return bin(word).count("1")
+
+
+def coords_to_words(coords: Sequence[int], size: int, bits_per_word: int) -> List[int]:
+    """Pack sorted coordinates of a fiber spanning ``0..size-1`` into words."""
+    num_words = max(1, -(-size // bits_per_word)) if size else 0
+    words = [0] * num_words
+    for crd in coords:
+        if not 0 <= crd < size:
+            raise ValueError(f"coordinate {crd} outside dimension of size {size}")
+        words[crd // bits_per_word] |= 1 << (crd % bits_per_word)
+    return words
+
+
+def word_coords(word: int, word_index: int, bits_per_word: int) -> List[int]:
+    """Expand one word back into its absolute coordinates."""
+    base = word_index * bits_per_word
+    return [base + bit for bit in range(bits_per_word) if word >> bit & 1]
+
+
+class BitvectorLevel(Level):
+    """A level whose fibers are stored as packed bitvector words."""
+
+    format_name = "bitvector"
+
+    def __init__(self, fibers_words: Sequence[Sequence[int]], size: int, bits_per_word: int):
+        self.bits_per_word = bits_per_word
+        self.size = size
+        self.fibers_words: List[List[int]] = [list(ws) for ws in fibers_words]
+        # Global popcount prefix, so child references are contiguous across
+        # fibers exactly like compressed-level positions.
+        self._fiber_base: List[int] = []
+        running = 0
+        for words in self.fibers_words:
+            self._fiber_base.append(running)
+            running += sum(popcount(w) for w in words)
+        self._total = running
+
+    @classmethod
+    def from_fibers(
+        cls, fibers: Sequence[Sequence[int]], size: int, bits_per_word: int = 64
+    ) -> "BitvectorLevel":
+        """Build from per-fiber coordinate lists (like CompressedLevel)."""
+        return cls(
+            [coords_to_words(coords, size, bits_per_word) for coords in fibers],
+            size,
+            bits_per_word,
+        )
+
+    # -- bitvector-specific interface ----------------------------------------
+    def words(self, ref: int) -> List[Tuple[int, int, int]]:
+        """``(word_index, word, child_base_ref)`` for every word in fiber *ref*.
+
+        ``child_base_ref`` is the reference of the word's first set bit;
+        downstream consumers add per-bit popcount offsets.
+        """
+        out = []
+        base = self._fiber_base[ref]
+        for idx, word in enumerate(self.fibers_words[ref]):
+            out.append((idx, word, base))
+            base += popcount(word)
+        return out
+
+    # -- Level interface -----------------------------------------------------
+    def num_fibers(self) -> int:
+        return len(self.fibers_words)
+
+    def fiber(self, ref: int) -> List[Tuple[int, int]]:
+        pairs = []
+        for idx, word, base in self.words(ref):
+            for offset, crd in enumerate(word_coords(word, idx, self.bits_per_word)):
+                pairs.append((crd, base + offset))
+        return pairs
+
+    def total_coordinates(self) -> int:
+        return self._total
+
+    def memory_footprint(self) -> int:
+        return sum(len(ws) for ws in self.fibers_words)
+
+    def __repr__(self) -> str:
+        return (
+            f"BitvectorLevel(fibers={len(self.fibers_words)}, size={self.size}, "
+            f"b={self.bits_per_word})"
+        )

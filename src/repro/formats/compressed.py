@@ -1,0 +1,77 @@
+"""Compressed level format: segment + coordinate arrays (Figure 1c).
+
+This is the per-level building block of CSR/DCSR/CSF.  A segment array
+``seg`` of length ``num_fibers + 1`` delimits each fiber's slice of the
+coordinate array ``crd``; the child reference of the coordinate stored at
+position ``p`` is ``p`` itself (positions are contiguous), exactly as in
+the paper's DCSR example where segment ``[3, 5)`` refers to coordinates
+at positions 3 and 4.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+from .level import Level
+
+
+class CompressedLevel(Level):
+    """Segment/coordinate-array level (the ``compressed`` format)."""
+
+    format_name = "compressed"
+
+    def __init__(self, seg: Sequence[int], crd: Sequence[int]):
+        self.seg: List[int] = list(seg)
+        self.crd: List[int] = list(crd)
+        if not self.seg or self.seg[0] != 0:
+            raise ValueError("segment array must start with 0")
+        if self.seg[-1] != len(self.crd):
+            raise ValueError(
+                f"segment array must end at len(crd)={len(self.crd)}, got {self.seg[-1]}"
+            )
+        for a, b in zip(self.seg, self.seg[1:]):
+            if b < a:
+                raise ValueError("segment array must be non-decreasing")
+
+    @classmethod
+    def from_fibers(cls, fibers: Sequence[Sequence[int]]) -> "CompressedLevel":
+        """Build from an explicit list of per-fiber coordinate lists."""
+        seg = [0]
+        crd: List[int] = []
+        for fiber in fibers:
+            crd.extend(fiber)
+            seg.append(len(crd))
+        return cls(seg, crd)
+
+    # -- Level interface -----------------------------------------------------
+    def num_fibers(self) -> int:
+        return len(self.seg) - 1
+
+    def fiber(self, ref: int) -> List[Tuple[int, int]]:
+        start, stop = self.seg[ref], self.seg[ref + 1]
+        return [(self.crd[pos], pos) for pos in range(start, stop)]
+
+    def locate(self, ref: int, coordinate: int) -> Optional[int]:
+        start, stop = self.seg[ref], self.seg[ref + 1]
+        pos = bisect_left(self.crd, coordinate, start, stop)
+        if pos < stop and self.crd[pos] == coordinate:
+            return pos
+        return None
+
+    def skip_to(self, ref: int, position: int, coordinate: int) -> int:
+        start, stop = self.seg[ref], self.seg[ref + 1]
+        pos = bisect_left(self.crd, coordinate, start + position, stop)
+        return pos - start
+
+    def fiber_size(self, ref: int) -> int:
+        return self.seg[ref + 1] - self.seg[ref]
+
+    def total_coordinates(self) -> int:
+        return len(self.crd)
+
+    def memory_footprint(self) -> int:
+        return len(self.seg) + len(self.crd)
+
+    def __repr__(self) -> str:
+        return f"CompressedLevel(seg={self.seg}, crd={self.crd})"

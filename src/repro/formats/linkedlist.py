@@ -1,0 +1,67 @@
+"""Linked-list level format (paper section 6.5, OuterSPACE case study).
+
+OuterSPACE writes its multiply-phase intermediate ``Y[i,k,j]`` in
+``i,k,j`` order while the dataflow produces it in ``k,i,j`` order — a
+*discordant* write.  A linked-list level supports appending a fiber entry
+under any parent in any arrival order: each parent keeps the head of a
+singly linked list of (coordinate, child_ref) nodes.
+
+Reads present the nodes in insertion order (the merge phase's vector
+reducer handles deduplication/sorting), matching the paper's description
+that the level writer "is not restricted to a specific representation".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .level import Level
+
+
+class LinkedListLevel(Level):
+    """Per-parent singly linked lists of (coordinate, child_ref) nodes."""
+
+    format_name = "linkedlist"
+
+    def __init__(self, num_fibers: int = 0):
+        self.heads: List[Optional[int]] = [None] * num_fibers
+        self.tails: List[Optional[int]] = [None] * num_fibers
+        self.node_crd: List[int] = []
+        self.node_next: List[Optional[int]] = []
+
+    def ensure_fiber(self, ref: int) -> None:
+        """Grow the level so fiber *ref* exists (discordant writers need this)."""
+        while len(self.heads) <= ref:
+            self.heads.append(None)
+            self.tails.append(None)
+
+    def append(self, ref: int, coordinate: int) -> int:
+        """Append *coordinate* under fiber *ref*; returns the child reference."""
+        self.ensure_fiber(ref)
+        node = len(self.node_crd)
+        self.node_crd.append(coordinate)
+        self.node_next.append(None)
+        if self.tails[ref] is None:
+            self.heads[ref] = node
+        else:
+            self.node_next[self.tails[ref]] = node
+        self.tails[ref] = node
+        return node
+
+    # -- Level interface -----------------------------------------------------
+    def num_fibers(self) -> int:
+        return len(self.heads)
+
+    def fiber(self, ref: int) -> List[Tuple[int, int]]:
+        pairs = []
+        node = self.heads[ref]
+        while node is not None:
+            pairs.append((self.node_crd[node], node))
+            node = self.node_next[node]
+        return pairs
+
+    def memory_footprint(self) -> int:
+        return 2 * len(self.node_crd) + len(self.heads)
+
+    def __repr__(self) -> str:
+        return f"LinkedListLevel(fibers={len(self.heads)}, nodes={len(self.node_crd)})"

@@ -1,0 +1,208 @@
+"""FiberTensor: a multidimensional tensor as a fibertree (paper section 3.1).
+
+A :class:`FiberTensor` is a list of levels (one per dimension, in storage
+order) plus a flat value array.  Composing the per-level formats yields
+the classic sparse formats:
+
+* all-compressed matrix               -> DCSR (Figure 1c)
+* dense outer + compressed inner      -> CSR
+* all-dense                           -> a plain dense array
+* all-compressed higher-order tensor  -> CSF
+
+``mode_order`` maps storage levels to logical dimensions, so a transposed
+matrix is just the same data with ``mode_order=(1, 0)`` — the format
+language of section 5 (``C=({comp., comp.}, {mode1, mode0})``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bitvector import BitvectorLevel
+from .compressed import CompressedLevel
+from .dense import DenseLevel
+from .level import Level
+
+FORMAT_NAMES = ("compressed", "dense", "bitvector")
+
+
+class FiberTensor:
+    """A tensor stored as a fibertree with per-level formats."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        levels: Sequence[Level],
+        vals: Sequence[float],
+        mode_order: Optional[Sequence[int]] = None,
+        name: str = "T",
+    ):
+        self.shape: Tuple[int, ...] = tuple(shape)
+        self.levels: List[Level] = list(levels)
+        self.vals: List[float] = list(vals)
+        self.mode_order: Tuple[int, ...] = tuple(
+            mode_order if mode_order is not None else range(len(self.shape))
+        )
+        self.name = name
+        if len(self.levels) != len(self.shape):
+            raise ValueError(
+                f"tensor of order {len(self.shape)} needs {len(self.shape)} levels, "
+                f"got {len(self.levels)}"
+            )
+        if sorted(self.mode_order) != list(range(len(self.shape))):
+            raise ValueError(f"mode_order {self.mode_order} is not a permutation")
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_coords(
+        cls,
+        shape: Sequence[int],
+        coords: Sequence[Sequence[int]],
+        values: Sequence[float],
+        formats: Optional[Sequence[str]] = None,
+        mode_order: Optional[Sequence[int]] = None,
+        name: str = "T",
+        bits_per_word: int = 64,
+    ) -> "FiberTensor":
+        """Build a fibertree from COO-style (coords, values) data.
+
+        Duplicate coordinates are summed.  ``formats`` gives one format
+        name per *storage level*; the default is all-compressed.
+        """
+        shape = tuple(shape)
+        order = len(shape)
+        perm = tuple(mode_order if mode_order is not None else range(order))
+        formats = tuple(formats if formats is not None else ["compressed"] * order)
+        if len(formats) != order:
+            raise ValueError(f"need {order} level formats, got {len(formats)}")
+
+        # Deduplicate and sort nonzeros by permuted coordinate.
+        merged: Dict[Tuple[int, ...], float] = {}
+        for crd, val in zip(coords, values):
+            key = tuple(int(crd[perm[d]]) for d in range(order))
+            merged[key] = merged.get(key, 0.0) + float(val)
+        entries = sorted(merged.items())
+
+        levels: List[Level] = []
+        # Each fiber is a list of (permuted_coord_tuple, value) entries.
+        fibers: List[List[Tuple[Tuple[int, ...], float]]] = [list(entries)]
+        for d in range(order):
+            size = shape[perm[d]]
+            fmt = formats[d]
+            if fmt in ("compressed", "bitvector"):
+                coord_lists: List[List[int]] = []
+                new_fibers: List[List[Tuple[Tuple[int, ...], float]]] = []
+                for fiber in fibers:
+                    grouped: List[Tuple[int, List]] = []
+                    for entry in fiber:
+                        crd = entry[0][d]
+                        if grouped and grouped[-1][0] == crd:
+                            grouped[-1][1].append(entry)
+                        else:
+                            grouped.append((crd, [entry]))
+                    coord_lists.append([g[0] for g in grouped])
+                    new_fibers.extend(g[1] for g in grouped)
+                if fmt == "compressed":
+                    levels.append(CompressedLevel.from_fibers(coord_lists))
+                else:
+                    levels.append(
+                        BitvectorLevel.from_fibers(coord_lists, size, bits_per_word)
+                    )
+            elif fmt == "dense":
+                levels.append(DenseLevel(size, num_fibers=len(fibers)))
+                new_fibers = [[] for _ in range(len(fibers) * size)]
+                for fi, fiber in enumerate(fibers):
+                    for entry in fiber:
+                        new_fibers[fi * size + entry[0][d]].append(entry)
+            else:
+                raise ValueError(f"unknown level format {fmt!r}")
+            fibers = new_fibers
+
+        vals = []
+        for fiber in fibers:
+            if len(fiber) > 1:  # pragma: no cover - grouping guarantees <= 1
+                raise AssertionError("value slot holds more than one entry")
+            vals.append(fiber[0][1] if fiber else 0.0)
+        return cls(shape, levels, vals, mode_order=perm, name=name)
+
+    @classmethod
+    def from_numpy(
+        cls,
+        array: np.ndarray,
+        formats: Optional[Sequence[str]] = None,
+        mode_order: Optional[Sequence[int]] = None,
+        name: str = "T",
+        bits_per_word: int = 64,
+    ) -> "FiberTensor":
+        """Build a fibertree from a dense numpy array, omitting zeros."""
+        array = np.asarray(array, dtype=float)
+        nz = np.argwhere(array != 0)
+        values = array[tuple(nz.T)] if len(nz) else np.array([])
+        return cls.from_coords(
+            array.shape, nz.tolist(), values.tolist(), formats, mode_order, name,
+            bits_per_word,
+        )
+
+    @classmethod
+    def from_scipy(cls, matrix, formats=None, mode_order=None, name: str = "T"):
+        """Build from any scipy.sparse matrix."""
+        coo = matrix.tocoo()
+        coords = list(zip(coo.row.tolist(), coo.col.tolist()))
+        return cls.from_coords(
+            coo.shape, coords, coo.data.tolist(), formats, mode_order, name
+        )
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return sum(1 for v in self.vals if v != 0)
+
+    @property
+    def density(self) -> float:
+        total = int(np.prod(self.shape)) if self.shape else 1
+        return self.nnz / total if total else 0.0
+
+    def level_format(self, depth: int) -> str:
+        return self.levels[depth].format_name
+
+    def memory_footprint(self) -> int:
+        """Stored words: level metadata plus the value array."""
+        return sum(lv.memory_footprint() for lv in self.levels) + len(self.vals)
+
+    def to_numpy(self) -> np.ndarray:
+        """Expand back to a dense numpy array (for correctness checking)."""
+        out = np.zeros(self.shape, dtype=float)
+        if not self.shape:
+            return np.array(self.vals[0] if self.vals else 0.0)
+
+        def walk(depth: int, ref: int, prefix: Tuple[int, ...]) -> None:
+            if depth == self.order:
+                if self.vals[ref] != 0:
+                    logical = [0] * self.order
+                    for lvl, crd in enumerate(prefix):
+                        logical[self.mode_order[lvl]] = crd
+                    out[tuple(logical)] = self.vals[ref]
+                return
+            for crd, child in self.levels[depth].fiber(ref):
+                walk(depth + 1, child, prefix + (crd,))
+
+        walk(0, 0, ())
+        return out
+
+    def __repr__(self) -> str:
+        fmts = "/".join(lv.format_name for lv in self.levels)
+        return (
+            f"FiberTensor({self.name}, shape={self.shape}, formats={fmts}, "
+            f"nnz={self.nnz})"
+        )
+
+
+def scalar_tensor(value: float, name: str = "a") -> FiberTensor:
+    """An order-0 tensor holding a single value (used for alpha/beta scalars)."""
+    return FiberTensor((), [], [float(value)], mode_order=(), name=name)

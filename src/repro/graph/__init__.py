@@ -1,0 +1,18 @@
+"""SAM dataflow graph IR, DOT export, and simulator binding."""
+
+from .bind import BoundGraph, bind, node_ports
+from .dot import to_dot, write_dot
+from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
+
+__all__ = [
+    "BoundGraph",
+    "Edge",
+    "GraphError",
+    "Node",
+    "SamGraph",
+    "bind",
+    "fanout_groups",
+    "node_ports",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,358 @@
+"""Binding: instantiate a SamGraph as simulator blocks and channels.
+
+This is the "automatic binding from SAM to a streaming dataflow
+simulator" of the paper's abstract: every IR node becomes a block, every
+edge becomes a channel, and source ports feeding several consumers get a
+fanout block (a wire split, not a SAM primitive).
+
+The binder needs the actual tensors because scanners, arrays and locators
+close over level/value storage ("memories are pre-initialised").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..blocks import (
+    ALU,
+    ArrayLoad,
+    CompressedLevelWriter,
+    CoordDropper,
+    Fanout,
+    Intersect,
+    Locator,
+    MatrixReducer,
+    MergeSide,
+    RootFeeder,
+    ScalarALU,
+    ScalarReducer,
+    Sink,
+    StreamFeeder,
+    UncompressedLevelWriter,
+    Union,
+    ValsWriter,
+    ValueDropper,
+    VectorReducer,
+    make_repeater,
+    make_scanner,
+)
+from ..formats.tensor import FiberTensor, scalar_tensor
+from ..sim.engine import CycleEngine, SimulationReport
+from ..streams.channel import Channel
+from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
+
+
+def node_ports(node: Node) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+    """(inputs, outputs) as (port, stream-kind) pairs for *node*'s kind."""
+    kind = node.kind
+    if kind == "root":
+        return [], [("ref", "ref")]
+    if kind == "source":
+        return [], [("out", node.params.get("stream_kind", "crd"))]
+    if kind == "sink":
+        return [("in", "crd")], []
+    if kind == "level_scanner":
+        ins = [("ref", "ref")]
+        if node.params.get("skip"):
+            ins.append(("skip", "crd"))
+        return ins, [("crd", "crd"), ("ref", "ref")]
+    if kind == "repeat":
+        return [("crd", "crd"), ("ref", "ref")], [("ref", "ref")]
+    if kind in ("intersect", "union"):
+        sides: List[int] = node.params["sides"]
+        ins = []
+        outs = [("crd", "crd")]
+        for i, arity in enumerate(sides):
+            ins.append((f"crd{i}", "crd"))
+            for j in range(arity):
+                ins.append((f"ref{i}_{j}", "ref"))
+                outs.append((f"ref{i}_{j}", "ref"))
+            if node.params.get("skipping"):
+                outs.append((f"skip{i}", "crd"))
+        return ins, outs
+    if kind == "alu":
+        if "const" in node.params:
+            return [("a", "vals")], [("val", "vals")]
+        return [("a", "vals"), ("b", "vals")], [("val", "vals")]
+    if kind == "reduce":
+        n = node.params.get("n", 0)
+        if n == 0:
+            return [("val", "vals")], [("val", "vals")]
+        if n == 1:
+            return (
+                [("crd", "crd"), ("val", "vals")],
+                [("crd", "crd"), ("val", "vals")],
+            )
+        if n == 2:
+            return (
+                [("crd_outer", "crd"), ("crd_inner", "crd"), ("val", "vals")],
+                [("crd_outer", "crd"), ("crd_inner", "crd"), ("val", "vals")],
+            )
+        raise GraphError(f"reducer dimension n={n} not supported")
+    if kind == "crd_drop":
+        mode = node.params.get("mode", "fiber")
+        inner_kind = "vals" if mode == "value" else "crd"
+        return (
+            [("outer", "crd"), ("inner", inner_kind)],
+            [("outer", "crd"), ("inner", inner_kind)],
+        )
+    if kind == "array":
+        return [("ref", "ref")], [("val", "vals")]
+    if kind == "level_writer":
+        return [("crd", "crd")], []
+    if kind == "vals_writer":
+        return [("val", "vals")], []
+    if kind == "locate":
+        ins = [("crd", "crd"), ("ref", "ref")]
+        if node.params.get("use_target"):
+            ins.append(("target", "ref"))
+        return ins, [("crd", "crd"), ("ref_found", "ref"), ("ref_in", "ref")]
+    raise GraphError(f"unknown node kind {kind!r}")
+
+
+class BoundGraph:
+    """A bound graph: live blocks, channels, and result-writer handles."""
+
+    def __init__(self, graph: SamGraph):
+        self.graph = graph
+        self.blocks: List = []
+        self.channels: Dict[str, Channel] = {}
+        #: writer blocks keyed by IR node name
+        self.writers: Dict[str, object] = {}
+        self._report: Optional[SimulationReport] = None
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationReport:
+        self._report = CycleEngine(self.blocks).run(max_cycles=max_cycles)
+        return self._report
+
+    @property
+    def cycles(self) -> int:
+        if self._report is None:
+            raise RuntimeError("graph has not been run")
+        return self._report.cycles
+
+
+def _resolve_tensor(name: str, tensors: Dict[str, FiberTensor]) -> FiberTensor:
+    if name not in tensors:
+        raise GraphError(f"tensor {name!r} not supplied to bind()")
+    value = tensors[name]
+    if isinstance(value, (int, float)):
+        return scalar_tensor(value, name=name)
+    return value
+
+
+def bind(
+    graph: SamGraph,
+    tensors: Dict[str, FiberTensor],
+    record: Tuple[str, ...] = (),
+) -> BoundGraph:
+    """Instantiate *graph* over *tensors*; ``record`` names edges to trace.
+
+    Edge identifiers for ``record`` are ``"src.port"`` strings; recorded
+    channels keep their full token history for stream analyses.
+    """
+    bound = BoundGraph(graph)
+    groups = fanout_groups(graph)
+
+    # Source-port channels; fanouts split them per consumer.
+    port_channel: Dict[Tuple[str, str, str, str], Channel] = {}
+    for (src, src_port), edges in groups.items():
+        rec = f"{src}.{src_port}" in record
+        if len(edges) == 1:
+            edge = edges[0]
+            channel = Channel(f"{src}.{src_port}->{edge.dst}.{edge.dst_port}",
+                              kind=edge.kind, record=rec)
+            bound.channels[channel.name] = channel
+            port_channel[(src, src_port, edge.dst, edge.dst_port)] = channel
+        else:
+            hub = Channel(f"{src}.{src_port}", kind=edges[0].kind, record=rec)
+            bound.channels[hub.name] = hub
+            outs = []
+            for edge in edges:
+                leg = Channel(
+                    f"{src}.{src_port}->{edge.dst}.{edge.dst_port}", kind=edge.kind
+                )
+                bound.channels[leg.name] = leg
+                port_channel[(src, src_port, edge.dst, edge.dst_port)] = leg
+                outs.append(leg)
+            bound.blocks.append(Fanout(hub, outs, name=f"fan:{src}.{src_port}"))
+            port_channel[(src, src_port, "*", "*")] = hub
+
+    def out_channel(node: Node, port: str, kind: str) -> Channel:
+        """Channel a node should push *port* into (hub, leg, or dangling)."""
+        edges = groups.get((node.name, port), [])
+        if not edges:
+            dangling = Channel(f"{node.name}.{port}(dangling)", kind=kind,
+                               record=f"{node.name}.{port}" in record)
+            bound.channels[dangling.name] = dangling
+            return dangling
+        if len(edges) == 1:
+            e = edges[0]
+            return port_channel[(node.name, port, e.dst, e.dst_port)]
+        return port_channel[(node.name, port, "*", "*")]
+
+    def in_channel(node: Node, port: str) -> Optional[Channel]:
+        for edge in graph.in_edges(node):
+            if edge.dst_port == port:
+                return port_channel[(edge.src, edge.src_port, node.name, port)]
+        return None
+
+    def require(node: Node, port: str) -> Channel:
+        channel = in_channel(node, port)
+        if channel is None:
+            raise GraphError(f"input {node.name}.{port} is not connected")
+        return channel
+
+    for node in graph.nodes.values():
+        kind = node.kind
+        _, outs = node_ports(node)
+        out = {port: out_channel(node, port, pkind) for port, pkind in outs}
+        if kind == "root":
+            bound.blocks.append(RootFeeder(out["ref"], name=node.name))
+        elif kind == "source":
+            bound.blocks.append(
+                StreamFeeder(node.params["tokens"], out["out"], name=node.name)
+            )
+        elif kind == "sink":
+            bound.blocks.append(Sink(require(node, "in"), name=node.name))
+        elif kind == "level_scanner":
+            tensor = _resolve_tensor(node.params["tensor"], tensors)
+            level = tensor.levels[node.params["depth"]]
+            bound.blocks.append(
+                make_scanner(
+                    level,
+                    require(node, "ref"),
+                    out["crd"],
+                    out["ref"],
+                    in_skip=in_channel(node, "skip"),
+                    name=node.name,
+                )
+            )
+        elif kind == "repeat":
+            sig, rep = make_repeater(
+                require(node, "crd"), require(node, "ref"), out["ref"], name=node.name
+            )
+            bound.blocks.extend([sig, rep])
+        elif kind in ("intersect", "union"):
+            sides_spec: List[int] = node.params["sides"]
+            sides = []
+            out_ref_groups = []
+            for i, arity in enumerate(sides_spec):
+                refs = [require(node, f"ref{i}_{j}") for j in range(arity)]
+                skip = out.get(f"skip{i}") if node.params.get("skipping") else None
+                sides.append(MergeSide(require(node, f"crd{i}"), refs, skip=skip))
+                out_ref_groups.append([out[f"ref{i}_{j}"] for j in range(arity)])
+            cls = Intersect if kind == "intersect" else Union
+            bound.blocks.append(
+                cls(sides, out["crd"], out_ref_groups, name=node.name)
+            )
+        elif kind == "alu":
+            if "const" in node.params:
+                bound.blocks.append(
+                    ScalarALU(
+                        node.params["op"],
+                        node.params["const"],
+                        require(node, "a"),
+                        out["val"],
+                        name=node.name,
+                    )
+                )
+            else:
+                bound.blocks.append(
+                    ALU(
+                        node.params["op"],
+                        require(node, "a"),
+                        require(node, "b"),
+                        out["val"],
+                        name=node.name,
+                    )
+                )
+        elif kind == "reduce":
+            n = node.params.get("n", 0)
+            if n == 0:
+                bound.blocks.append(
+                    ScalarReducer(
+                        require(node, "val"),
+                        out["val"],
+                        empty_policy=node.params.get("empty_policy", "zero"),
+                        name=node.name,
+                    )
+                )
+            elif n == 1:
+                bound.blocks.append(
+                    VectorReducer(
+                        require(node, "crd"),
+                        require(node, "val"),
+                        out["crd"],
+                        out["val"],
+                        flush_level=node.params.get("flush_level", 1),
+                        name=node.name,
+                    )
+                )
+            else:
+                bound.blocks.append(
+                    MatrixReducer(
+                        require(node, "crd_outer"),
+                        require(node, "crd_inner"),
+                        require(node, "val"),
+                        out["crd_outer"],
+                        out["crd_inner"],
+                        out["val"],
+                        name=node.name,
+                    )
+                )
+        elif kind == "crd_drop":
+            cls = ValueDropper if node.params.get("mode") == "value" else CoordDropper
+            if cls is ValueDropper:
+                block = ValueDropper(
+                    require(node, "outer"),
+                    require(node, "inner"),
+                    out["outer"],
+                    out["inner"],
+                    name=node.name,
+                )
+            else:
+                block = CoordDropper(
+                    require(node, "outer"),
+                    require(node, "inner"),
+                    out["outer"],
+                    out["inner"],
+                    name=node.name,
+                )
+            bound.blocks.append(block)
+        elif kind == "array":
+            tensor = _resolve_tensor(node.params["tensor"], tensors)
+            bound.blocks.append(
+                ArrayLoad(tensor.vals, require(node, "ref"), out["val"], name=node.name)
+            )
+        elif kind == "level_writer":
+            if node.params.get("format", "compressed") == "compressed":
+                writer = CompressedLevelWriter(require(node, "crd"), name=node.name)
+            else:
+                writer = UncompressedLevelWriter(
+                    node.params["size"], require(node, "crd"), name=node.name
+                )
+            bound.writers[node.name] = writer
+            bound.blocks.append(writer)
+        elif kind == "vals_writer":
+            writer = ValsWriter(require(node, "val"), name=node.name)
+            bound.writers[node.name] = writer
+            bound.blocks.append(writer)
+        elif kind == "locate":
+            tensor = _resolve_tensor(node.params["tensor"], tensors)
+            level = tensor.levels[node.params["depth"]]
+            bound.blocks.append(
+                Locator(
+                    level,
+                    require(node, "crd"),
+                    require(node, "ref"),
+                    out["crd"],
+                    out["ref_found"],
+                    out["ref_in"],
+                    in_target_ref=in_channel(node, "target"),
+                    name=node.name,
+                )
+            )
+        else:
+            raise GraphError(f"cannot bind node kind {kind!r}")
+    return bound

@@ -1,0 +1,60 @@
+"""DOT export of SAM graphs.
+
+The SAM artifact stores compiled graphs in the Graphviz DOT format; we do
+the same so graphs can be visually compared against the paper's figures
+(stippled arrows for reference streams, solid for coordinate streams,
+double-struck — rendered bold — for value streams, as in Figure 4).
+"""
+
+from __future__ import annotations
+
+from .ir import SamGraph
+
+_EDGE_STYLE = {
+    "ref": 'style=dashed, color="gray40"',
+    "crd": "color=black",
+    "vals": 'color="blue", penwidth=2',
+    "bv": 'color="purple"',
+    "repsig": 'style=dotted, color="orange"',
+}
+
+_NODE_SHAPE = {
+    "level_scanner": "box",
+    "level_writer": "box",
+    "vals_writer": "box",
+    "array": "cylinder",
+    "intersect": "diamond",
+    "union": "diamond",
+    "repeat": "parallelogram",
+    "alu": "circle",
+    "reduce": "house",
+    "crd_drop": "trapezium",
+    "locate": "component",
+    "root": "point",
+    "sink": "point",
+}
+
+
+def to_dot(graph: SamGraph) -> str:
+    """Render *graph* as a DOT digraph string."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=LR;", "  node [fontsize=10];"]
+    for node in graph.nodes.values():
+        shape = _NODE_SHAPE.get(node.kind, "box")
+        lines.append(f'  "{node.name}" [label="{node.label()}", shape={shape}];')
+    for edge in graph.edges:
+        style = _EDGE_STYLE.get(edge.kind, "color=black")
+        lines.append(
+            f'  "{edge.src}" -> "{edge.dst}" '
+            f'[taillabel="{edge.src_port}", headlabel="{edge.dst_port}", '
+            f"fontsize=8, {style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(graph: SamGraph, path: str) -> str:
+    """Write the DOT rendering to *path*; returns the path."""
+    text = to_dot(graph)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,173 @@
+"""OuterSPACE-style two-phase SpM*SpM (paper section 6.5, Figure 16).
+
+OuterSPACE factorizes sparse matrix multiply into a *multiply phase*
+``Y(i,k,j) = B(i,k) * C(k,j)`` computed in outer-product (k, i, j) order,
+and a *merge phase* ``X(i,j) = sum_k Y(i,k,j)``.  The multiply phase's
+write of Y is discordant — produced in k-major order, stored in i-major
+order — which the linked-list level format absorbs: each k entry is
+appended under its i fiber as it arrives.
+
+The merge phase re-reads Y concordantly (uncompressed i level,
+linked-list k level, compressed j level), sums over k with a vector
+reducer, and writes DCSR X.  This mirrors Figure 16 plus the merge
+dataflow described in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..blocks import (
+    ALU,
+    ArrayLoad,
+    CompressedLevelWriter,
+    CoordDropper,
+    Fanout,
+    Intersect,
+    LinkedListLevelWriter,
+    MergeSide,
+    RootFeeder,
+    ValsWriter,
+    VectorReducer,
+    make_repeater,
+    make_scanner,
+)
+from ..formats import DenseLevel, FiberTensor
+from ..sim.engine import run_blocks
+from ..streams.channel import Channel
+
+
+@dataclass
+class OuterSpaceResult:
+    output: np.ndarray
+    multiply_cycles: int
+    merge_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.multiply_cycles + self.merge_cycles
+
+
+def outerspace_spmm(B: np.ndarray, C: np.ndarray) -> OuterSpaceResult:
+    """Run the two OuterSPACE phases; returns X and per-phase cycles."""
+    B = np.asarray(B, dtype=float)
+    C = np.asarray(C, dtype=float)
+    num_rows = B.shape[0]
+    # B column-major (k outer), C row-major (k outer) for the outer product.
+    bt = FiberTensor.from_numpy(B, mode_order=(1, 0), name="B")
+    ct = FiberTensor.from_numpy(C, name="C")
+
+    # ---- multiply phase: Y(i,k,j) = B(i,k) * C(k,j) in k,i,j order -------
+    blocks: List = []
+    chans = {}
+
+    def ch(name, kind="crd"):
+        chans[name] = Channel(name, kind=kind)
+        return chans[name]
+
+    blocks.append(RootFeeder(ch("b_root", "ref"), name="root_B"))
+    blocks.append(RootFeeder(ch("c_root", "ref"), name="root_C"))
+    blocks.append(
+        make_scanner(bt.levels[0], chans["b_root"], ch("bk_crd"), ch("bk_ref", "ref"),
+                     name="scan_Bk")
+    )
+    blocks.append(
+        make_scanner(ct.levels[0], chans["c_root"], ch("ck_crd"), ch("ck_ref", "ref"),
+                     name="scan_Ck")
+    )
+    blocks.append(
+        Intersect(
+            [MergeSide(chans["bk_crd"], [chans["bk_ref"]]),
+             MergeSide(chans["ck_crd"], [chans["ck_ref"]])],
+            ch("k_crd"), [[ch("kb_ref", "ref")], [ch("kc_ref", "ref")]],
+            name="intersect_k",
+        )
+    )
+    blocks.append(
+        make_scanner(bt.levels[1], chans["kb_ref"], ch("bi_crd"), ch("bi_ref", "ref"),
+                     name="scan_Bi")
+    )
+    blocks.append(Fanout(chans["bi_crd"], [ch("bi_crd_rep"), ch("bi_crd_wr"),
+                                           ch("bi_crd_krep")], name="fan_bi"))
+    # Repeat C's surviving k reference over each i of B's column (Fig. 16
+    # "Repeater Ci"), then scan C's j fibers once per i.
+    blocks.extend(make_repeater(chans["bi_crd_rep"], chans["kc_ref"],
+                                ch("ci_rep", "ref"), name="repeat_Ci"))
+    blocks.append(
+        make_scanner(ct.levels[1], chans["ci_rep"], ch("cj_crd"), ch("cj_ref", "ref"),
+                     name="scan_Cj")
+    )
+    blocks.append(Fanout(chans["cj_crd"], [ch("cj_crd_rep"), ch("cj_crd_wr")],
+                         name="fan_cj"))
+    # Repeat B's value reference over each j (Fig. 16 "Repeater Bj").
+    blocks.extend(make_repeater(chans["cj_crd_rep"], chans["bi_ref"],
+                                ch("bj_rep", "ref"), name="repeat_Bj"))
+    blocks.append(ArrayLoad(bt.vals, chans["bj_rep"], ch("b_val", "vals"), name="vals_B"))
+    blocks.append(ArrayLoad(ct.vals, chans["cj_ref"], ch("c_val", "vals"), name="vals_C"))
+    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("y_val", "vals"),
+                      name="mul"))
+    # Discordant write of Y: k appended under its i fiber as it arrives.
+    blocks.extend(make_repeater(chans["bi_crd_krep"], chans["k_crd"],
+                                ch("k_rep", "ref"), name="repeat_k_over_i"))
+    # The writer pairs (parent, crd): parent = the i coordinate naming the
+    # fiber, crd = the repeated k coordinate appended under it.
+    ll_writer = LinkedListLevelWriter(chans["bi_crd_wr"], chans["k_rep"], name="write_Yk")
+    yj_writer = CompressedLevelWriter(chans["cj_crd_wr"], name="write_Yj")
+    yv_writer = ValsWriter(chans["y_val"], name="write_Yvals")
+    blocks.extend([ll_writer, yj_writer, yv_writer])
+    multiply_report = run_blocks(blocks)
+    multiply_cycles = multiply_report.cycles
+
+    # ---- merge phase: X(i,j) = sum_k Y(i,k,j) ---------------------------
+    y_i_level = DenseLevel(num_rows, num_fibers=1)
+    y_k_level = ll_writer.level
+    y_k_level.ensure_fiber(num_rows - 1)
+    y_j_level = yj_writer.level
+    y_vals = yv_writer.vals
+
+    blocks2: List = []
+    chans2 = {}
+
+    def ch2(name, kind="crd"):
+        chans2[name] = Channel(name, kind=kind)
+        return chans2[name]
+
+    blocks2.append(RootFeeder(ch2("root", "ref"), name="root_Y"))
+    blocks2.append(
+        make_scanner(y_i_level, chans2["root"], ch2("yi_crd"), ch2("yi_ref", "ref"),
+                     name="scan_Yi")
+    )
+    blocks2.append(
+        make_scanner(y_k_level, chans2["yi_ref"], ch2("yk_crd"), ch2("yk_ref", "ref"),
+                     name="scan_Yk")
+    )
+    blocks2.append(
+        make_scanner(y_j_level, chans2["yk_ref"], ch2("yj_crd"), ch2("yj_ref", "ref"),
+                     name="scan_Yj")
+    )
+    blocks2.append(ArrayLoad(y_vals, chans2["yj_ref"], ch2("y_val", "vals"),
+                             name="vals_Y"))
+    blocks2.append(
+        VectorReducer(chans2["yj_crd"], chans2["y_val"], ch2("xj_crd"),
+                      ch2("x_val", "vals"), name="reduce_k")
+    )
+    blocks2.append(
+        CoordDropper(chans2["yi_crd"], chans2["xj_crd"], ch2("xi_crd_d"),
+                     ch2("xj_crd_d"), name="drop_i")
+    )
+    xi_writer = CompressedLevelWriter(chans2["xi_crd_d"], name="write_Xi")
+    xj_writer = CompressedLevelWriter(chans2["xj_crd_d"], name="write_Xj")
+    xv_writer = ValsWriter(chans2["x_val"], name="write_Xvals")
+    blocks2.extend([xi_writer, xj_writer, xv_writer])
+    merge_report = run_blocks(blocks2)
+
+    x = FiberTensor(
+        (B.shape[0], C.shape[1]),
+        [xi_writer.level, xj_writer.level],
+        xv_writer.vals,
+        name="X",
+    )
+    return OuterSpaceResult(x.to_numpy(), multiply_cycles, merge_report.cycles)

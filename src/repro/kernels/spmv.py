@@ -1,0 +1,157 @@
+"""Sparse matrix-vector multiply kernels.
+
+Two variants of ``x(i) = B(i,j) * c(j)``:
+
+* :func:`spmv_program` — the compiled coiteration graph (Table 1's SpMV
+  row: the j-level intersecter co-iterates B's rows with c);
+* :func:`spmv_locate` — the iterate-locate variant of section 4.2 for a
+  dense vector: B's row coordinates probe c directly through a locator,
+  never streaming c's coordinates at all;
+* :func:`spmv_scatter` — the linear-combination-of-rows transposed
+  matrix-vector product ``x(j) = sum_i B(i,j) * c(i)``, scattering
+  partial products directly into a dense result that supports random
+  insert — section 4.2's "the linear combination of rows matrix-vector
+  multiplication can avoid a vector reducer".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blocks import (
+    ALU,
+    ArrayLoad,
+    CompressedLevelWriter,
+    Fanout,
+    Intersect,
+    Locator,
+    MergeSide,
+    RootFeeder,
+    ScalarReducer,
+    ScatterValsWriter,
+    ValsWriter,
+    ValueDropper,
+    make_repeater,
+    make_scanner,
+)
+from ..formats import DenseLevel, FiberTensor
+from ..lang import CompiledProgram, compile_expression
+from ..sim.engine import run_blocks
+from ..streams.channel import Channel
+
+
+def spmv_program() -> CompiledProgram:
+    """The compiled (coiterating) SpMV graph."""
+    return compile_expression("x(i) = B(i,j) * c(j)")
+
+
+def spmv_locate(B: np.ndarray, c: np.ndarray):
+    """Iterate-locate SpMV: stream B's nonzeros, probe the dense vector c.
+
+    Returns ``(x_coords, x_values, cycles)``.
+    """
+    B = np.asarray(B, dtype=float)
+    c = np.asarray(c, dtype=float)
+    bt = FiberTensor.from_numpy(B, name="B")
+    c_level = DenseLevel(c.size)
+    blocks = []
+    chans = {}
+
+    def ch(name, kind="crd"):
+        chans[name] = Channel(name, kind=kind)
+        return chans[name]
+
+    blocks.append(RootFeeder(ch("root", "ref"), name="root_B"))
+    blocks.append(
+        make_scanner(bt.levels[0], chans["root"], ch("bi_crd"), ch("bi_ref", "ref"),
+                     name="scan_Bi")
+    )
+    blocks.append(
+        make_scanner(bt.levels[1], chans["bi_ref"], ch("bj_crd"), ch("bj_ref", "ref"),
+                     name="scan_Bj")
+    )
+    # Locator probes c's dense level with B's j coordinates (always hits
+    # in-bounds coordinates; the point is never iterating c).
+    blocks.append(
+        Locator(
+            c_level, chans["bj_crd"], chans["bj_ref"],
+            ch("loc_crd"), ch("c_ref", "ref"), ch("b_ref", "ref"),
+            name="locate_c",
+        )
+    )
+    blocks.append(ArrayLoad(bt.vals, chans["b_ref"], ch("b_val", "vals"), name="vals_B"))
+    blocks.append(ArrayLoad(list(c), chans["c_ref"], ch("c_val", "vals"), name="vals_c"))
+    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("prod", "vals"), name="mul"))
+    blocks.append(ScalarReducer(chans["prod"], ch("sum", "vals"), name="reduce_j"))
+    blocks.append(
+        ValueDropper(chans["bi_crd"], chans["sum"], ch("x_crd"), ch("x_val", "vals"),
+                     name="drop_zero")
+    )
+    crd_writer = CompressedLevelWriter(chans["x_crd"], name="write_x_i")
+    val_writer = ValsWriter(chans["x_val"], name="write_x_vals")
+    blocks.extend([crd_writer, val_writer])
+    report = run_blocks(blocks)
+    return crd_writer.crd, val_writer.vals, report.cycles
+
+
+def spmv_scatter(B: np.ndarray, c: np.ndarray):
+    """Linear-combination SpMV scattering into a dense result (section 4.2).
+
+    Computes ``x(j) = sum_i B(i,j) * c(i)`` by intersecting B's rows with
+    c's coordinates, broadcasting each surviving ``c_i`` over B's row
+    fiber, and scatter-adding the partial products at their j coordinates
+    into a dense value array — no vector reducer required.
+
+    Returns ``(x_dense, cycles)``.
+    """
+    B = np.asarray(B, dtype=float)
+    c = np.asarray(c, dtype=float)
+    bt = FiberTensor.from_numpy(B, name="B")
+    ct = FiberTensor.from_numpy(c, name="c")
+    blocks = []
+    chans = {}
+
+    def ch(name, kind="crd"):
+        chans[name] = Channel(name, kind=kind)
+        return chans[name]
+
+    blocks.append(RootFeeder(ch("b_root", "ref"), name="root_B"))
+    blocks.append(RootFeeder(ch("c_root", "ref"), name="root_c"))
+    blocks.append(
+        make_scanner(bt.levels[0], chans["b_root"], ch("bi_crd"), ch("bi_ref", "ref"),
+                     name="scan_Bi")
+    )
+    blocks.append(
+        make_scanner(ct.levels[0], chans["c_root"], ch("ci_crd"), ch("ci_ref", "ref"),
+                     name="scan_ci")
+    )
+    blocks.append(
+        Intersect(
+            [MergeSide(chans["bi_crd"], [chans["bi_ref"]]),
+             MergeSide(chans["ci_crd"], [chans["ci_ref"]])],
+            ch("i_crd"), [[ch("ib_ref", "ref")], [ch("ic_ref", "ref")]],
+            name="intersect_i",
+        )
+    )
+    blocks.append(
+        make_scanner(bt.levels[1], chans["ib_ref"], ch("bj_crd"), ch("bj_ref", "ref"),
+                     name="scan_Bj")
+    )
+    blocks.append(Fanout(chans["bj_crd"], [ch("bj_rep"), ch("bj_scatter")],
+                         name="fan_bj"))
+    # Broadcast the surviving c reference over B's row fiber (Figure 6).
+    blocks.extend(make_repeater(chans["bj_rep"], chans["ic_ref"],
+                                ch("c_rep", "ref"), name="repeat_cj"))
+    blocks.append(ArrayLoad(bt.vals, chans["bj_ref"], ch("b_val", "vals"),
+                            name="vals_B"))
+    blocks.append(ArrayLoad(ct.vals, chans["c_rep"], ch("c_val", "vals"),
+                            name="vals_c"))
+    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("prod", "vals"),
+                      name="mul"))
+    # Scatter-add at the j coordinate: the dense result supports random
+    # insert, so the reduction happens in memory.
+    scatter = ScatterValsWriter(B.shape[1], chans["bj_scatter"],
+                                chans["prod"], name="scatter_x")
+    blocks.append(scatter)
+    report = run_blocks(blocks)
+    return np.array(scatter.vals), report.cycles

@@ -1,0 +1,41 @@
+"""Custard: the compiler from tensor index notation to SAM graphs."""
+
+from .analysis import (
+    TABLE1_COLUMNS,
+    TABLE2_SCENARIOS,
+    ExpressionFeatures,
+    expression_features,
+    lost_without,
+    primitive_row,
+)
+from .ast import Access, Assignment, ExpressionError, Term
+from .compile import CompiledProgram, RunResult, compile_expression
+from .formats import FormatSpec, TensorFormat
+from .lower import LoweringError, lower
+from .parser import parse
+from .schedule import ConcreteIndexNotation, Schedule, apply_schedule, default_order
+
+__all__ = [
+    "Access",
+    "Assignment",
+    "CompiledProgram",
+    "ConcreteIndexNotation",
+    "ExpressionError",
+    "ExpressionFeatures",
+    "FormatSpec",
+    "LoweringError",
+    "RunResult",
+    "Schedule",
+    "TABLE1_COLUMNS",
+    "TABLE2_SCENARIOS",
+    "TensorFormat",
+    "Term",
+    "apply_schedule",
+    "compile_expression",
+    "default_order",
+    "expression_features",
+    "lost_without",
+    "lower",
+    "parse",
+    "primitive_row",
+]

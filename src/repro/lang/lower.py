@@ -1,0 +1,488 @@
+"""Lowering: concrete index notation -> SAM dataflow graph (paper section 5).
+
+The algorithm follows Figure 10.  For every index variable, in schedule
+order, Custard:
+
+* places a *level scanner* for each tensor whose path contains the
+  variable (colored per tensor path in the paper's figure);
+* merges multiple paths with an *intersecter* (within a multiplicative
+  term) and a *unioner* (across additive terms);
+* inserts a *repeater* for every access in a participating term that
+  lacks the variable, driven by the merged coordinate stream.
+
+The compute section then chains multiplier ALUs per term, places reducers
+for contracted variables (dimension ``n`` = number of result variables
+ordered after the contracted one — scalar, vector, or matrix), and
+combines terms with adder/subtractor ALUs.  Finally the construction
+section inserts the coordinate droppers required to clean ineffectual
+coordinates and wires level writers for the result.
+
+Two term-combination strategies are supported:
+
+* *scan-time union* — terms are unioned level by level while scanning
+  (MMAdd, Plus3, Residual); requires the terms to agree on the nesting
+  prefix of every shared variable and all reductions to be scalar;
+* *post-compute union* — each term computes independently and the
+  deduplicated (coordinate, value) outputs are unioned at the single
+  result variable (MatTransMul's transposed-operand dataflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.ir import Node, SamGraph
+from .ast import Access, Assignment, ExpressionError, Term
+from .formats import FormatSpec, TensorFormat
+from .schedule import ConcreteIndexNotation
+
+Handle = Tuple[Node, str]  # (node, output port)
+
+
+class LoweringError(ExpressionError):
+    """Raised when an expression/format/schedule combination is unsupported."""
+
+
+@dataclass
+class _AccessState:
+    """Per-access lowering state: where its reference stream currently is."""
+
+    access: Access
+    term_index: int
+    fmt: TensorFormat
+    uid: str
+    ref: Handle = None
+    next_depth: int = 0
+
+    @property
+    def storage_vars(self) -> Tuple[str, ...]:
+        return self.fmt.storage_vars(self.access)
+
+
+@dataclass
+class LoweredInfo:
+    """Everything the runtime needs to execute a lowered graph."""
+
+    output: Access
+    order: Tuple[str, ...]
+    lhs_vars: Tuple[str, ...]
+    writer_nodes: Dict[str, str]  # lhs var -> level_writer node name
+    vals_writer_node: str
+    dim_sources: Dict[str, Tuple[str, int]]  # var -> (tensor, axis)
+    scalar_inputs: Tuple[str, ...]
+    strategy: str
+    merged_crd_nodes: Dict[str, str] = field(default_factory=dict)
+
+
+class _Lowerer:
+    def __init__(
+        self,
+        cin: ConcreteIndexNotation,
+        formats: FormatSpec,
+        coordinate_skipping: bool = False,
+    ):
+        self.cin = cin
+        self.coordinate_skipping = coordinate_skipping
+        self.asg: Assignment = cin.assignment
+        self.order = cin.order
+        self.formats = formats
+        self.graph = SamGraph(name=str(self.asg))
+        self.lhs_vars = tuple(v for v in self.order if v in self.asg.lhs.indices)
+        self.states: List[_AccessState] = []
+        self.merged: Dict[Tuple[int, str], Handle] = {}
+        self.crd_override: Dict[str, Handle] = {}
+        self.intersect_at: set = set()
+        self.has_scalar_reduce = False
+        self.vector_kept: Optional[str] = None
+        self.matrix_covered = False
+        self.strategy = "single"
+
+    # -- helpers -----------------------------------------------------------
+    def _pos(self, var: str) -> int:
+        return self.order.index(var)
+
+    def _term_vars(self, term: Term) -> Tuple[str, ...]:
+        return tuple(v for v in self.order if v in term.vars)
+
+    def _term_states(self, term_index: int) -> List[_AccessState]:
+        return [s for s in self.states if s.term_index == term_index]
+
+    def _connect(self, src: Handle, dst: Node, port: str, kind: str) -> None:
+        self.graph.connect(src[0], src[1], dst, port, kind=kind)
+
+    def _reduction_dim(self, var: str) -> int:
+        """n = number of lhs variables ordered after *var* (Definition 3.7)."""
+        pos = self._pos(var)
+        return sum(1 for u in self.lhs_vars if self._pos(u) > pos)
+
+    # -- setup and strategy selection -------------------------------------
+    def _build_states(self) -> None:
+        for ti, term in enumerate(self.asg.terms):
+            for pi, access in enumerate(term.accesses):
+                fmt = self.formats.for_access(access)
+                uid = f"{access.tensor}_{ti}_{pi}"
+                root = self.graph.add("root", name=f"root_{uid}")
+                state = _AccessState(access, ti, fmt, uid, ref=(root, "ref"))
+                self.states.append(state)
+                # Storage order must be compatible with the schedule.
+                positions = [self._pos(v) for v in state.storage_vars]
+                if positions != sorted(positions):
+                    raise LoweringError(
+                        f"storage order {state.storage_vars} of {access} conflicts "
+                        f"with schedule order {self.order}; reorder the schedule or "
+                        f"change the tensor's mode order"
+                    )
+
+    def _choose_strategy(self) -> None:
+        if len(self.asg.terms) == 1:
+            self.strategy = "single"
+            return
+        aligned = all(
+            self._reduction_dim(v) == 0
+            for ti, term in enumerate(self.asg.terms)
+            for v in self._term_vars(term)
+            if v not in self.asg.lhs.indices
+        )
+        if aligned:
+            for v in self.order:
+                prefixes = set()
+                for term in self.asg.terms:
+                    tvars = self._term_vars(term)
+                    if v in tvars:
+                        prefixes.add(
+                            tuple(u for u in self.order[: self._pos(v)] if u in tvars)
+                        )
+                if len(prefixes) > 1:
+                    aligned = False
+                    break
+        if aligned:
+            self.strategy = "scan"
+        elif len(self.lhs_vars) == 1:
+            self.strategy = "post"
+        else:
+            raise LoweringError(
+                f"cannot lower {self.asg}: additive terms disagree on iteration "
+                f"structure and the result is not one-dimensional"
+            )
+
+    def _check_reductions(self) -> None:
+        for ti, term in enumerate(self.asg.terms):
+            nonscalar = [
+                v
+                for v in self._term_vars(term)
+                if v not in self.asg.lhs.indices and self._reduction_dim(v) > 0
+            ]
+            if len(nonscalar) > 1:
+                raise LoweringError(
+                    f"term {term} needs more than one non-scalar reducer "
+                    f"({nonscalar}); choose a schedule that nests the "
+                    f"reductions innermost"
+                )
+            for v in nonscalar:
+                if self._reduction_dim(v) > 2:
+                    raise LoweringError(
+                        f"reduction over {v} would need an order-"
+                        f"{self._reduction_dim(v)} reducer; SAM provides "
+                        f"scalar, vector and matrix reducers"
+                    )
+
+    # -- iteration, merging, repeating (Figure 10 middle) ------------------
+    def _lower_iteration(self) -> None:
+        for v in self.order:
+            term_results: List[Tuple[int, Handle, List[_AccessState]]] = []
+            for ti, term in enumerate(self.asg.terms):
+                if v not in self._term_vars(term):
+                    continue
+                scanned: List[Tuple[_AccessState, Node]] = []
+                for state in self._term_states(ti):
+                    if v not in state.access.indices:
+                        continue
+                    depth = state.next_depth
+                    expected = state.fmt.level_var(state.access, depth)
+                    if expected != v:  # pragma: no cover - ordering check above
+                        raise LoweringError(
+                            f"{state.access}: level {depth} iterates {expected}, "
+                            f"not {v}"
+                        )
+                    scanner = self.graph.add(
+                        "level_scanner",
+                        name=f"scan_{state.uid}_{v}",
+                        tensor=state.access.tensor,
+                        depth=depth,
+                        var=v,
+                        format=state.fmt.formats[depth],
+                    )
+                    self._connect(state.ref, scanner, "ref", "ref")
+                    state.ref = (scanner, "ref")
+                    state.next_depth += 1
+                    scanned.append((state, scanner))
+                if len(scanned) == 1:
+                    state, scanner = scanned[0]
+                    term_results.append((ti, (scanner, "crd"), [state]))
+                else:
+                    skipping = self.coordinate_skipping and all(
+                        scanner.params.get("format") != "bitvector"
+                        for _, scanner in scanned
+                    )
+                    isect = self.graph.add(
+                        "intersect",
+                        name=f"intersect_{v}_t{ti}",
+                        var=v,
+                        sides=[1] * len(scanned),
+                        skipping=skipping,
+                    )
+                    for i, (state, scanner) in enumerate(scanned):
+                        self.graph.connect(scanner, "crd", isect, f"crd{i}", "crd")
+                        self.graph.connect(scanner, "ref", isect, f"ref{i}_0", "ref")
+                        state.ref = (isect, f"ref{i}_0")
+                        if skipping:
+                            # Galloping feedback (section 4.2): the
+                            # intersecter tells the trailing scanner which
+                            # coordinate it needs next.
+                            scanner.params["skip"] = True
+                            self.graph.connect(isect, f"skip{i}", scanner, "skip", "crd")
+                    self.intersect_at.add(v)
+                    term_results.append(
+                        (ti, (isect, "crd"), [s for s, _ in scanned])
+                    )
+            if not term_results:  # pragma: no cover - order built from vars
+                continue
+            if self.strategy == "scan" and len(term_results) > 1:
+                union = self.graph.add(
+                    "union",
+                    name=f"union_{v}",
+                    var=v,
+                    sides=[len(states) for _, _, states in term_results],
+                )
+                for i, (ti, crd, states) in enumerate(term_results):
+                    self._connect(crd, union, f"crd{i}", "crd")
+                    for j, state in enumerate(states):
+                        self._connect(state.ref, union, f"ref{i}_{j}", "ref")
+                        state.ref = (union, f"ref{i}_{j}")
+                merged_handle = (union, "crd")
+                for ti, _, _ in term_results:
+                    self.merged[(ti, v)] = merged_handle
+            else:
+                for ti, crd, _ in term_results:
+                    self.merged[(ti, v)] = crd
+            # Repeaters for broadcast accesses (Figure 6).
+            for ti, term in enumerate(self.asg.terms):
+                if v not in self._term_vars(term):
+                    continue
+                for state in self._term_states(ti):
+                    if v in state.access.indices:
+                        continue
+                    repeat = self.graph.add(
+                        "repeat", name=f"repeat_{state.uid}_{v}",
+                        tensor=state.access.tensor, var=v,
+                    )
+                    self._connect(self.merged[(ti, v)], repeat, "crd", "crd")
+                    self._connect(state.ref, repeat, "ref", "ref")
+                    state.ref = (repeat, "ref")
+
+    # -- computation (Figure 10 right, section 3.6) -------------------------
+    def _lower_term_compute(self, ti: int, term: Term) -> Handle:
+        values: List[Handle] = []
+        for state in self._term_states(ti):
+            array = self.graph.add(
+                "array", name=f"vals_{state.uid}", tensor=state.access.tensor
+            )
+            self._connect(state.ref, array, "ref", "ref")
+            values.append((array, "val"))
+        if not values:
+            raise LoweringError(f"term {term} has no tensor accesses")
+        val = values[0]
+        for i, other in enumerate(values[1:]):
+            alu = self.graph.add("alu", name=f"mul_t{ti}_{i}", op="mul")
+            self._connect(val, alu, "a", "vals")
+            self._connect(other, alu, "b", "vals")
+            val = (alu, "val")
+        coefficient = term.coefficient * (term.sign if ti == 0 else 1)
+        if coefficient != 1.0:
+            alu = self.graph.add(
+                "alu", name=f"scale_t{ti}", op="mul", const=coefficient
+            )
+            self._connect(val, alu, "a", "vals")
+            val = (alu, "val")
+        # Reductions, innermost contracted variable first.
+        tvars = self._term_vars(term)
+        for v in reversed(self.order):
+            if v not in tvars or v in self.asg.lhs.indices:
+                continue
+            n = self._reduction_dim(v)
+            kept = [u for u in self.lhs_vars if self._pos(u) > self._pos(v)]
+            if n == 0:
+                red = self.graph.add(
+                    "reduce", name=f"reduce_{v}_t{ti}", n=0, var=v,
+                    empty_policy="zero",
+                )
+                self._connect(val, red, "val", "vals")
+                val = (red, "val")
+                self.has_scalar_reduce = True
+            elif n == 1:
+                red = self.graph.add("reduce", name=f"reduce_{v}_t{ti}", n=1, var=v)
+                self._connect(self.merged[(ti, kept[0])], red, "crd", "crd")
+                self._connect(val, red, "val", "vals")
+                val = (red, "val")
+                self.crd_override[kept[0]] = (red, "crd")
+                self.vector_kept = kept[0]
+            else:
+                red = self.graph.add("reduce", name=f"reduce_{v}_t{ti}", n=2, var=v)
+                self._connect(self.merged[(ti, kept[0])], red, "crd_outer", "crd")
+                self._connect(self.merged[(ti, kept[1])], red, "crd_inner", "crd")
+                self._connect(val, red, "val", "vals")
+                val = (red, "val")
+                self.crd_override[kept[0]] = (red, "crd_outer")
+                self.crd_override[kept[1]] = (red, "crd_inner")
+                if set(kept) == set(self.lhs_vars):
+                    self.matrix_covered = True
+        return val
+
+    def _combine_terms(self, term_vals: List[Handle]) -> Tuple[Handle, Dict[str, Handle]]:
+        """Returns the final value handle and final per-lhs-var crd handles."""
+        crd_final = {
+            u: self.crd_override.get(u, self.merged[(0, u)]) for u in self.lhs_vars
+        }
+        if len(term_vals) == 1:
+            return term_vals[0], crd_final
+        if self.strategy == "scan":
+            val = term_vals[0]
+            for ti, other in enumerate(term_vals[1:], start=1):
+                op = "add" if self.asg.terms[ti].sign > 0 else "sub"
+                alu = self.graph.add("alu", name=f"combine_{ti}", op=op)
+                self._connect(val, alu, "a", "vals")
+                self._connect(other, alu, "b", "vals")
+                val = (alu, "val")
+            return val, crd_final
+        # Post-compute union at the single result variable: the unioner
+        # merges per-term (coordinate, value) outputs; values ride on the
+        # reference ports (tokens are opaque to mergers).
+        v0 = self.lhs_vars[0]
+        union = self.graph.add("union", name=f"union_post_{v0}", var=v0, sides=[1] * len(term_vals))
+        for ti, val in enumerate(term_vals):
+            term_crd = self._term_final_crd(ti, v0)
+            self._connect(term_crd, union, f"crd{ti}", "crd")
+            self._connect(val, union, f"ref{ti}_0", "vals")
+        out_val = (union, "ref0_0")
+        val = out_val
+        for ti in range(1, len(term_vals)):
+            op = "add" if self.asg.terms[ti].sign > 0 else "sub"
+            alu = self.graph.add("alu", name=f"combine_{ti}", op=op)
+            self._connect(val, alu, "a", "vals")
+            self._connect((union, f"ref{ti}_0"), alu, "b", "vals")
+            val = (alu, "val")
+        crd_final = {v0: (union, "crd")}
+        return val, crd_final
+
+    def _term_final_crd(self, ti: int, var: str) -> Handle:
+        """A term's output coordinate stream for *var* (post reductions)."""
+        override = self._term_overrides.get((ti, var))
+        if override is not None:
+            return override
+        return self.merged[(ti, var)]
+
+    # -- construction (section 3.7) -----------------------------------------
+    def _lower_construction(self, val: Handle, crd_final: Dict[str, Handle]) -> LoweredInfo:
+        writer_nodes: Dict[str, str] = {}
+        if self.lhs_vars and not self.matrix_covered:
+            vanish = set()
+            v_last = self.lhs_vars[-1]
+            needs_value_drop = self.has_scalar_reduce or self.strategy == "post"
+            if needs_value_drop:
+                drop = self.graph.add(
+                    "crd_drop", name=f"valdrop_{v_last}", mode="value", var=v_last
+                )
+                self._connect(crd_final[v_last], drop, "outer", "crd")
+                self._connect(val, drop, "inner", "vals")
+                crd_final[v_last] = (drop, "outer")
+                val = (drop, "inner")
+                vanish.add(v_last)
+            if self.vector_kept is not None:
+                vanish.add(self.vector_kept)
+            vanish.update(v for v in self.lhs_vars if v in self.intersect_at)
+            # Fiber droppers cascade from the innermost vanishing level out.
+            for idx in range(len(self.lhs_vars) - 1, 0, -1):
+                inner_var = self.lhs_vars[idx]
+                outer_var = self.lhs_vars[idx - 1]
+                below_can_vanish = any(
+                    self.lhs_vars[q] in vanish for q in range(idx, len(self.lhs_vars))
+                )
+                if not below_can_vanish:
+                    continue
+                drop = self.graph.add(
+                    "crd_drop",
+                    name=f"crddrop_{outer_var}_{inner_var}",
+                    mode="fiber",
+                    var=outer_var,
+                )
+                self._connect(crd_final[outer_var], drop, "outer", "crd")
+                self._connect(crd_final[inner_var], drop, "inner", "crd")
+                crd_final[outer_var] = (drop, "outer")
+                crd_final[inner_var] = (drop, "inner")
+        for u in self.lhs_vars:
+            writer = self.graph.add(
+                "level_writer",
+                name=f"write_{self.asg.lhs.tensor}_{u}",
+                format="compressed",
+                var=u,
+            )
+            self._connect(crd_final[u], writer, "crd", "crd")
+            writer_nodes[u] = writer.name
+        vals_writer = self.graph.add(
+            "vals_writer", name=f"write_{self.asg.lhs.tensor}_vals"
+        )
+        self._connect(val, vals_writer, "val", "vals")
+
+        dim_sources: Dict[str, Tuple[str, int]] = {}
+        for access in self.asg.accesses:
+            for axis, var in enumerate(access.indices):
+                dim_sources.setdefault(var, (access.tensor, axis))
+        scalar_inputs = tuple(
+            sorted({a.tensor for a in self.asg.accesses if a.is_scalar})
+        )
+        merged_nodes = {}
+        for (ti, v), handle in self.merged.items():
+            if ti == 0:
+                merged_nodes[v] = handle[0].name
+        return LoweredInfo(
+            output=self.asg.lhs,
+            order=self.order,
+            lhs_vars=self.lhs_vars,
+            writer_nodes=writer_nodes,
+            vals_writer_node=vals_writer.name,
+            dim_sources=dim_sources,
+            scalar_inputs=scalar_inputs,
+            strategy=self.strategy,
+            merged_crd_nodes=merged_nodes,
+        )
+
+    # -- driver ---------------------------------------------------------
+    def lower(self) -> Tuple[SamGraph, LoweredInfo]:
+        self._build_states()
+        self._choose_strategy()
+        self._check_reductions()
+        self._lower_iteration()
+        self._term_overrides: Dict[Tuple[int, str], Handle] = {}
+        term_vals: List[Handle] = []
+        for ti, term in enumerate(self.asg.terms):
+            saved = dict(self.crd_override)
+            self.crd_override = {}
+            term_vals.append(self._lower_term_compute(ti, term))
+            for var, handle in self.crd_override.items():
+                self._term_overrides[(ti, var)] = handle
+            merged_overrides = {**saved, **self.crd_override}
+            self.crd_override = merged_overrides
+        val, crd_final = self._combine_terms(term_vals)
+        info = self._lower_construction(val, crd_final)
+        self.graph.validate()
+        return self.graph, info
+
+
+def lower(
+    cin: ConcreteIndexNotation,
+    formats: FormatSpec,
+    coordinate_skipping: bool = False,
+) -> Tuple[SamGraph, LoweredInfo]:
+    """Lower concrete index notation to a SAM dataflow graph."""
+    return _Lowerer(cin, formats, coordinate_skipping).lower()

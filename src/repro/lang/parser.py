@@ -1,0 +1,129 @@
+"""Parser for tensor index notation.
+
+Accepts the notation the paper writes expressions in, e.g.::
+
+    X(i,j) = B(i,k) * C(k,j)
+    x(i)   = b(i) - C(i,j) * d(j)
+    x(i)   = alpha * B(j,i) * c(j) + beta * d(i)
+    chi    = B(i,j,k) * C(i,j,k)
+
+Reductions are implicit (Einstein summation): any rhs variable missing
+from the lhs is summed over.  Identifiers without parentheses are named
+scalars; numeric literals fold into the term coefficient.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ast import Access, Assignment, ExpressionError, Term, validate_for_lowering
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d*)?|\.\d+)|(?P<ident>[A-Za-z_]\w*)|(?P<sym>[(),*+=\-]))"
+)
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ExpressionError(f"cannot tokenize {text[pos:]!r}")
+            break
+        if match.lastgroup is None or match.group(match.lastgroup) is None:
+            break
+        tokens.append((match.lastgroup, match.group(match.lastgroup)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], text: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return ("eof", "")
+
+    def take(self, kind=None, value=None) -> Tuple[str, str]:
+        token = self.peek()
+        if kind is not None and token[0] != kind:
+            raise ExpressionError(
+                f"expected {kind}, got {token[1]!r} in {self.text!r}"
+            )
+        if value is not None and token[1] != value:
+            raise ExpressionError(
+                f"expected {value!r}, got {token[1]!r} in {self.text!r}"
+            )
+        self.pos += 1
+        return token
+
+    # grammar: assignment := access '=' expr
+    def assignment(self) -> Assignment:
+        lhs = self.access()
+        self.take("sym", "=")
+        terms = self.expr()
+        self.take("eof") if False else None
+        if self.peek()[0] != "eof":
+            raise ExpressionError(f"trailing input {self.peek()[1]!r} in {self.text!r}")
+        assignment = Assignment(lhs, terms)
+        validate_for_lowering(assignment)
+        return assignment
+
+    # expr := ['-'] term (('+'|'-') term)*
+    def expr(self) -> List[Term]:
+        terms = []
+        sign = 1
+        if self.peek() == ("sym", "-"):
+            self.take()
+            sign = -1
+        terms.append(self.term(sign))
+        while self.peek()[0] == "sym" and self.peek()[1] in "+-":
+            op = self.take()[1]
+            terms.append(self.term(1 if op == "+" else -1))
+        return terms
+
+    # term := factor ('*' factor)*
+    def term(self, sign: int) -> Term:
+        term = Term(sign=sign)
+        self.factor(term)
+        while self.peek() == ("sym", "*"):
+            self.take()
+            self.factor(term)
+        return term
+
+    # factor := access | scalar-ident | number
+    def factor(self, term: Term) -> None:
+        kind, value = self.peek()
+        if kind == "num":
+            self.take()
+            term.coefficient *= float(value)
+            return
+        if kind == "ident":
+            term.accesses.append(self.access())
+            return
+        raise ExpressionError(f"expected a factor, got {value!r} in {self.text!r}")
+
+    # access := ident ['(' ident (',' ident)* ')']
+    def access(self) -> Access:
+        name = self.take("ident")[1]
+        if self.peek() != ("sym", "("):
+            return Access(name, ())
+        self.take("sym", "(")
+        indices = [self.take("ident")[1]]
+        while self.peek() == ("sym", ","):
+            self.take()
+            indices.append(self.take("ident")[1])
+        self.take("sym", ")")
+        return Access(name, tuple(indices))
+
+
+def parse(text: str) -> Assignment:
+    """Parse tensor index notation into a sum-of-products Assignment."""
+    return _Parser(tokenize(text), text).assignment()

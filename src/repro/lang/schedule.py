@@ -1,0 +1,62 @@
+"""The scheduling language and concrete index notation (paper sections 2.2, 5).
+
+The schedule fixes the dataflow: the index-variable iteration order
+(TACO's ``reorder``).  Applying a schedule to a parsed assignment yields
+*concrete index notation* — the abstract ``forall`` nest of Figure 10 —
+which is what the lowering pass consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .ast import Assignment, ExpressionError
+
+
+@dataclass
+class Schedule:
+    """Scheduling directives; only ``reorder`` affects lowering today."""
+
+    reorder: Optional[Tuple[str, ...]] = None
+
+    @classmethod
+    def coerce(cls, value) -> "Schedule":
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(reorder=tuple(value))
+
+
+@dataclass
+class ConcreteIndexNotation:
+    """A scheduled assignment: ``forall v1 forall v2 ... lhs = expr``.
+
+    The paper's Figure 10 shows this as ``∀i ∀k ∀j  X_ij = Σ_k(B_ik*C_kj)``.
+    """
+
+    order: Tuple[str, ...]
+    assignment: Assignment
+
+    def __str__(self) -> str:
+        foralls = " ".join(f"forall {v}" for v in self.order)
+        return f"{foralls}: {self.assignment}"
+
+
+def default_order(assignment: Assignment) -> Tuple[str, ...]:
+    """Alphabetical dataflow ordering, the Table 1 default."""
+    return tuple(sorted(assignment.all_vars))
+
+
+def apply_schedule(assignment: Assignment, schedule: Schedule) -> ConcreteIndexNotation:
+    """Produce concrete index notation from an assignment and schedule."""
+    if schedule.reorder is not None:
+        order = tuple(schedule.reorder)
+        if sorted(order) != sorted(assignment.all_vars):
+            raise ExpressionError(
+                f"reorder {order} must be a permutation of {assignment.all_vars}"
+            )
+    else:
+        order = default_order(assignment)
+    return ConcreteIndexNotation(order, assignment)

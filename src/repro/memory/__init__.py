@@ -1,0 +1,20 @@
+"""Finite-memory modelling: tiling, buffer hierarchy, ExTensor recreation."""
+
+from .extensor import ExTensorConfig, ExTensorResult, extensor_spmm_cycles
+from .tilegraph import TiledSpMMResult, sequence_tile_pairs, tiled_spmm
+from .hierarchy import BufferModel, DramModel, NBufferedPipeline
+from .tiling import TileInfo, TiledMatrix
+
+__all__ = [
+    "BufferModel",
+    "DramModel",
+    "ExTensorConfig",
+    "ExTensorResult",
+    "NBufferedPipeline",
+    "TileInfo",
+    "TiledMatrix",
+    "TiledSpMMResult",
+    "extensor_spmm_cycles",
+    "sequence_tile_pairs",
+    "tiled_spmm",
+]

@@ -1,0 +1,87 @@
+"""Tensor tiling (paper section 4.1, Figure 9).
+
+Tiling splits a fibertree level into multiple levels and reorders them to
+produce fixed-size sub-tensors.  The outer levels hold *tile IDs* that a
+SAM tile-sequencing graph coiterates (tile IDs are coordinates and the
+values are references to tiles), while the inner levels are the tiles the
+computation graph runs over.
+
+:class:`TiledMatrix` captures exactly that split for matrices: a sparse
+outer structure of nonempty (tile-row, tile-col) IDs, each holding a
+scipy CSR tile that fits the accelerator's memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass
+class TileInfo:
+    """Metadata for one nonempty tile."""
+
+    row: int
+    col: int
+    nnz: int
+    bytes: int
+
+
+class TiledMatrix:
+    """A sparse matrix split into fixed-size tiles with a sparse tile map."""
+
+    def __init__(self, matrix, tile_size: int):
+        matrix = sparse.csr_matrix(matrix)
+        self.shape = matrix.shape
+        self.tile_size = tile_size
+        self.grid = (
+            -(-matrix.shape[0] // tile_size),
+            -(-matrix.shape[1] // tile_size),
+        )
+        self.tiles: Dict[Tuple[int, int], sparse.csr_matrix] = {}
+        coo = matrix.tocoo()
+        buckets: Dict[Tuple[int, int], list] = {}
+        for r, c, v in zip(coo.row, coo.col, coo.data):
+            key = (r // tile_size, c // tile_size)
+            buckets.setdefault(key, []).append((r % tile_size, c % tile_size, v))
+        for key, entries in buckets.items():
+            rows, cols, vals = zip(*entries)
+            height = min(tile_size, matrix.shape[0] - key[0] * tile_size)
+            width = min(tile_size, matrix.shape[1] - key[1] * tile_size)
+            self.tiles[key] = sparse.csr_matrix(
+                (vals, (rows, cols)), shape=(height, width)
+            )
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def num_nonempty_tiles(self) -> int:
+        return len(self.tiles)
+
+    def tile(self, row: int, col: int):
+        return self.tiles.get((row, col))
+
+    def tile_nnz(self, row: int, col: int) -> int:
+        tile = self.tiles.get((row, col))
+        return 0 if tile is None else tile.nnz
+
+    def tile_bytes(self, row: int, col: int, value_bytes: int = 8, index_bytes: int = 4) -> int:
+        """Approximate DCSR storage footprint of one tile."""
+        nnz = self.tile_nnz(row, col)
+        if nnz == 0:
+            return 0
+        tile = self.tiles[(row, col)]
+        nonempty_rows = int(np.count_nonzero(np.diff(tile.indptr)))
+        return nnz * (value_bytes + index_bytes) + nonempty_rows * 2 * index_bytes
+
+    def row_tiles(self, row: int) -> Iterator[TileInfo]:
+        for (r, c), tile in self.tiles.items():
+            if r == row:
+                yield TileInfo(r, c, tile.nnz, self.tile_bytes(r, c))
+
+    def occupancy(self) -> float:
+        """Fraction of grid tiles that are nonempty (tile-skipping leverage)."""
+        total = self.grid[0] * self.grid[1]
+        return self.num_nonempty_tiles / total if total else 0.0

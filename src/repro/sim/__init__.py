@@ -1,0 +1,13 @@
+"""Cycle-approximate SAM simulator."""
+
+from .engine import CycleEngine, DeadlockError, SimulationReport, run_blocks
+from .stats import TokenBreakdown, channel_breakdown
+
+__all__ = [
+    "CycleEngine",
+    "DeadlockError",
+    "SimulationReport",
+    "TokenBreakdown",
+    "channel_breakdown",
+    "run_blocks",
+]

@@ -1,0 +1,63 @@
+"""Stream and block statistics (paper section 6.4, Figure 14).
+
+The stream-analysis study classifies every token on a stream into
+non-control, stop, done — plus *idle* cycles, the cycles a stream's
+producer spent finished-or-stalled while the rest of the graph worked
+(the dominant category for outer-level scanners in Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..streams.channel import Channel
+
+
+@dataclass
+class TokenBreakdown:
+    """Token composition of one stream over a whole run."""
+
+    data: int
+    stop: int
+    done: int
+    empty: int
+    idle: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.data + self.stop + self.done + self.empty + self.idle
+
+    def fractions(self) -> Dict[str, float]:
+        """Fractions of each category (idle included), as Figure 14 plots."""
+        total = self.total
+        if total == 0:
+            return {"data": 0.0, "stop": 0.0, "done": 0.0, "empty": 0.0, "idle": 0.0}
+        return {
+            "data": self.data / total,
+            "stop": self.stop / total,
+            "done": self.done / total,
+            "empty": self.empty / total,
+            "idle": self.idle / total,
+        }
+
+    def control_overhead(self) -> float:
+        """Non-idle control fraction: (stop + done + empty) / non-idle tokens."""
+        busy = self.data + self.stop + self.done + self.empty
+        if busy == 0:
+            return 0.0
+        return (self.stop + self.done + self.empty) / busy
+
+
+def channel_breakdown(channel: Channel, total_cycles: int = 0) -> TokenBreakdown:
+    """Token breakdown for a channel; idle = cycles with no token pushed."""
+    counts = channel.token_counts()
+    pushed = sum(counts.values())
+    idle = max(0, total_cycles - pushed)
+    return TokenBreakdown(
+        data=counts["data"],
+        stop=counts["stop"],
+        done=counts["done"],
+        empty=counts["empty"],
+        idle=idle,
+    )

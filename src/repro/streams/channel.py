@@ -1,0 +1,116 @@
+"""Channels: the wires of the simulated SAM dataflow graph.
+
+A :class:`Channel` is an unbounded FIFO connecting an upstream block port
+to a downstream one.  Channels count every pushed token by type so the
+stream-composition study (Figure 14) can be computed for any edge without
+instrumenting the blocks themselves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .stream import Stream
+from .token import is_data, is_done, is_empty, is_stop
+
+
+class Channel:
+    """Unbounded FIFO with per-token-type statistics.
+
+    The paper's cycle-approximate simulator assumes infinite input queues;
+    a ``capacity`` may still be given to model finite hardware FIFOs, in
+    which case :meth:`full` lets producers stall.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "capacity",
+        "queue",
+        "pushed_data",
+        "pushed_stop",
+        "pushed_done",
+        "pushed_empty",
+        "history",
+        "record",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        kind: str = "crd",
+        capacity: Optional[int] = None,
+        record: bool = False,
+    ):
+        self.name = name
+        self.kind = kind
+        self.capacity = capacity
+        self.queue: Deque = deque()
+        self.pushed_data = 0
+        self.pushed_stop = 0
+        self.pushed_done = 0
+        self.pushed_empty = 0
+        self.record = record
+        self.history: list = []
+
+    # -- queue protocol ------------------------------------------------------
+    def push(self, token) -> None:
+        if self.full():
+            raise OverflowError(f"channel {self.name!r} is full")
+        self.queue.append(token)
+        if self.record:
+            self.history.append(token)
+        if is_stop(token):
+            self.pushed_stop += 1
+        elif is_done(token):
+            self.pushed_done += 1
+        elif is_empty(token):
+            self.pushed_empty += 1
+        else:
+            self.pushed_data += 1
+
+    def push_all(self, tokens) -> None:
+        for token in tokens:
+            self.push(token)
+
+    def pop(self):
+        return self.queue.popleft()
+
+    def peek(self):
+        return self.queue[0]
+
+    def empty(self) -> bool:
+        return not self.queue
+
+    def full(self) -> bool:
+        return self.capacity is not None and len(self.queue) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # -- statistics ----------------------------------------------------------
+    @property
+    def pushed_total(self) -> int:
+        return self.pushed_data + self.pushed_stop + self.pushed_done + self.pushed_empty
+
+    def token_counts(self) -> dict:
+        """Counts by token type for everything ever pushed on this channel."""
+        return {
+            "data": self.pushed_data,
+            "stop": self.pushed_stop,
+            "done": self.pushed_done,
+            "empty": self.pushed_empty,
+        }
+
+    def drain(self) -> list:
+        """Pop and return every queued token (used by sinks and tests)."""
+        out = list(self.queue)
+        self.queue.clear()
+        return out
+
+    def recorded_stream(self) -> Stream:
+        """The full token history as a Stream (requires ``record=True``)."""
+        if not self.record:
+            raise RuntimeError(f"channel {self.name!r} was not recording")
+        return Stream(list(self.history), kind=self.kind)

@@ -1,0 +1,138 @@
+"""Conversion between flattened streams and nested Python lists.
+
+Section 3.2 of the paper: "Streams can be interpreted as variable-length
+nested lists where each stop token represents a parenthesis."  The value
+stream ``1, S0, 2, 3, S0, 4, 5, S1, D`` (arrival order) represents the
+nested level ``((1,), (2, 3), (4, 5))``.
+
+These converters are the main debugging and testing aid of the library:
+every block test round-trips its streams through nested form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .stream import Stream, StreamError
+from .token import DONE, EMPTY, Stop, is_data, is_done, is_empty, is_stop
+
+
+def nesting_depth(nested) -> int:
+    """Depth of a nested-list structure (a flat list of scalars has depth 1)."""
+    if not isinstance(nested, (list, tuple)):
+        return 0
+    if not nested:
+        return 1
+    return 1 + max(nesting_depth(item) for item in nested)
+
+
+def to_stream(nested: Sequence, kind: str = "crd") -> Stream:
+    """Flatten a nested list into a SAM stream with hierarchical stops.
+
+    The nesting must be uniform: every leaf sits at the same depth.  An
+    empty *innermost* list becomes an empty fiber (a bare stop token,
+    producing the consecutive-stop patterns of Figure 8); empty fibers at
+    intermediate levels have no canonical single-token encoding and are
+    rejected.  ``None`` leaves become ``N`` empty tokens.
+
+    Stop encoding (Figure 1d): every innermost fiber ends with a stop
+    whose level counts how many enclosing fibers end at the same point —
+    the last fiber of a parent promotes its trailing stop by one, at
+    every level including the outermost.
+    """
+    depth = nesting_depth(nested)
+    if depth == 0:
+        raise StreamError("to_stream expects a (possibly nested) list")
+    tokens: List = []
+
+    def emit(node, level: int) -> None:
+        if level == depth - 1:
+            for leaf in node:
+                tokens.append(EMPTY if leaf is None else leaf)
+            tokens.append(Stop(0))
+            return
+        if not node:
+            raise StreamError(
+                "empty fibers are only representable at the innermost level"
+            )
+        for child in node:
+            if not isinstance(child, (list, tuple)):
+                raise StreamError("non-uniform nesting in to_stream input")
+            emit(child, level + 1)
+        # Last child of this fiber: its trailing stop also closes us.
+        tokens[-1] = Stop(tokens[-1].level + 1)
+
+    if depth == 1:
+        tokens.extend(EMPTY if leaf is None else leaf for leaf in nested)
+        tokens.append(Stop(0))
+    else:
+        emit(nested, 0)
+        # Undo the outermost promotion: the root list is the level itself,
+        # not a fiber inside a parent... except the paper's streams do end
+        # with the promoted stop (Figure 1d ends in S1 for a matrix), so
+        # keep it.
+    tokens.append(DONE)
+    return Stream(tokens, kind=kind)
+
+
+def from_stream(stream) -> list:
+    """Rebuild the nested-list view of a stream.
+
+    The result's depth is ``max stop level + 2`` (data level plus one list
+    level per stop level).  Empty tokens become ``None`` leaves.  Streams
+    with no stop tokens at all (e.g. a scalar result ``v, D``) come back
+    as a flat list.
+    """
+    tokens = stream.tokens if isinstance(stream, Stream) else list(stream)
+    if not tokens or not is_done(tokens[-1]):
+        raise StreamError("from_stream requires a D-terminated stream")
+    body = tokens[:-1]
+    max_level = -1
+    for tok in body:
+        if is_stop(tok):
+            max_level = max(max_level, tok.level)
+    if max_level < 0:
+        return [None if is_empty(t) else t for t in body]
+
+    # stack[d] collects children at nesting depth d; depth 0 is outermost.
+    depth = max_level + 2
+    stack: List[list] = [[] for _ in range(depth)]
+    for tok in body:
+        if is_data(tok) or is_empty(tok):
+            stack[-1].append(None if is_empty(tok) else tok)
+        elif is_stop(tok):
+            # Sn closes the innermost fiber and n enclosing fibers.
+            for _ in range(tok.level + 1):
+                if len(stack) < 2:
+                    raise StreamError("stop token closes beyond the outermost level")
+                closed = stack.pop()
+                stack[-1].append(closed)
+            stack.extend([] for _ in range(tok.level + 1))
+        else:  # pragma: no cover - validated above
+            raise StreamError(f"unexpected token {tok!r}")
+    # Unclosed trailing fibers (streams typically close everything before D,
+    # but scalar tails may not); fold any non-empty remnants inward.
+    for d in range(depth - 1, 0, -1):
+        if stack[d]:
+            stack[d - 1].append(stack[d])
+    # The outermost stack level is a *virtual root fiber*: a well-formed
+    # stream's final promoted stop (Figure 1d's trailing S1) closes it,
+    # leaving the actual nested level as its single child.
+    if len(stack[0]) == 1 and isinstance(stack[0][0], list):
+        return stack[0][0]
+    return stack[0]
+
+
+def flatten_values(nested) -> list:
+    """All leaves of a nested list, in order (Nones included)."""
+    out: list = []
+
+    def walk(node):
+        if isinstance(node, (list, tuple)):
+            for child in node:
+                walk(child)
+        else:
+            out.append(node)
+
+    walk(nested)
+    return out

@@ -1,0 +1,111 @@
+"""Stream containers and helpers (paper section 3.2).
+
+A :class:`Stream` wraps a list of tokens in arrival order and knows which
+of the three SAM stream kinds it is: a coordinate stream (``crd``), a
+reference stream (``ref``), or a value stream (``vals``).  Bitvector
+streams (section 4.3) reuse the same container with ``kind="bv"``; each
+data token is then an integer bit mask covering ``b`` coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from .token import DONE, Stop, is_data, is_done, is_stop, token_repr
+
+STREAM_KINDS = ("crd", "ref", "vals", "bv", "repsig")
+
+
+class StreamError(ValueError):
+    """Raised when a token sequence is not a well-formed SAM stream."""
+
+
+class Stream:
+    """A SAM stream: tokens in arrival order, ending with ``D``.
+
+    The paper prints streams right-to-left; :meth:`paper_str` reproduces
+    that rendering for easy cross-checking against the figures.
+    """
+
+    __slots__ = ("tokens", "kind")
+
+    def __init__(self, tokens: Iterable, kind: str = "crd"):
+        if kind not in STREAM_KINDS:
+            raise StreamError(f"unknown stream kind {kind!r}")
+        self.tokens: List = list(tokens)
+        self.kind = kind
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator:
+        return iter(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __getitem__(self, idx):
+        return self.tokens[idx]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Stream):
+            return self.tokens == other.tokens
+        return self.tokens == list(other)
+
+    def __repr__(self) -> str:
+        return f"Stream({self.paper_str()!r}, kind={self.kind!r})"
+
+    # -- inspection ----------------------------------------------------------
+    def paper_str(self) -> str:
+        """Render the stream the way the paper does (first token rightmost)."""
+        return ", ".join(token_repr(t) for t in reversed(self.tokens))
+
+    def data_tokens(self) -> List:
+        """All non-control tokens, in arrival order."""
+        return [t for t in self.tokens if is_data(t)]
+
+    def max_stop_level(self) -> int:
+        """Highest stop level present (-1 if the stream has no stops)."""
+        levels = [t.level for t in self.tokens if is_stop(t)]
+        return max(levels) if levels else -1
+
+    def validate(self) -> "Stream":
+        """Check well-formedness; returns self so calls can be chained.
+
+        A well-formed stream has exactly one ``D``, as its final token.
+        """
+        if not self.tokens:
+            raise StreamError("stream is empty (missing D token)")
+        if not is_done(self.tokens[-1]):
+            raise StreamError(f"stream does not end with D: {self.paper_str()}")
+        for tok in self.tokens[:-1]:
+            if is_done(tok):
+                raise StreamError(f"D token before end of stream: {self.paper_str()}")
+        return self
+
+
+def stream_from_paper(text: str, kind: str = "crd") -> Stream:
+    """Parse the paper's right-to-left textual stream notation.
+
+    ``stream_from_paper("D, S0, 3, 1, 0")`` yields the stream whose
+    arrival order is ``0, 1, 3, S0, D``.  Numbers containing a ``.`` are
+    parsed as floats, everything else as ints.
+    """
+    tokens = []
+    for part in reversed([p.strip() for p in text.split(",") if p.strip()]):
+        if part == "D":
+            tokens.append(DONE)
+        elif part == "N":
+            from .token import EMPTY
+
+            tokens.append(EMPTY)
+        elif part.startswith("S"):
+            tokens.append(Stop(int(part[1:])))
+        elif "." in part:
+            tokens.append(float(part))
+        else:
+            tokens.append(int(part))
+    return Stream(tokens, kind=kind)
+
+
+def root_ref_stream() -> Stream:
+    """The ``D, 0`` root reference stream that kicks off tensor iteration."""
+    return Stream([0, DONE], kind="ref")

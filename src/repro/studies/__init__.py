@@ -1,0 +1,5 @@
+"""Reproduction drivers, one per table/figure of the paper's evaluation."""
+
+from . import fig11, fig12, fig13, fig14, fig15, table1, table2
+
+__all__ = ["fig11", "fig12", "fig13", "fig14", "fig15", "table1", "table2"]

@@ -1,0 +1,115 @@
+"""Figure 13 reproduction: iteration acceleration techniques.
+
+Element-wise sparse-vector multiply over size-2000 vectors in six
+configurations (Dense, Crd, Crd+skip, Crd+split, BV, BV+split), swept
+three ways exactly as in section 6.3:
+
+* (a) nonzeros of uniformly random vectors (performance vs. sparsity);
+* (b) run length of `runs` vectors (coordinate skipping's best case);
+* (c) block size of `blocks` vectors.
+
+The paper's parameters: vectors of dimension 2000; for runs/blocks, 400
+nonzeros (20%); bitvector width b = 64; split factor s = 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..data.synthetic import blocks_vectors, runs_vectors, urandom_vector
+from ..kernels.elementwise import CONFIGS, vecmul
+
+
+@dataclass
+class Fig13Point:
+    sweep: str  # "nnz" | "run_length" | "block_size"
+    x: int
+    config: str
+    cycles: int
+    correct: bool
+
+
+def _measure(sweep: str, x: int, b, c, configs, split, bits) -> List[Fig13Point]:
+    points = []
+    for config in configs:
+        result = vecmul(config, b, c, split=split, bits_per_word=bits)
+        points.append(
+            Fig13Point(sweep, x, config, result.cycles, result.check_against(b, c))
+        )
+    return points
+
+
+def run_fig13a(
+    size: int = 2000,
+    nnz_sweep: Tuple[int, ...] = (5, 10, 20, 50, 100, 200, 400, 800),
+    split: int = 50,
+    bits_per_word: int = 64,
+    seed: int = 0,
+) -> List[Fig13Point]:
+    """(a) performance vs. sparsity of uniformly random vectors."""
+    points = []
+    for nnz in nnz_sweep:
+        b = urandom_vector(size, nnz, seed=seed)
+        c = urandom_vector(size, nnz, seed=seed + 1)
+        points += _measure("nnz", nnz, b, c, CONFIGS, split, bits_per_word)
+    return points
+
+
+def run_fig13b(
+    size: int = 2000,
+    nnz: int = 400,
+    run_sweep: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+    split: int = 50,
+    bits_per_word: int = 64,
+    seed: int = 0,
+) -> List[Fig13Point]:
+    """(b) performance vs. run length of `runs` vectors."""
+    points = []
+    for run_length in run_sweep:
+        b, c = runs_vectors(size, nnz, run_length, seed=seed)
+        points += _measure("run_length", run_length, b, c, CONFIGS, split, bits_per_word)
+    return points
+
+
+def run_fig13c(
+    size: int = 2000,
+    nnz: int = 400,
+    block_sweep: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    split: int = 50,
+    bits_per_word: int = 64,
+    seed: int = 0,
+) -> List[Fig13Point]:
+    """(c) performance vs. block size of blocked vectors."""
+    points = []
+    for block_size in block_sweep:
+        b, c = blocks_vectors(size, nnz, block_size, seed=seed)
+        points += _measure("block_size", block_size, b, c, CONFIGS, split, bits_per_word)
+    return points
+
+
+def format_fig13(points: List[Fig13Point]) -> str:
+    xs = sorted({p.x for p in points})
+    sweep = points[0].sweep if points else "?"
+    lines = [f"{sweep:>12}" + "".join(f"{c:>11}" for c in CONFIGS)]
+    lines.append("-" * len(lines[0]))
+    for x in xs:
+        row = f"{x:>12}"
+        for config in CONFIGS:
+            cycles = next(p.cycles for p in points if p.x == x and p.config == config)
+            row += f"{cycles:>11}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def main() -> str:
+    parts = []
+    for run in (run_fig13a, run_fig13b, run_fig13c):
+        parts.append(format_fig13(run()))
+        print(parts[-1])
+        print()
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    main()

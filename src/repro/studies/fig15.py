@@ -1,0 +1,89 @@
+"""Figure 15 reproduction: the ExTensor synthetic-data study.
+
+"SpM*SpM performance across varying dimension sizes with a constant
+number of nonzeros per matrix", modelled with the finite-memory SAM
+configuration of section 6.4: two-level hierarchy (17 MB LLB, 128x128 PE
+tiles), 68.256 GB/s DRAM, hierarchical coordinate skipping, sparse tile
+skipping, and n-buffering.
+
+The three regions to reproduce: rising runtime at small dimensions (more
+non-empty tiles), then falling runtime as sparse tile skipping kicks in,
+then saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..data.synthetic import extensor_matrix
+from ..memory.extensor import ExTensorConfig, ExTensorResult, extensor_spmm_cycles
+
+#: the paper's sweep: dimensions range(1024, 15721, 1336), nnz in
+#: {5000, 10000, 25000, 50000}
+PAPER_DIMENSIONS: Tuple[int, ...] = tuple(range(1024, 15721, 1336))
+PAPER_NNZS: Tuple[int, ...] = (5000, 10000, 25000, 50000)
+
+
+@dataclass
+class Fig15Point:
+    dimension: int
+    nnz: int
+    cycles: float
+    result: ExTensorResult
+
+
+def run_fig15(
+    dimensions: Tuple[int, ...] = PAPER_DIMENSIONS,
+    nnzs: Tuple[int, ...] = PAPER_NNZS,
+    seed: int = 0,
+    config: ExTensorConfig = None,
+) -> List[Fig15Point]:
+    points = []
+    for nnz in nnzs:
+        for dim in dimensions:
+            B = extensor_matrix(dim, nnz, seed=seed)
+            C = extensor_matrix(dim, nnz, seed=seed + 1)
+            result = extensor_spmm_cycles(B, C, config)
+            points.append(Fig15Point(dim, nnz, result.cycles, result))
+    return points
+
+
+def regions(points: List[Fig15Point], nnz: int) -> Tuple[bool, bool]:
+    """Check the rise-then-fall shape for one nnz series."""
+    series = sorted(
+        [p for p in points if p.nnz == nnz], key=lambda p: p.dimension
+    )
+    cycles = [p.cycles for p in series]
+    if len(cycles) < 3:
+        return False, False
+    peak = cycles.index(max(cycles))
+    rises = peak > 0 or cycles[0] < max(cycles)
+    falls = cycles[-1] < max(cycles)
+    return rises, falls
+
+
+def format_fig15(points: List[Fig15Point]) -> str:
+    dims = sorted({p.dimension for p in points})
+    nnzs = sorted({p.nnz for p in points})
+    lines = [f"{'dim':>7}" + "".join(f"{f'{n} nnz':>16}" for n in nnzs)]
+    lines.append("-" * len(lines[0]))
+    for dim in dims:
+        row = f"{dim:>7}"
+        for nnz in nnzs:
+            cycles = next(
+                p.cycles for p in points if p.dimension == dim and p.nnz == nnz
+            )
+            row += f"{cycles:>16.0f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_fig15(run_fig15())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

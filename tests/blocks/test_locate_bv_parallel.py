@@ -1,0 +1,165 @@
+"""Tests for locators, bitvector blocks, and parallelize/serialize."""
+
+import pytest
+
+from repro.blocks import (
+    BVExpander,
+    BVIntersect,
+    BVUnion,
+    BitvectorConverter,
+    BlockError,
+    Locator,
+    Parallelizer,
+    Serializer,
+    StreamFeeder,
+)
+from repro.formats import CompressedLevel, DenseLevel
+from repro.sim.engine import run_blocks
+from repro.streams import Channel, DONE, EMPTY, Stop
+
+
+class TestLocator:
+    def _run(self, level, crd_tokens, ref_tokens, target_tokens=None):
+        crd, ref = Channel("c"), Channel("r", kind="ref")
+        oc = Channel("oc", record=True)
+        of = Channel("of", kind="ref", record=True)
+        oi = Channel("oi", kind="ref", record=True)
+        blocks = [
+            StreamFeeder(crd_tokens, crd, name="fc"),
+            StreamFeeder(ref_tokens, ref, name="fr"),
+        ]
+        target = None
+        if target_tokens is not None:
+            target = Channel("t", kind="ref")
+            blocks.append(StreamFeeder(target_tokens, target, name="ft"))
+        blocks.append(Locator(level, crd, ref, oc, of, oi, in_target_ref=target))
+        run_blocks(blocks)
+        return list(oc.history), list(of.history), list(oi.history)
+
+    def test_hit_and_miss(self):
+        level = CompressedLevel.from_fibers([[1, 4, 7]])
+        oc, of, oi = self._run(level, [1, 5, 7, Stop(0), DONE], [0, 1, 2, Stop(0), DONE])
+        assert oc == [1, EMPTY, 7, Stop(0), DONE]
+        assert of == [0, EMPTY, 2, Stop(0), DONE]
+        assert oi == [0, EMPTY, 2, Stop(0), DONE]
+
+    def test_dense_level_always_hits(self):
+        oc, of, _ = self._run(DenseLevel(10), [3, 9, Stop(0), DONE], [0, 1, Stop(0), DONE])
+        assert oc == [3, 9, Stop(0), DONE]
+        assert of == [3, 9, Stop(0), DONE]
+
+    def test_per_fiber_targets(self):
+        level = CompressedLevel.from_fibers([[1], [2]])
+        oc, of, _ = self._run(
+            level,
+            [1, Stop(0), 2, Stop(1), DONE],
+            [0, Stop(0), 1, Stop(1), DONE],
+            target_tokens=[0, 1, Stop(0), DONE],
+        )
+        assert oc == [1, Stop(0), 2, Stop(1), DONE]
+        assert of == [0, Stop(0), 1, Stop(1), DONE]
+
+    def test_statistics(self):
+        level = CompressedLevel.from_fibers([[1, 4]])
+        crd, ref = Channel("c"), Channel("r", kind="ref")
+        locator = Locator(level, crd, ref, Channel("a"), Channel("b"), Channel("d"))
+        run_blocks([
+            StreamFeeder([1, 2, Stop(0), DONE], crd, name="fc"),
+            StreamFeeder([0, 1, Stop(0), DONE], ref, name="fr"),
+            locator,
+        ])
+        assert locator.probes == 2
+        assert locator.hits == 1
+
+
+class TestBitvectorBlocks:
+    def test_converter_packs_fibers(self):
+        crd = Channel("c")
+        out = Channel("o", kind="bv", record=True)
+        run_blocks([
+            StreamFeeder([0, 2, 6, 8, 9, Stop(0), DONE], crd),
+            BitvectorConverter(11, 4, crd, out),
+        ])
+        assert list(out.history) == [0b0101, 0b0100, 0b0011, Stop(0), DONE]
+
+    def _merge(self, cls, words_a, base_a, words_b, base_b):
+        channels = {
+            name: Channel(name, kind=kind)
+            for name, kind in [
+                ("ba", "bv"), ("ra", "ref"), ("bb", "bv"), ("rb", "ref"),
+            ]
+        }
+        outs = [Channel(f"o{i}", record=True) for i in range(5)]
+        run_blocks([
+            StreamFeeder(words_a, channels["ba"], name="f1"),
+            StreamFeeder(base_a, channels["ra"], name="f2"),
+            StreamFeeder(words_b, channels["bb"], name="f3"),
+            StreamFeeder(base_b, channels["rb"], name="f4"),
+            cls(channels["ba"], channels["ra"], channels["bb"], channels["rb"],
+                *outs),
+        ])
+        return [list(o.history) for o in outs]
+
+    def test_word_wise_and(self):
+        merged, *_ = self._merge(
+            BVIntersect,
+            [0b1100, Stop(0), DONE], [0, Stop(0), DONE],
+            [0b0101, Stop(0), DONE], [0, Stop(0), DONE],
+        )
+        assert merged == [0b0100, Stop(0), DONE]
+
+    def test_word_wise_or(self):
+        merged, *_ = self._merge(
+            BVUnion,
+            [0b1100, Stop(0), DONE], [0, Stop(0), DONE],
+            [0b0101, Stop(0), DONE], [0, Stop(0), DONE],
+        )
+        assert merged == [0b1101, Stop(0), DONE]
+
+    def test_expander_popcount_refs(self):
+        chans = {n: Channel(n) for n in ("bv", "wa", "ba", "wb", "bb")}
+        oc = Channel("oc", record=True)
+        ra = Channel("ra", kind="ref", record=True)
+        rb = Channel("rb", kind="ref", record=True)
+        run_blocks([
+            StreamFeeder([0b0110, Stop(0), DONE], chans["bv"], name="f0"),
+            StreamFeeder([0b0110, Stop(0), DONE], chans["wa"], name="f1"),
+            StreamFeeder([10, Stop(0), DONE], chans["ba"], name="f2"),
+            StreamFeeder([0b1110, Stop(0), DONE], chans["wb"], name="f3"),
+            StreamFeeder([20, Stop(0), DONE], chans["bb"], name="f4"),
+            BVExpander(4, chans["bv"], chans["wa"], chans["ba"], chans["wb"],
+                       chans["bb"], oc, ra, rb),
+        ])
+        assert list(oc.history) == [1, 2, Stop(0), DONE]
+        assert list(ra.history) == [10, 11, Stop(0), DONE]
+        assert list(rb.history) == [20, 21, Stop(0), DONE]
+
+
+class TestParallelSerialize:
+    def test_round_trip(self):
+        src = Channel("s")
+        lanes = [Channel(f"l{i}") for i in range(2)]
+        out = Channel("o", record=True)
+        tokens = [0, 1, Stop(0), 2, Stop(0), 3, 4, Stop(1), DONE]
+        run_blocks([
+            StreamFeeder(tokens, src),
+            Parallelizer(src, lanes),
+            Serializer(lanes, out),
+        ])
+        assert list(out.history) == tokens
+
+    def test_lane_distribution(self):
+        src = Channel("s")
+        lanes = [Channel(f"l{i}", record=True) for i in range(2)]
+        run_blocks([
+            StreamFeeder([0, Stop(0), 1, Stop(0), DONE], src),
+            Parallelizer(src, lanes),
+        ])
+        assert list(lanes[0].history) == [0, Stop(0), Stop(0), DONE]
+        assert list(lanes[1].history) == [Stop(0), 1, Stop(0), DONE]
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(BlockError):
+            Parallelizer(Channel("s"), [])
+        with pytest.raises(BlockError):
+            Serializer([], Channel("o"))

@@ -1,0 +1,151 @@
+"""Unit and property tests for FiberTensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FiberTensor, scalar_tensor
+
+#: the Figure 1a matrix
+FIG1 = np.array(
+    [
+        [0, 1, 0, 0],
+        [2, 0, 3, 0],
+        [0, 0, 0, 0],
+        [0, 4, 0, 5],
+    ],
+    dtype=float,
+)
+
+
+class TestFigure1:
+    def test_dcsr_levels_match_figure_1c(self):
+        tensor = FiberTensor.from_numpy(FIG1)
+        assert tensor.levels[0].seg == [0, 3]
+        assert tensor.levels[0].crd == [0, 1, 3]
+        assert tensor.levels[1].seg == [0, 1, 3, 5]
+        assert tensor.levels[1].crd == [1, 0, 2, 1, 3]
+        assert tensor.vals == [1, 2, 3, 4, 5]
+
+    def test_row_without_nonzeros_not_stored(self):
+        tensor = FiberTensor.from_numpy(FIG1)
+        assert 2 not in tensor.levels[0].crd
+
+    def test_round_trip(self):
+        tensor = FiberTensor.from_numpy(FIG1)
+        assert np.array_equal(tensor.to_numpy(), FIG1)
+
+    def test_nnz_density(self):
+        tensor = FiberTensor.from_numpy(FIG1)
+        assert tensor.nnz == 5
+        assert tensor.density == 5 / 16
+
+
+class TestFormats:
+    def test_csr_dense_outer(self):
+        tensor = FiberTensor.from_numpy(FIG1, formats=("dense", "compressed"))
+        assert tensor.levels[0].format_name == "dense"
+        assert tensor.levels[1].num_fibers() == 4  # one fiber per row
+        assert np.array_equal(tensor.to_numpy(), FIG1)
+
+    def test_all_dense(self):
+        tensor = FiberTensor.from_numpy(FIG1, formats=("dense", "dense"))
+        assert len(tensor.vals) == 16
+        assert np.array_equal(tensor.to_numpy(), FIG1)
+
+    def test_bitvector_level(self):
+        tensor = FiberTensor.from_numpy(
+            FIG1, formats=("compressed", "bitvector"), bits_per_word=4
+        )
+        assert tensor.levels[1].format_name == "bitvector"
+        assert np.array_equal(tensor.to_numpy(), FIG1)
+
+    def test_transposed_mode_order(self):
+        tensor = FiberTensor.from_numpy(FIG1, mode_order=(1, 0))
+        # Storage iterates columns first but the logical matrix is intact.
+        assert np.array_equal(tensor.to_numpy(), FIG1)
+        assert tensor.levels[0].crd == [0, 1, 2, 3]  # nonempty columns
+
+    def test_format_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FiberTensor.from_numpy(FIG1, formats=("compressed",))
+
+    def test_bad_mode_order_rejected(self):
+        with pytest.raises(ValueError):
+            FiberTensor.from_numpy(FIG1, mode_order=(0, 0))
+
+
+class TestConstruction:
+    def test_from_coords_duplicates_summed(self):
+        tensor = FiberTensor.from_coords((3,), [(1,), (1,)], [2.0, 3.0])
+        assert tensor.to_numpy()[1] == 5.0
+
+    def test_from_scipy(self):
+        from scipy import sparse
+
+        matrix = sparse.csr_matrix(FIG1)
+        tensor = FiberTensor.from_scipy(matrix)
+        assert np.array_equal(tensor.to_numpy(), FIG1)
+
+    def test_scalar_tensor(self):
+        scalar = scalar_tensor(2.5)
+        assert scalar.order == 0
+        assert scalar.vals == [2.5]
+        assert scalar.to_numpy() == pytest.approx(2.5)
+
+    def test_order3_csf(self):
+        cube = np.zeros((2, 3, 4))
+        cube[0, 1, 2] = 1.0
+        cube[1, 0, 0] = 2.0
+        cube[1, 2, 3] = 3.0
+        tensor = FiberTensor.from_numpy(cube)
+        assert tensor.order == 3
+        assert np.array_equal(tensor.to_numpy(), cube)
+
+    def test_memory_footprint_positive(self):
+        assert FiberTensor.from_numpy(FIG1).memory_footprint() > 0
+
+
+# -- property-based: every format mix round-trips --------------------------
+
+matrices = st.integers(0, 6).flatmap(
+    lambda seed: st.just(
+        (np.random.default_rng(seed).random((4, 5)) < 0.4)
+        * np.random.default_rng(seed + 10).random((4, 5))
+    )
+)
+format_choices = st.sampled_from(
+    [
+        ("compressed", "compressed"),
+        ("dense", "compressed"),
+        ("compressed", "dense"),
+        ("dense", "dense"),
+        ("compressed", "bitvector"),
+    ]
+)
+orders = st.sampled_from([(0, 1), (1, 0)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices, format_choices, orders)
+def test_property_round_trip(dense, formats, mode_order):
+    tensor = FiberTensor.from_numpy(dense, formats=formats, mode_order=mode_order)
+    assert np.allclose(tensor.to_numpy(), dense)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.floats(0.1, 2.0)),
+        max_size=12,
+    )
+)
+def test_property_coo_round_trip(entries):
+    dense = np.zeros((4, 4))
+    for r, c, v in entries:
+        dense[r, c] += v
+    coords = [(r, c) for r, c, _ in entries]
+    vals = [v for _, _, v in entries]
+    tensor = FiberTensor.from_coords((4, 4), coords, vals)
+    assert np.allclose(tensor.to_numpy(), dense)

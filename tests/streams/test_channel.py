@@ -1,0 +1,65 @@
+"""Unit tests for channels (the wires of the dataflow graph)."""
+
+import pytest
+
+from repro.streams import DONE, EMPTY, Channel, Stop
+
+
+class TestQueueBehaviour:
+    def test_fifo_order(self):
+        ch = Channel("c")
+        ch.push_all([1, 2, 3])
+        assert [ch.pop(), ch.pop(), ch.pop()] == [1, 2, 3]
+
+    def test_peek_does_not_consume(self):
+        ch = Channel("c")
+        ch.push(9)
+        assert ch.peek() == 9
+        assert len(ch) == 1
+
+    def test_empty(self):
+        ch = Channel("c")
+        assert ch.empty()
+        ch.push(1)
+        assert not ch.empty()
+
+    def test_capacity(self):
+        ch = Channel("c", capacity=1)
+        ch.push(1)
+        assert ch.full()
+        with pytest.raises(OverflowError):
+            ch.push(2)
+
+    def test_drain(self):
+        ch = Channel("c")
+        ch.push_all([1, Stop(0), DONE])
+        assert ch.drain() == [1, Stop(0), DONE]
+        assert ch.empty()
+
+
+class TestStatistics:
+    def test_token_counts_by_type(self):
+        ch = Channel("c")
+        ch.push_all([1, 2, Stop(0), EMPTY, Stop(1), DONE])
+        assert ch.token_counts() == {"data": 2, "stop": 2, "done": 1, "empty": 1}
+        assert ch.pushed_total == 6
+
+    def test_counts_survive_pops(self):
+        ch = Channel("c")
+        ch.push_all([1, DONE])
+        ch.pop()
+        ch.pop()
+        assert ch.pushed_data == 1
+        assert ch.pushed_done == 1
+
+    def test_recording(self):
+        ch = Channel("c", kind="vals", record=True)
+        ch.push_all([1.5, Stop(0), DONE])
+        ch.drain()
+        stream = ch.recorded_stream()
+        assert stream.tokens == [1.5, Stop(0), DONE]
+        assert stream.kind == "vals"
+
+    def test_recording_disabled_raises(self):
+        with pytest.raises(RuntimeError):
+            Channel("c").recorded_stream()

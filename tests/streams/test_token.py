@@ -1,0 +1,84 @@
+"""Unit tests for SAM stream tokens."""
+
+import pytest
+
+from repro.streams import (
+    DONE,
+    EMPTY,
+    Stop,
+    is_control,
+    is_data,
+    is_done,
+    is_empty,
+    is_stop,
+    token_repr,
+)
+
+
+class TestStop:
+    def test_level_stored(self):
+        assert Stop(0).level == 0
+        assert Stop(3).level == 3
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            Stop(-1)
+
+    def test_equality_by_level(self):
+        assert Stop(1) == Stop(1)
+        assert Stop(1) != Stop(2)
+        assert Stop(0) != 0
+
+    def test_hashable(self):
+        assert len({Stop(0), Stop(0), Stop(1)}) == 2
+
+    def test_repr_matches_paper(self):
+        assert repr(Stop(0)) == "S0"
+        assert repr(Stop(2)) == "S2"
+
+
+class TestSingletons:
+    def test_done_is_singleton(self):
+        from repro.streams.token import _Done
+
+        assert _Done() is DONE
+
+    def test_empty_is_singleton(self):
+        from repro.streams.token import _Empty
+
+        assert _Empty() is EMPTY
+
+    def test_reprs(self):
+        assert repr(DONE) == "D"
+        assert repr(EMPTY) == "N"
+
+
+class TestPredicates:
+    def test_data_tokens(self):
+        assert is_data(5)
+        assert is_data(0)
+        assert is_data(3.25)
+        assert not is_data(Stop(0))
+        assert not is_data(DONE)
+        assert not is_data(EMPTY)
+
+    def test_control_tokens(self):
+        assert is_control(Stop(1))
+        assert is_control(DONE)
+        assert is_control(EMPTY)
+        assert not is_control(7)
+
+    def test_specific_predicates(self):
+        assert is_stop(Stop(0)) and not is_stop(DONE)
+        assert is_done(DONE) and not is_done(Stop(0))
+        assert is_empty(EMPTY) and not is_empty(0)
+
+    def test_zero_is_data_not_empty(self):
+        # 0 and 0.0 are legitimate coordinate/value tokens.
+        assert is_data(0) and is_data(0.0)
+        assert not is_empty(0)
+
+    def test_token_repr(self):
+        assert token_repr(Stop(1)) == "S1"
+        assert token_repr(DONE) == "D"
+        assert token_repr(42) == "42"

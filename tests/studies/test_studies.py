@@ -1,0 +1,79 @@
+"""Smoke tests for the reproduction studies at reduced scales."""
+
+import numpy as np
+
+from repro.studies import fig11, fig12, fig13, fig14, fig15, table1, table2
+
+
+class TestTable1:
+    def test_all_rows_match(self):
+        rows = table1.run_table1()
+        assert len(rows) == 12
+        assert all(match for *_, match in rows)
+
+    def test_formatting(self):
+        text = table1.format_table1(table1.run_table1())
+        assert "SpMV" in text and "MatTransMul" in text
+
+
+class TestTable2:
+    def test_small_corpus_ablation(self):
+        rows = table2.run_table2(distinct=40, total=500)
+        assert len(rows) == 12
+        scanners = next(r for r in rows if r.scenario == "comp_and_uncomp_level_scanners")
+        assert scanners.pct_unique == 100.0
+        for row in rows:
+            assert 0 <= row.pct_unique <= 100
+        assert "paper" in table2.format_table2(rows)
+
+
+class TestFig11:
+    def test_small_sweep(self):
+        points = fig11.run_fig11(size=12, k_sweep=(1, 4))
+        assert all(p.correct for p in points)
+        unfused = {p.k: p.cycles for p in points if p.variant == "unfused"}
+        coiter = {p.k: p.cycles for p in points if p.variant == "fused_coiter"}
+        assert unfused[4] > coiter[4]
+
+
+class TestFig12:
+    def test_small_sweep(self):
+        points = fig12.run_fig12(i=20, j=20, k=10)
+        assert len(points) == 6
+        assert all(p.correct for p in points)
+        means = fig12.family_means(points)
+        assert means["inner product"] > means["linear combination of rows"]
+
+
+class TestFig13:
+    def test_sparsity_sweep(self):
+        points = fig13.run_fig13a(size=200, nnz_sweep=(10, 40), split=10)
+        assert all(p.correct for p in points)
+
+    def test_runs_sweep(self):
+        points = fig13.run_fig13b(size=200, nnz=40, run_sweep=(2, 20), split=10)
+        assert all(p.correct for p in points)
+
+    def test_blocks_sweep(self):
+        points = fig13.run_fig13c(size=200, nnz=40, block_sweep=(2, 8), split=10)
+        assert all(p.correct for p in points)
+
+
+class TestFig14:
+    def test_small_matrices(self):
+        rows = fig14.run_fig14(max_nnz=200)
+        assert rows
+        for row in rows:
+            assert row.outer.total > 0
+            assert row.inner.fractions()["idle"] < 0.05
+        avg = fig14.averages(rows)
+        assert 0 <= avg["outer_idle_pct"] <= 100
+
+
+class TestFig15:
+    def test_mini_sweep(self):
+        points = fig15.run_fig15(dimensions=(512, 1024), nnzs=(1000,))
+        assert len(points) == 2
+        assert all(p.cycles > 0 for p in points)
+        text = fig15.format_fig15(points)
+        assert "1000 nnz" in text

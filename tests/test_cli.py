@@ -1,0 +1,38 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_parser_knows_all_studies(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "fig11", "fig12", "fig13",
+                        "fig14", "fig15", "compile"):
+            args = parser.parse_args(
+                [command] if command != "compile" else [command, "x(i) = b(i)"]
+            )
+            assert args.command == command
+
+    def test_compile_command(self, capsys):
+        assert main(["compile", "x(i) = B(i,j) * c(j)"]) == 0
+        out = capsys.readouterr().out
+        assert "primitive counts" in out
+        assert "'level_scanner': 3" in out
+
+    def test_compile_with_schedule_and_dot(self, capsys):
+        code = main([
+            "compile", "X(i,j) = B(i,k) * C(k,j)", "--schedule", "i", "k", "j",
+            "--dot",
+        ])
+        assert code == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "SpMV" in capsys.readouterr().out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
