@@ -1,0 +1,138 @@
+"""Wall-clock comparison of the simulation backends, emitting JSON.
+
+Times CycleEngine vs EventEngine vs FunctionalEngine on fig13-sized
+workloads (size-2000 element-wise vector multiplies) plus one SpM*SpM
+graph, isolating engine execution (graph binding and tensor construction
+happen outside the timed region; every engine gets a freshly bound
+graph).  EventEngine cycle counts are asserted identical to the
+reference engine; FunctionalEngine is outputs-only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py [--rounds 3] [-o out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.data.synthetic import random_sparse_matrix, urandom_vector
+from repro.formats import FiberTensor
+from repro.graph.bind import bind
+from repro.kernels.spmm import spmm_program
+from repro.lang import compile_expression
+
+ENGINES = ("cycle", "event", "functional")
+
+
+def _vecmul_case(name: str, size: int, nnz: int, dense: bool):
+    b = urandom_vector(size, nnz, seed=40)
+    c = urandom_vector(size, nnz, seed=41)
+    formats = {"b": ["dense"], "c": ["dense"]} if dense else None
+    prog = compile_expression("x(i) = b(i) * c(i)", formats=formats)
+    fmt = ("dense",) if dense else None
+    tensors = {
+        "b": FiberTensor.from_numpy(b, formats=fmt, name="b"),
+        "c": FiberTensor.from_numpy(c, formats=fmt, name="c"),
+    }
+    return name, prog.graph, tensors
+
+
+def _spmm_case(name: str, size: int, density: float, order: str):
+    B = np.asarray(random_sparse_matrix(size, size, density, seed=42), float)
+    C = np.asarray(random_sparse_matrix(size, size, density, seed=43), float)
+    prog = spmm_program(order)
+    fmtB = prog.formats.for_access(
+        next(a for a in prog.assignment.accesses if a.tensor == "B")
+    )
+    fmtC = prog.formats.for_access(
+        next(a for a in prog.assignment.accesses if a.tensor == "C")
+    )
+    tensors = {
+        "B": FiberTensor.from_numpy(B, formats=fmtB.formats,
+                                    mode_order=fmtB.mode_order, name="B"),
+        "C": FiberTensor.from_numpy(C, formats=fmtC.formats,
+                                    mode_order=fmtC.mode_order, name="C"),
+    }
+    return name, prog.graph, tensors
+
+
+def build_cases():
+    return [
+        _vecmul_case("vecmul_crd_2000_nnz400", 2000, 400, dense=False),
+        _vecmul_case("vecmul_crd_2000_nnz100", 2000, 100, dense=False),
+        _vecmul_case("vecmul_dense_2000", 2000, 400, dense=True),
+        _spmm_case("spmm_ikj_50x50_d8", 50, 0.08, "ikj"),
+        _spmm_case("spmm_ijk_40x40_d8", 40, 0.08, "ijk"),
+    ]
+
+
+def run_bench(rounds: int = 3) -> dict:
+    results = []
+    for name, graph, tensors in build_cases():
+        entry = {"workload": name, "engines": {}}
+        cycles_by_engine = {}
+        for engine in ENGINES:
+            best = None
+            for _ in range(rounds):
+                bound = bind(graph, tensors)
+                start = time.perf_counter()
+                report = bound.run(backend=engine)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            cycles_by_engine[engine] = report.cycles
+            entry["engines"][engine] = {
+                "seconds": best,
+                "cycles": report.cycles,
+            }
+        if cycles_by_engine["event"] != cycles_by_engine["cycle"]:
+            raise AssertionError(
+                f"{name}: EventEngine cycles {cycles_by_engine['event']} != "
+                f"CycleEngine cycles {cycles_by_engine['cycle']}"
+            )
+        base = entry["engines"]["cycle"]["seconds"]
+        for engine in ENGINES:
+            entry["engines"][engine]["speedup_vs_cycle"] = (
+                base / entry["engines"][engine]["seconds"]
+            )
+        results.append(entry)
+    best_functional = max(
+        e["engines"]["functional"]["speedup_vs_cycle"] for e in results
+    )
+    return {
+        "rounds": rounds,
+        "workloads": results,
+        "summary": {
+            "best_functional_speedup": best_functional,
+            "best_event_speedup": max(
+                e["engines"]["event"]["speedup_vs_cycle"] for e in results
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per engine (best is kept)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write JSON here instead of stdout")
+    args = parser.parse_args(argv)
+    payload = run_bench(rounds=args.rounds)
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,33 @@
-"""Setup shim for environments without the wheel package (offline installs)."""
+"""Packaging for the SAM reproduction (src/ layout).
 
-from setuptools import setup
+Kept as a plain setup.py so offline installs without the wheel package
+still work: ``pip install -e .`` exposes the ``repro`` package and the
+``repro`` console script without PYTHONPATH gymnastics.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-sam",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'The Sparse Abstract Machine' (ASPLOS 2023): "
+        "Custard compiler, SAM dataflow simulator with pluggable "
+        "cycle/event/functional backends, and the paper's studies"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

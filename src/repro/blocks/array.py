@@ -54,6 +54,28 @@ class ArrayLoad(Block):
             if is_done(token):
                 return
 
+    def drain(self, limit=None):
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        in_ref, out, memory = self.in_ref, self.out_data, self.memory
+        steps = 0
+        while not in_ref.empty():
+            token = in_ref.pop()
+            if is_data(token):
+                self.loads += 1
+                out.push(memory[token])
+            elif is_empty(token):
+                out.push(self.empty_value)
+            else:
+                out.push(token)
+            steps += 1
+            if is_done(token):
+                self.finished = True
+                self._wait = None
+                return True, steps
+        self._wait = (in_ref, "data")
+        return steps > 0, steps
+
 
 class ArrayStore(Block):
     """Store mode: writes data tokens at the referenced locations.

@@ -11,7 +11,7 @@ single-cycle memories.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..streams.channel import Channel
 from ..streams.token import DONE, is_data, is_done, is_stop
@@ -40,6 +40,11 @@ class Block:
         self.busy_cycles = 0
         self.stall_cycles = 0
         self._gen = None
+        #: (channel, "data"|"space") while stalled in _get/_peek/_put, else
+        #: None.  Event-driven backends read this after a stalled step to
+        #: learn which channel must receive a push (data) or a pop (space)
+        #: before stepping the block can make progress again.
+        self._wait: Optional[Tuple[Channel, str]] = None
 
     # -- wiring ---------------------------------------------------------
     def _in(self, port: str, channel: Channel) -> Channel:
@@ -71,27 +76,90 @@ class Block:
             self.stall_cycles += 1
         return bool(progressed)
 
+    def drain(self, limit: Optional[int] = None) -> Tuple[bool, int]:
+        """Resume the generator until it stalls or finishes (functional mode).
+
+        Unlike :meth:`step`, this performs no busy/stall accounting — it is
+        the fast path for correctness-only simulation.  Returns
+        ``(made_progress, resumptions)``.  *limit* is advisory: the
+        generator path stops early after that many resumptions, while
+        batched overrides may finish the input already queued before the
+        caller re-checks its budget.
+        """
+        if self.finished:
+            return False, 0
+        if self._gen is None:
+            self._gen = self._run()
+        gen = self._gen
+        progressed = False
+        steps = 0
+        try:
+            while limit is None or steps < limit:
+                steps += 1
+                if next(gen):
+                    progressed = True
+                else:
+                    return progressed, steps
+        except StopIteration:
+            self.finished = True
+        return progressed, steps
+
+    @property
+    def waiting_on(self) -> Optional[Tuple[Channel, str]]:
+        """What the last stall was blocked on: (channel, "data"|"space")."""
+        return self._wait
+
+    def _can_batch(self) -> bool:
+        """Whether a batched drain override may run instead of the generator.
+
+        Batched drains push without modelling back-pressure, so they bail
+        to the generator when any output FIFO is finite — and when the
+        generator is already live (a mixed step()/drain() run must not
+        fork the block's state).
+        """
+        return self._gen is None and all(
+            ch.capacity is None for ch in self.outputs.values()
+        )
+
     # -- generator helpers -------------------------------------------------
     def _get(self, channel: Channel):
         """Pop the next token, yielding stall cycles while the input is empty."""
         while channel.empty():
+            self._wait = (channel, "data")
             yield False
+        self._wait = None
         return channel.pop()
 
     def _peek(self, channel: Channel):
         """Peek the next token, yielding stall cycles while the input is empty."""
         while channel.empty():
+            self._wait = (channel, "data")
             yield False
+        self._wait = None
         return channel.peek()
 
-    def _emit(self, channel: Optional[Channel], token) -> None:
+    def _put(self, channel: Channel, token):
+        """Push *token*, yielding stall cycles while the channel is full.
+
+        With the default unbounded channels this never yields; with a finite
+        ``capacity`` it realises producer back-pressure instead of the
+        :class:`OverflowError` a direct ``push`` raises.
+        """
+        while channel.full():
+            self._wait = (channel, "space")
+            yield False
+        self._wait = None
+        channel.push(token)
+
+    def _emit(self, channel: Optional[Channel], token):
         """Push *token* if the port is connected (ports may be left open)."""
         if channel is not None:
-            channel.push(token)
+            yield from self._put(channel, token)
 
-    def _emit_all(self, channels: Iterable[Optional[Channel]], token) -> None:
+    def _emit_all(self, channels: Iterable[Optional[Channel]], token):
         for channel in channels:
-            self._emit(channel, token)
+            if channel is not None:
+                yield from self._put(channel, token)
 
     def __repr__(self) -> str:
         state = "done" if self.finished else "running"
@@ -110,8 +178,18 @@ class StreamFeeder(Block):
 
     def _run(self):
         for token in self.tokens:
-            self.out.push(token)
+            yield from self._put(self.out, token)
             yield True
+
+    def drain(self, limit: Optional[int] = None) -> Tuple[bool, int]:
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        out = self.out
+        for token in self.tokens:
+            out.push(token)
+        self.finished = True
+        self._wait = None
+        return bool(self.tokens), len(self.tokens)
 
 
 class RootFeeder(StreamFeeder):
@@ -141,10 +219,27 @@ class Fanout(Block):
         while True:
             token = yield from self._get(self.in_)
             for channel in self.outs:
-                channel.push(token)
+                yield from self._put(channel, token)
             yield True
             if is_done(token):
                 return
+
+    def drain(self, limit: Optional[int] = None) -> Tuple[bool, int]:
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        in_, outs = self.in_, self.outs
+        steps = 0
+        while not in_.empty():
+            token = in_.pop()
+            for channel in outs:
+                channel.push(token)
+            steps += 1
+            if is_done(token):
+                self.finished = True
+                self._wait = None
+                return True, steps
+        self._wait = (in_, "data")
+        return steps > 0, steps
 
 
 class Sink(Block):
@@ -164,6 +259,22 @@ class Sink(Block):
             yield True
             if is_done(token):
                 return
+
+    def drain(self, limit: Optional[int] = None) -> Tuple[bool, int]:
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        in_, tokens = self.in_, self.tokens
+        steps = 0
+        while not in_.empty():
+            token = in_.pop()
+            tokens.append(token)
+            steps += 1
+            if is_done(token):
+                self.finished = True
+                self._wait = None
+                return True, steps
+        self._wait = (in_, "data")
+        return steps > 0, steps
 
 
 def expect_data(token, block: Block, what: str = "data token"):

@@ -109,13 +109,13 @@ class _BVMerge(Block):
             wb = yield from self._get(self.in_bv_b)
             bb = yield from self._get(self.in_base_b)
             if is_done(wa) and is_done(wb):
-                self._emit_all(self._outs(), DONE)
+                yield from self._emit_all(self._outs(), DONE)
                 yield True
                 return
             if is_stop(wa) and is_stop(wb):
                 if wa.level != wb.level:
                     raise BlockError(f"{self.name}: misaligned stops {wa!r}/{wb!r}")
-                self._emit_all(self._outs(), wa)
+                yield from self._emit_all(self._outs(), wa)
                 yield True
                 continue
             if is_data(wa) and is_data(wb):
@@ -187,7 +187,7 @@ class BVExpander(Block):
         while True:
             merged = yield from self._get(self.in_bv)
             if is_done(merged):
-                self._emit_all(self._outs(), DONE)
+                yield from self._emit_all(self._outs(), DONE)
                 yield True
                 return
             if is_stop(merged):
@@ -198,7 +198,7 @@ class BVExpander(Block):
                     self.in_base_b,
                 ):
                     yield from self._get(channel)
-                self._emit_all(self._outs(), merged)
+                yield from self._emit_all(self._outs(), merged)
                 word_index = 0
                 yield True
                 continue

@@ -13,7 +13,7 @@ and the adder treats them as 0.
 from __future__ import annotations
 
 import operator
-from typing import Callable
+from typing import Callable, Optional, Tuple
 
 from ..streams.channel import Channel
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
@@ -24,6 +24,10 @@ OPERATORS = {
     "sub": operator.sub,
     "mul": operator.mul,
 }
+
+#: sentinel for "no token held" in batched drains (None is not a token,
+#: but a dedicated sentinel keeps that invariant out of the hot path)
+_NO_TOKEN = object()
 
 
 def _as_number(token) -> float:
@@ -52,6 +56,8 @@ class ALU(Block):
         self.in_a = self._in("in_a", in_a)
         self.in_b = self._in("in_b", in_b)
         self.out = self._out("out", out)
+        self._held_a = _NO_TOKEN
+        self._held_b = _NO_TOKEN
 
     def _drain_phantoms(self, a, b):
         """Realign around phantom zeros.
@@ -100,6 +106,61 @@ class ALU(Block):
                 continue
             raise BlockError(f"{self.name}: misaligned value streams ({a!r} vs {b!r})")
 
+    def drain(self, limit: Optional[int] = None) -> Tuple[bool, int]:
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        qa, qb, out, fn = self.in_a, self.in_b, self.out, self._fn
+        a, b = self._held_a, self._held_b
+        steps = 0
+        while True:
+            if a is _NO_TOKEN:
+                if qa.empty():
+                    self._held_a, self._held_b = a, b
+                    self._wait = (qa, "data")
+                    return steps > 0, steps
+                a = qa.pop()
+            if b is _NO_TOKEN:
+                if qb.empty():
+                    self._held_a, self._held_b = a, b
+                    self._wait = (qb, "data")
+                    return steps > 0, steps
+                b = qb.pop()
+            a_is_value = is_data(a) or is_empty(a)
+            b_is_value = is_data(b) or is_empty(b)
+            if a_is_value != b_is_value:
+                # Same phantom-zero realignment as _drain_phantoms.
+                if a_is_value:
+                    if _as_number(a) != 0.0:
+                        raise BlockError(
+                            f"{self.name}: misaligned value streams ({a!r} vs {b!r})"
+                        )
+                    a = _NO_TOKEN
+                else:
+                    if _as_number(b) != 0.0:
+                        raise BlockError(
+                            f"{self.name}: misaligned value streams ({a!r} vs {b!r})"
+                        )
+                    b = _NO_TOKEN
+                continue
+            steps += 1
+            if a_is_value:
+                out.push(fn(_as_number(a), _as_number(b)))
+            elif is_done(a) and is_done(b):
+                out.push(DONE)
+                self._held_a = self._held_b = _NO_TOKEN
+                self._wait = None
+                self.finished = True
+                return True, steps
+            elif is_stop(a) and is_stop(b):
+                if a.level != b.level:
+                    raise BlockError(f"{self.name}: misaligned stops {a!r} vs {b!r}")
+                out.push(a)
+            else:
+                raise BlockError(
+                    f"{self.name}: misaligned value streams ({a!r} vs {b!r})"
+                )
+            a = b = _NO_TOKEN
+
 
 class ScalarALU(Block):
     """One-input ALU with a folded constant (e.g. ``alpha * v``)."""
@@ -134,6 +195,25 @@ class ScalarALU(Block):
             if is_done(a):
                 return
 
+    def drain(self, limit: Optional[int] = None) -> Tuple[bool, int]:
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        qa, out, fn, const = self.in_a, self.out, self._fn, self.constant
+        steps = 0
+        while not qa.empty():
+            a = qa.pop()
+            if is_data(a) or is_empty(a):
+                out.push(fn(_as_number(a), const))
+            else:
+                out.push(a)
+            steps += 1
+            if is_done(a):
+                self.finished = True
+                self._wait = None
+                return True, steps
+        self._wait = (qa, "data")
+        return steps > 0, steps
+
 
 class Exp(Block):
     """Pass-through unary map block (utility for custom element-wise ops)."""
@@ -156,3 +236,22 @@ class Exp(Block):
             yield True
             if is_done(a):
                 return
+
+    def drain(self, limit=None):
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        qa, out, fn = self.in_a, self.out, self._fn
+        steps = 0
+        while not qa.empty():
+            a = qa.pop()
+            if is_data(a) or is_empty(a):
+                out.push(fn(_as_number(a)))
+            else:
+                out.push(a)
+            steps += 1
+            if is_done(a):
+                self.finished = True
+                self._wait = None
+                return True, steps
+        self._wait = (qa, "data")
+        return steps > 0, steps

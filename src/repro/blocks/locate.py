@@ -71,11 +71,11 @@ class Locator(Block):
                     while not self.in_target_ref.empty():
                         if is_done(self.in_target_ref.pop()):
                             break
-                self._emit_all(self._outs(), DONE)
+                yield from self._emit_all(self._outs(), DONE)
                 yield True
                 return
             if is_stop(crd):
-                self._emit_all(self._outs(), crd)
+                yield from self._emit_all(self._outs(), crd)
                 if self.in_target_ref is not None:
                     have_target = False  # next fiber probes a fresh target
                 yield True
@@ -87,13 +87,13 @@ class Locator(Block):
                         break
                 have_target = True
             if is_empty(crd) or is_empty(target):
-                self._emit_all(self._outs(), EMPTY)
+                yield from self._emit_all(self._outs(), EMPTY)
                 yield True
                 continue
             self.probes += 1
             found = self.level.locate(target, crd)
             if found is None:
-                self._emit_all(self._outs(), EMPTY)
+                yield from self._emit_all(self._outs(), EMPTY)
             else:
                 self.hits += 1
                 self.out_crd.push(crd)

@@ -26,8 +26,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..streams.channel import Channel
-from ..streams.token import DONE, EMPTY, is_data, is_done, is_stop
+from ..streams.token import DONE, EMPTY, Stop, is_data, is_done, is_stop
 from .base import Block, BlockError
+
+#: sentinel for "no token held" in the batched intersecter drain
+_NO_TOKEN = object()
 
 
 @dataclass
@@ -122,18 +125,164 @@ class Intersect(_Merger):
 
     primitive = "intersect"
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._side_fibers = [0] * self.arity
+        # Batched-drain state: completed (crd, refs) tuples per side, plus
+        # the partially-filled side being popped when an input ran dry.
+        self._tup: List = [None] * self.arity
+        self._fill_crd: List = [_NO_TOKEN] * self.arity
+        self._fill_refs: List = [[] for _ in range(self.arity)]
+
+    def _try_pop_side(self, i: int) -> bool:
+        """Batched _pop_side: True when side *i* holds a full tuple."""
+        side = self.sides[i]
+        crd = self._fill_crd[i]
+        if crd is _NO_TOKEN:
+            if side.crd.empty():
+                self._wait = (side.crd, "data")
+                return False
+            crd = self._fill_crd[i] = side.crd.pop()
+        refs = self._fill_refs[i]
+        is_ctrl = is_stop(crd) or is_done(crd)
+        while len(refs) < len(side.refs):
+            channel = side.refs[len(refs)]
+            while True:
+                if channel.empty():
+                    self._wait = (channel, "data")
+                    return False
+                ref = channel.pop()
+                if is_ctrl and is_data(ref) and ref == 0:
+                    continue  # phantom zero from a zero-policy reducer
+                break
+            refs.append(ref)
+        self._tup[i] = (crd, refs)
+        self._fill_crd[i] = _NO_TOKEN
+        self._fill_refs[i] = []
+        return True
+
+    def drain(self, limit=None):
+        # Batched m-finger merge.  Skip hints are a timing optimisation
+        # (they never change what survives the intersection), so the
+        # batched path does not emit them.
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        if self.arity == 2 and len(self.sides[0].refs) == 1 == len(self.sides[1].refs):
+            return self._drain2()
+        arity = self.arity
+        steps = 0
+        while True:
+            for i in range(arity):
+                if self._tup[i] is None and not self._try_pop_side(i):
+                    return steps > 0, steps
+            crds = [t[0] for t in self._tup]
+            steps += 1
+            if all(is_done(c) for c in crds):
+                for channel in self._all_outs():
+                    channel.push(DONE)
+                self.finished = True
+                self._wait = None
+                return True, steps
+            if all(is_stop(c) for c in crds):
+                self._check_stops(self._tup)
+                for channel in self._all_outs():
+                    channel.push(crds[0])
+                for i in range(arity):
+                    self._side_fibers[i] += 1
+                    self._tup[i] = None
+                continue
+            data_sides = [i for i, c in enumerate(crds) if is_data(c)]
+            if not data_sides:
+                # Mixed control tokens (e.g. stop vs done) never resolve;
+                # the generator would spin here, the batched path rejects.
+                raise BlockError(f"{self.name}: misaligned control tokens {crds}")
+            if len(data_sides) < arity:
+                # Some side hit its fiber boundary: drain the sides that
+                # still carry coordinates (they cannot match anything).
+                for i in data_sides:
+                    self._tup[i] = None
+                continue
+            low = min(crds)
+            if all(c == low for c in crds):
+                self.out_crd.push(low)
+                for group, (_, refs) in zip(self.out_refs, self._tup):
+                    for channel, ref in zip(group, refs):
+                        channel.push(ref)
+                for i in range(arity):
+                    self._tup[i] = None
+                continue
+            high = max(crds)
+            for i, c in enumerate(crds):
+                if c < high:
+                    self._tup[i] = None
+
+    def _drain2(self):
+        """Two-sided, one-reference-each fast path of the batched drain."""
+        tup = self._tup
+        out_crd = self.out_crd
+        out_a, out_b = self.out_refs[0][0], self.out_refs[1][0]
+        steps = 0
+        while True:
+            if tup[0] is None and not self._try_pop_side(0):
+                return steps > 0, steps
+            if tup[1] is None and not self._try_pop_side(1):
+                return steps > 0, steps
+            (ca, refs_a), (cb, refs_b) = tup
+            steps += 1
+            a_data = is_data(ca)
+            b_data = is_data(cb)
+            if a_data and b_data:
+                if ca == cb:
+                    out_crd.push(ca)
+                    out_a.push(refs_a[0])
+                    out_b.push(refs_b[0])
+                    tup[0] = tup[1] = None
+                elif ca < cb:
+                    tup[0] = None
+                else:
+                    tup[1] = None
+                continue
+            if a_data:
+                tup[0] = None  # b hit its fiber boundary: drain a
+                continue
+            if b_data:
+                tup[1] = None
+                continue
+            if ca.__class__ is Stop and cb.__class__ is Stop:
+                if ca.level != cb.level:
+                    raise BlockError(
+                        f"{self.name}: misaligned stops [{ca!r}, {cb!r}]"
+                    )
+                out_crd.push(ca)
+                out_a.push(ca)
+                out_b.push(ca)
+                self._side_fibers[0] += 1
+                self._side_fibers[1] += 1
+                tup[0] = tup[1] = None
+                continue
+            if is_done(ca) and is_done(cb):
+                out_crd.push(DONE)
+                out_a.push(DONE)
+                out_b.push(DONE)
+                self.finished = True
+                self._wait = None
+                return True, steps
+            raise BlockError(
+                f"{self.name}: misaligned control tokens [{ca!r}, {cb!r}]"
+            )
+
     def _run(self):
         self._side_fibers = [0] * self.arity
         tokens = yield from self._pop_all()
         while True:
             crds = [crd for crd, _ in tokens]
             if all(is_done(c) for c in crds):
-                self._emit_all(self._all_outs(), DONE)
+                yield from self._emit_all(self._all_outs(), DONE)
                 yield True
                 return
             if all(is_stop(c) for c in crds):
                 self._check_stops(tokens)
-                self._emit_all(self._all_outs(), crds[0])
+                yield from self._emit_all(self._all_outs(), crds[0])
                 for i in range(self.arity):
                     self._side_fibers[i] += 1
                 yield True
@@ -176,14 +325,14 @@ class Union(_Merger):
         while True:
             crds = [crd for crd, _ in tokens]
             if all(is_done(c) for c in crds):
-                self._emit_all(self._all_outs(), DONE)
+                yield from self._emit_all(self._all_outs(), DONE)
                 yield True
                 return
             data_sides = [i for i, c in enumerate(crds) if is_data(c)]
             if not data_sides:
                 # All sides at a boundary (stop); done was handled above.
                 self._check_stops(tokens)
-                self._emit_all(self._all_outs(), crds[0])
+                yield from self._emit_all(self._all_outs(), crds[0])
                 yield True
                 tokens = yield from self._pop_all()
                 continue

@@ -61,6 +61,9 @@ class LevelScanner(Block):
         #: previous fiber scan are ignored (scanners may rescan a level
         #: many times, e.g. a broadcast vector).
         self._fiber_index = 0
+        #: batched-drain state: a fiber was fully emitted and its closing
+        #: stop token still needs the next input token to pick its level
+        self._after_fiber = False
 
     # -- helpers ----------------------------------------------------------
     def _skip_target(self) -> Optional[int]:
@@ -130,6 +133,56 @@ class LevelScanner(Block):
             self._fiber_index += 1
             yield True
 
+    def drain(self, limit=None):
+        # Batched mode emits every fiber coordinate in one pass.  Skip
+        # hints are a timing optimisation (they never change what survives
+        # the downstream intersection), so they are ignored here.
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        in_ref, out_crd, out_ref = self.in_ref, self.out_crd, self.out_ref
+        steps = 0
+        while True:
+            if self._after_fiber:
+                # The closing stop's level depends on the next input token.
+                if in_ref.empty():
+                    self._wait = (in_ref, "data")
+                    return steps > 0, steps
+                nxt = in_ref.peek()
+                if is_stop(nxt):
+                    in_ref.pop()
+                    stop = Stop(nxt.level + 1)
+                else:
+                    stop = Stop(0)
+                out_crd.push(stop)
+                out_ref.push(stop)
+                self._fiber_index += 1
+                self._after_fiber = False
+                steps += 1
+                continue
+            if in_ref.empty():
+                self._wait = (in_ref, "data")
+                return steps > 0, steps
+            token = in_ref.pop()
+            steps += 1
+            if is_done(token):
+                out_crd.push(DONE)
+                out_ref.push(DONE)
+                self.finished = True
+                self._wait = None
+                return True, steps
+            if is_stop(token):
+                level_up = Stop(token.level + 1)
+                out_crd.push(level_up)
+                out_ref.push(level_up)
+                self._fiber_index += 1
+                continue
+            if not is_empty(token):
+                for crd, child in self.level.fiber(token):
+                    out_crd.push(crd)
+                    out_ref.push(child)
+                    steps += 1
+            self._after_fiber = True
+
 
 class CompressedLevelScanner(LevelScanner):
     """Scanner over a compressed (seg/crd) level."""
@@ -182,6 +235,7 @@ class BitvectorLevelScanner(Block):
         self.in_ref = self._in("in_ref", in_ref)
         self.out_bv = self._out("out_bv", out_bv)
         self.out_ref = self._out("out_ref", out_ref)
+        self._after_fiber = False
 
     def _run(self):
         while True:
@@ -211,6 +265,50 @@ class BitvectorLevelScanner(Block):
             self.out_bv.push(stop)
             self.out_ref.push(stop)
             yield True
+
+    def drain(self, limit=None):
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        in_ref, out_bv, out_ref = self.in_ref, self.out_bv, self.out_ref
+        steps = 0
+        while True:
+            if self._after_fiber:
+                if in_ref.empty():
+                    self._wait = (in_ref, "data")
+                    return steps > 0, steps
+                nxt = in_ref.peek()
+                if is_stop(nxt):
+                    in_ref.pop()
+                    stop = Stop(nxt.level + 1)
+                else:
+                    stop = Stop(0)
+                out_bv.push(stop)
+                out_ref.push(stop)
+                self._after_fiber = False
+                steps += 1
+                continue
+            if in_ref.empty():
+                self._wait = (in_ref, "data")
+                return steps > 0, steps
+            token = in_ref.pop()
+            steps += 1
+            if is_done(token):
+                out_bv.push(DONE)
+                out_ref.push(DONE)
+                self.finished = True
+                self._wait = None
+                return True, steps
+            if is_stop(token):
+                level_up = Stop(token.level + 1)
+                out_bv.push(level_up)
+                out_ref.push(level_up)
+                continue
+            if not is_empty(token):
+                for _, word, base in self.level.words(token):
+                    out_bv.push(word)
+                    out_ref.push(base)
+                    steps += 1
+            self._after_fiber = True
 
 
 def make_scanner(level, in_ref, out_crd, out_ref, in_skip=None, name="scan"):

@@ -55,6 +55,28 @@ class CompressedLevelWriter(Block):
                 return
             yield True
 
+    def drain(self, limit=None):
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        in_crd, crd, seg = self.in_crd, self.crd, self.seg
+        steps = 0
+        while not in_crd.empty():
+            token = in_crd.pop()
+            steps += 1
+            if is_data(token):
+                crd.append(token)
+            elif is_stop(token):
+                seg.append(len(crd))
+            elif is_done(token):
+                if seg[-1] != len(crd):  # unterminated trailing fiber
+                    seg.append(len(crd))
+                self._level = CompressedLevel(seg, crd)
+                self.finished = True
+                self._wait = None
+                return True, steps
+        self._wait = (in_crd, "data")
+        return steps > 0, steps
+
     @property
     def level(self) -> CompressedLevel:
         if self._level is None:
@@ -112,6 +134,25 @@ class ValsWriter(Block):
             yield True
             if is_done(token):
                 return
+
+    def drain(self, limit=None):
+        if self.finished or not self._can_batch():
+            return super().drain(limit)
+        in_val, vals = self.in_val, self.vals
+        steps = 0
+        while not in_val.empty():
+            token = in_val.pop()
+            steps += 1
+            if is_data(token):
+                vals.append(float(token))
+            elif is_empty(token):
+                vals.append(0.0)
+            elif is_done(token):
+                self.finished = True
+                self._wait = None
+                return True, steps
+        self._wait = (in_val, "data")
+        return steps > 0, steps
 
 
 class ScatterValsWriter(Block):

@@ -9,7 +9,12 @@ Usage::
     python -m repro fig13
     python -m repro fig14
     python -m repro fig15 --quick
+    python -m repro --engine event fig13
     python -m repro compile "x(i) = B(i,j) * c(j)" --dot
+
+``--engine`` selects the simulation backend (cycle, event, functional)
+for every study that runs block-level simulations; see
+:mod:`repro.sim.backends`.
 """
 
 from __future__ import annotations
@@ -33,25 +38,27 @@ def _cmd_table2(args) -> None:
 def _cmd_fig11(args) -> None:
     from .studies.fig11 import format_fig11, run_fig11
 
-    print(format_fig11(run_fig11(size=args.size)))
+    print(format_fig11(run_fig11(size=args.size, backend=args.engine)))
 
 
 def _cmd_fig12(args) -> None:
     from .studies.fig12 import format_fig12, run_fig12
 
-    print(format_fig12(run_fig12(i=args.size, j=args.size, k=max(4, args.size // 3))))
+    print(format_fig12(run_fig12(i=args.size, j=args.size,
+                                 k=max(4, args.size // 3),
+                                 backend=args.engine)))
 
 
 def _cmd_fig13(args) -> None:
     from .studies.fig13 import main
 
-    main()
+    main(backend=args.engine)
 
 
 def _cmd_fig14(args) -> None:
     from .studies.fig14 import format_fig14, run_fig14
 
-    print(format_fig14(run_fig14(max_nnz=args.max_nnz)))
+    print(format_fig14(run_fig14(max_nnz=args.max_nnz, backend=args.engine)))
 
 
 def _cmd_fig15(args) -> None:
@@ -80,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction harness for 'The Sparse Abstract Machine' "
         "(ASPLOS 2023)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("cycle", "event", "functional"),
+        default=None,
+        help="simulation backend (default: cycle, or $REPRO_ENGINE)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -1,11 +1,13 @@
-"""SAM dataflow graph IR, DOT export, and simulator binding."""
+"""SAM dataflow graph IR, DOT export, builder, and simulator binding."""
 
 from .bind import BoundGraph, bind, node_ports
+from .builder import GraphBuilder
 from .dot import to_dot, write_dot
 from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
 
 __all__ = [
     "BoundGraph",
+    "GraphBuilder",
     "Edge",
     "GraphError",
     "Node",

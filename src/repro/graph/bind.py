@@ -37,8 +37,9 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats.tensor import FiberTensor, scalar_tensor
-from ..sim.engine import CycleEngine, SimulationReport
+from ..sim.backends import SimulationReport, run_blocks
 from ..streams.channel import Channel
+from .builder import GraphBuilder
 from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
 
 
@@ -115,14 +116,22 @@ class BoundGraph:
 
     def __init__(self, graph: SamGraph):
         self.graph = graph
-        self.blocks: List = []
-        self.channels: Dict[str, Channel] = {}
+        self.builder = GraphBuilder(graph.name)
+        # Aliases onto the builder's collections (same underlying objects).
+        self.blocks: List = self.builder.blocks
+        self.channels: Dict[str, Channel] = self.builder.channels
         #: writer blocks keyed by IR node name
         self.writers: Dict[str, object] = {}
         self._report: Optional[SimulationReport] = None
 
-    def run(self, max_cycles: Optional[int] = None) -> SimulationReport:
-        self._report = CycleEngine(self.blocks).run(max_cycles=max_cycles)
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> SimulationReport:
+        self._report = run_blocks(
+            self.blocks, max_cycles=max_cycles, backend=backend
+        )
         return self._report
 
     @property
@@ -156,36 +165,35 @@ def bind(
 
     # Source-port channels; fanouts split them per consumer.
     port_channel: Dict[Tuple[str, str, str, str], Channel] = {}
+    builder = bound.builder
     for (src, src_port), edges in groups.items():
         rec = f"{src}.{src_port}" in record
         if len(edges) == 1:
             edge = edges[0]
-            channel = Channel(f"{src}.{src_port}->{edge.dst}.{edge.dst_port}",
-                              kind=edge.kind, record=rec)
-            bound.channels[channel.name] = channel
+            channel = builder.channel(
+                f"{src}.{src_port}->{edge.dst}.{edge.dst_port}",
+                kind=edge.kind, record=rec,
+            )
             port_channel[(src, src_port, edge.dst, edge.dst_port)] = channel
         else:
-            hub = Channel(f"{src}.{src_port}", kind=edges[0].kind, record=rec)
-            bound.channels[hub.name] = hub
+            hub = builder.channel(f"{src}.{src_port}", kind=edges[0].kind,
+                                  record=rec)
             outs = []
             for edge in edges:
-                leg = Channel(
+                leg = builder.channel(
                     f"{src}.{src_port}->{edge.dst}.{edge.dst_port}", kind=edge.kind
                 )
-                bound.channels[leg.name] = leg
                 port_channel[(src, src_port, edge.dst, edge.dst_port)] = leg
                 outs.append(leg)
-            bound.blocks.append(Fanout(hub, outs, name=f"fan:{src}.{src_port}"))
+            builder.add(Fanout(hub, outs, name=f"fan:{src}.{src_port}"))
             port_channel[(src, src_port, "*", "*")] = hub
 
     def out_channel(node: Node, port: str, kind: str) -> Channel:
         """Channel a node should push *port* into (hub, leg, or dangling)."""
         edges = groups.get((node.name, port), [])
         if not edges:
-            dangling = Channel(f"{node.name}.{port}(dangling)", kind=kind,
-                               record=f"{node.name}.{port}" in record)
-            bound.channels[dangling.name] = dangling
-            return dangling
+            return builder.channel(f"{node.name}.{port}(dangling)", kind=kind,
+                                   record=f"{node.name}.{port}" in record)
         if len(edges) == 1:
             e = edges[0]
             return port_channel[(node.name, port, e.dst, e.dst_port)]
@@ -208,17 +216,17 @@ def bind(
         _, outs = node_ports(node)
         out = {port: out_channel(node, port, pkind) for port, pkind in outs}
         if kind == "root":
-            bound.blocks.append(RootFeeder(out["ref"], name=node.name))
+            builder.add(RootFeeder(out["ref"], name=node.name))
         elif kind == "source":
-            bound.blocks.append(
+            builder.add(
                 StreamFeeder(node.params["tokens"], out["out"], name=node.name)
             )
         elif kind == "sink":
-            bound.blocks.append(Sink(require(node, "in"), name=node.name))
+            builder.add(Sink(require(node, "in"), name=node.name))
         elif kind == "level_scanner":
             tensor = _resolve_tensor(node.params["tensor"], tensors)
             level = tensor.levels[node.params["depth"]]
-            bound.blocks.append(
+            builder.add(
                 make_scanner(
                     level,
                     require(node, "ref"),
@@ -232,7 +240,7 @@ def bind(
             sig, rep = make_repeater(
                 require(node, "crd"), require(node, "ref"), out["ref"], name=node.name
             )
-            bound.blocks.extend([sig, rep])
+            builder.add_all([sig, rep])
         elif kind in ("intersect", "union"):
             sides_spec: List[int] = node.params["sides"]
             sides = []
@@ -243,12 +251,12 @@ def bind(
                 sides.append(MergeSide(require(node, f"crd{i}"), refs, skip=skip))
                 out_ref_groups.append([out[f"ref{i}_{j}"] for j in range(arity)])
             cls = Intersect if kind == "intersect" else Union
-            bound.blocks.append(
+            builder.add(
                 cls(sides, out["crd"], out_ref_groups, name=node.name)
             )
         elif kind == "alu":
             if "const" in node.params:
-                bound.blocks.append(
+                builder.add(
                     ScalarALU(
                         node.params["op"],
                         node.params["const"],
@@ -258,7 +266,7 @@ def bind(
                     )
                 )
             else:
-                bound.blocks.append(
+                builder.add(
                     ALU(
                         node.params["op"],
                         require(node, "a"),
@@ -270,7 +278,7 @@ def bind(
         elif kind == "reduce":
             n = node.params.get("n", 0)
             if n == 0:
-                bound.blocks.append(
+                builder.add(
                     ScalarReducer(
                         require(node, "val"),
                         out["val"],
@@ -279,7 +287,7 @@ def bind(
                     )
                 )
             elif n == 1:
-                bound.blocks.append(
+                builder.add(
                     VectorReducer(
                         require(node, "crd"),
                         require(node, "val"),
@@ -290,7 +298,7 @@ def bind(
                     )
                 )
             else:
-                bound.blocks.append(
+                builder.add(
                     MatrixReducer(
                         require(node, "crd_outer"),
                         require(node, "crd_inner"),
@@ -319,10 +327,10 @@ def bind(
                     out["inner"],
                     name=node.name,
                 )
-            bound.blocks.append(block)
+            builder.add(block)
         elif kind == "array":
             tensor = _resolve_tensor(node.params["tensor"], tensors)
-            bound.blocks.append(
+            builder.add(
                 ArrayLoad(tensor.vals, require(node, "ref"), out["val"], name=node.name)
             )
         elif kind == "level_writer":
@@ -333,15 +341,15 @@ def bind(
                     node.params["size"], require(node, "crd"), name=node.name
                 )
             bound.writers[node.name] = writer
-            bound.blocks.append(writer)
+            builder.add(writer)
         elif kind == "vals_writer":
             writer = ValsWriter(require(node, "val"), name=node.name)
             bound.writers[node.name] = writer
-            bound.blocks.append(writer)
+            builder.add(writer)
         elif kind == "locate":
             tensor = _resolve_tensor(node.params["tensor"], tensors)
             level = tensor.levels[node.params["depth"]]
-            bound.blocks.append(
+            builder.add(
                 Locator(
                     level,
                     require(node, "crd"),

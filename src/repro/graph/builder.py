@@ -1,0 +1,81 @@
+"""GraphBuilder: shared channel/wiring bookkeeping for dataflow graphs.
+
+Every hand-wired kernel used to repeat the same boilerplate — a
+``chans`` dict, a local ``ch(name, kind)`` factory, and a ``blocks``
+list fed by ``blocks.append(...)``.  :class:`GraphBuilder` centralises
+that pattern (and is what :mod:`repro.graph.bind` instantiates compiled
+graphs into), so every construction site gets duplicate-name checking,
+named channel lookup, and backend-selectable execution for free.
+
+Typical use::
+
+    g = GraphBuilder("spmv")
+    g.add(RootFeeder(g.ch("root", "ref"), name="root_B"))
+    g.add(make_scanner(level, g["root"], g.ch("crd"), g.ch("ref", "ref")))
+    report = g.run(backend="event")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..sim.backends import SimulationReport, run_blocks
+from ..streams.channel import Channel
+
+
+class GraphBuilder:
+    """Collects the channels and blocks of one dataflow graph."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.blocks: List = []
+        self.channels: Dict[str, Channel] = {}
+
+    # -- channels --------------------------------------------------------
+    def channel(
+        self,
+        name: str,
+        kind: str = "crd",
+        capacity: Optional[int] = None,
+        record: bool = False,
+    ) -> Channel:
+        """Create and register a channel; duplicate names are rejected."""
+        if name in self.channels:
+            raise ValueError(f"duplicate channel name {name!r}")
+        chan = Channel(name, kind=kind, capacity=capacity, record=record)
+        self.channels[name] = chan
+        return chan
+
+    #: short alias matching the old local ``ch(...)`` helpers
+    ch = channel
+
+    def __getitem__(self, name: str) -> Channel:
+        return self.channels[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.channels
+
+    # -- blocks ----------------------------------------------------------
+    def add(self, block):
+        """Register one block; returns it so writer handles can be kept."""
+        self.blocks.append(block)
+        return block
+
+    def add_all(self, blocks: Iterable) -> None:
+        """Register several blocks (e.g. the pair from ``make_repeater``)."""
+        self.blocks.extend(blocks)
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> SimulationReport:
+        """Simulate the collected graph on the chosen backend."""
+        return run_blocks(self.blocks, max_cycles=max_cycles, backend=backend)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphBuilder({self.name!r}, blocks={len(self.blocks)}, "
+            f"channels={len(self.channels)})"
+        )

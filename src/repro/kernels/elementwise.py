@@ -20,7 +20,7 @@ bitvector mergers).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -38,8 +38,7 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import BitvectorLevel, FiberTensor
-from ..sim.engine import run_blocks
-from ..streams.channel import Channel
+from ..graph.builder import GraphBuilder
 
 CONFIGS = ("dense", "crd", "crd_skip", "crd_split", "bv", "bv_split")
 
@@ -67,7 +66,8 @@ def _split_shape(size: int, split: int) -> tuple:
     return (split, size // split)
 
 
-def _compiled_vecmul(config: str, b, c, split: int) -> VecMulResult:
+def _compiled_vecmul(config: str, b, c, split: int,
+                     backend: Optional[str] = None) -> VecMulResult:
     from ..lang import compile_expression
 
     b = np.asarray(b, dtype=float)
@@ -76,75 +76,70 @@ def _compiled_vecmul(config: str, b, c, split: int) -> VecMulResult:
         prog = compile_expression(
             "x(i) = b(i) * c(i)", formats={"b": ["dense"], "c": ["dense"]}
         )
-        res = prog.run({"b": b, "c": c})
+        res = prog.run({"b": b, "c": c}, backend=backend)
     elif config == "crd":
         prog = compile_expression("x(i) = b(i) * c(i)")
-        res = prog.run({"b": b, "c": c})
+        res = prog.run({"b": b, "c": c}, backend=backend)
     elif config == "crd_split":
         shape = _split_shape(b.size, split)
         prog = compile_expression("x(i,j) = b(i,j) * c(i,j)")
-        res = prog.run({"b": b.reshape(shape), "c": c.reshape(shape)})
+        res = prog.run({"b": b.reshape(shape), "c": c.reshape(shape)},
+                       backend=backend)
     else:  # pragma: no cover - guarded by vecmul()
         raise ValueError(config)
     out = res.output
     return VecMulResult(config, res.cycles, list(out.vals), [])
 
 
-def _skip_vecmul(b, c) -> VecMulResult:
+def _skip_vecmul(b, c, backend: Optional[str] = None) -> VecMulResult:
     """Compressed coiteration with the galloping feedback of section 4.2."""
     bt = FiberTensor.from_numpy(np.asarray(b, dtype=float), name="b")
     ct = FiberTensor.from_numpy(np.asarray(c, dtype=float), name="c")
-    blocks = []
-    chans = {}
-
-    def ch(name, kind="crd"):
-        chans[name] = Channel(name, kind=kind)
-        return chans[name]
+    g = GraphBuilder("vecmul_crd_skip")
 
     for tensor, tag in ((bt, "b"), (ct, "c")):
-        blocks.append(RootFeeder(ch(f"{tag}_root", "ref"), name=f"root_{tag}"))
-        blocks.append(
+        g.add(RootFeeder(g.ch(f"{tag}_root", "ref"), name=f"root_{tag}"))
+        g.add(
             make_scanner(
                 tensor.levels[0],
-                chans[f"{tag}_root"],
-                ch(f"{tag}_crd"),
-                ch(f"{tag}_ref", "ref"),
-                in_skip=ch(f"{tag}_skip"),
+                g[f"{tag}_root"],
+                g.ch(f"{tag}_crd"),
+                g.ch(f"{tag}_ref", "ref"),
+                in_skip=g.ch(f"{tag}_skip"),
                 name=f"scan_{tag}",
             )
         )
-    blocks.append(
+    g.add(
         Intersect(
             [
-                MergeSide(chans["b_crd"], [chans["b_ref"]], skip=chans["b_skip"]),
-                MergeSide(chans["c_crd"], [chans["c_ref"]], skip=chans["c_skip"]),
+                MergeSide(g["b_crd"], [g["b_ref"]], skip=g["b_skip"]),
+                MergeSide(g["c_crd"], [g["c_ref"]], skip=g["c_skip"]),
             ],
-            ch("x_crd"),
-            [[ch("xb_ref", "ref")], [ch("xc_ref", "ref")]],
+            g.ch("x_crd"),
+            [[g.ch("xb_ref", "ref")], [g.ch("xc_ref", "ref")]],
             name="intersect_i",
         )
     )
-    blocks.append(ArrayLoad(bt.vals, chans["xb_ref"], ch("b_val", "vals"), name="vals_b"))
-    blocks.append(ArrayLoad(ct.vals, chans["xc_ref"], ch("c_val", "vals"), name="vals_c"))
-    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("x_val", "vals"), name="mul"))
-    crd_writer = CompressedLevelWriter(chans["x_crd"], name="write_crd")
-    val_writer = ValsWriter(chans["x_val"], name="write_vals")
-    blocks.extend([crd_writer, val_writer])
-    report = run_blocks(blocks)
+    g.add(ArrayLoad(bt.vals, g["xb_ref"], g.ch("b_val", "vals"), name="vals_b"))
+    g.add(ArrayLoad(ct.vals, g["xc_ref"], g.ch("c_val", "vals"), name="vals_c"))
+    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("x_val", "vals"), name="mul"))
+    crd_writer = g.add(CompressedLevelWriter(g["x_crd"], name="write_crd"))
+    val_writer = g.add(ValsWriter(g["x_val"], name="write_vals"))
+    report = g.run(backend=backend)
     return VecMulResult("crd_skip", report.cycles, val_writer.vals, crd_writer.crd)
 
 
-def _bv_chain(tag: str, levels: Sequence[BitvectorLevel], blocks, chans, ch):
+def _bv_chain(tag: str, levels: Sequence[BitvectorLevel], g: GraphBuilder):
     """Wire root -> bitvector scanners for one operand; returns port names."""
-    blocks.append(RootFeeder(ch(f"{tag}_root", "ref"), name=f"root_{tag}"))
+    g.add(RootFeeder(g.ch(f"{tag}_root", "ref"), name=f"root_{tag}"))
     upstream = f"{tag}_root"
     for depth, level in enumerate(levels):
-        blocks.append(
+        g.add(
             BitvectorLevelScanner(
                 level,
-                chans[upstream],
-                ch(f"{tag}_bv{depth}", "bv"),
-                ch(f"{tag}_base{depth}", "ref"),
+                g[upstream],
+                g.ch(f"{tag}_bv{depth}", "bv"),
+                g.ch(f"{tag}_base{depth}", "ref"),
                 name=f"bvscan_{tag}{depth}",
             )
         )
@@ -152,17 +147,13 @@ def _bv_chain(tag: str, levels: Sequence[BitvectorLevel], blocks, chans, ch):
     return upstream
 
 
-def _bv_vecmul(b, c, bits_per_word: int, split: bool) -> VecMulResult:
+def _bv_vecmul(b, c, bits_per_word: int, split: bool,
+               backend: Optional[str] = None) -> VecMulResult:
     """Bitvector (and bit-tree) element-wise multiply."""
     b = np.asarray(b, dtype=float)
     c = np.asarray(c, dtype=float)
     size = b.size
-    blocks: list = []
-    chans = {}
-
-    def ch(name, kind="crd"):
-        chans[name] = Channel(name, kind=kind)
-        return chans[name]
+    g = GraphBuilder("vecmul_bv_split" if split else "vecmul_bv")
 
     def build_levels(vec) -> tuple:
         coords = [int(i) for i in np.flatnonzero(vec)]
@@ -186,71 +177,78 @@ def _bv_vecmul(b, c, bits_per_word: int, split: bool) -> VecMulResult:
     levels_c, vals_c = build_levels(c)
 
     # Upper (or only) level: scan + word-wise AND.
-    last_b = _bv_chain("b", levels_b[:1], blocks, chans, ch)
-    last_c = _bv_chain("c", levels_c[:1], blocks, chans, ch)
-    blocks.append(
+    last_b = _bv_chain("b", levels_b[:1], g)
+    last_c = _bv_chain("c", levels_c[:1], g)
+    g.add(
         BVIntersect(
-            chans["b_bv0"], chans[last_b], chans["c_bv0"], chans[last_c],
-            ch("and0", "bv"), ch("wa0", "bv"), ch("ba0", "ref"),
-            ch("wb0", "bv"), ch("bb0", "ref"), name="bv_and0",
+            g["b_bv0"], g[last_b], g["c_bv0"], g[last_c],
+            g.ch("and0", "bv"), g.ch("wa0", "bv"), g.ch("ba0", "ref"),
+            g.ch("wb0", "bv"), g.ch("bb0", "ref"), name="bv_and0",
         )
     )
-    blocks.append(
+    g.add(
         BVExpander(
-            bits_per_word, chans["and0"], chans["wa0"], chans["ba0"],
-            chans["wb0"], chans["bb0"], ch("crd0"), ch("refb0", "ref"),
-            ch("refc0", "ref"), name="bv_expand0",
+            bits_per_word, g["and0"], g["wa0"], g["ba0"],
+            g["wb0"], g["bb0"], g.ch("crd0"), g.ch("refb0", "ref"),
+            g.ch("refc0", "ref"), name="bv_expand0",
         )
     )
     if split:
         # Lower level: scan the surviving words and AND again.
-        blocks.append(
+        g.add(
             BitvectorLevelScanner(
-                levels_b[1], chans["refb0"], ch("b_bv1", "bv"), ch("b_base1", "ref"),
+                levels_b[1], g["refb0"], g.ch("b_bv1", "bv"), g.ch("b_base1", "ref"),
                 name="bvscan_b1",
             )
         )
-        blocks.append(
+        g.add(
             BitvectorLevelScanner(
-                levels_c[1], chans["refc0"], ch("c_bv1", "bv"), ch("c_base1", "ref"),
+                levels_c[1], g["refc0"], g.ch("c_bv1", "bv"), g.ch("c_base1", "ref"),
                 name="bvscan_c1",
             )
         )
-        blocks.append(
+        g.add(
             BVIntersect(
-                chans["b_bv1"], chans["b_base1"], chans["c_bv1"], chans["c_base1"],
-                ch("and1", "bv"), ch("wa1", "bv"), ch("ba1", "ref"),
-                ch("wb1", "bv"), ch("bb1", "ref"), name="bv_and1",
+                g["b_bv1"], g["b_base1"], g["c_bv1"], g["c_base1"],
+                g.ch("and1", "bv"), g.ch("wa1", "bv"), g.ch("ba1", "ref"),
+                g.ch("wb1", "bv"), g.ch("bb1", "ref"), name="bv_and1",
             )
         )
-        blocks.append(
+        g.add(
             BVExpander(
-                bits_per_word, chans["and1"], chans["wa1"], chans["ba1"],
-                chans["wb1"], chans["bb1"], ch("crd1"), ch("refb1", "ref"),
-                ch("refc1", "ref"), name="bv_expand1",
+                bits_per_word, g["and1"], g["wa1"], g["ba1"],
+                g["wb1"], g["bb1"], g.ch("crd1"), g.ch("refb1", "ref"),
+                g.ch("refc1", "ref"), name="bv_expand1",
             )
         )
         ref_b, ref_c, crd_out = "refb1", "refc1", "crd1"
     else:
         ref_b, ref_c, crd_out = "refb0", "refc0", "crd0"
 
-    blocks.append(ArrayLoad(vals_b, chans[ref_b], ch("b_val", "vals"), name="vals_b"))
-    blocks.append(ArrayLoad(vals_c, chans[ref_c], ch("c_val", "vals"), name="vals_c"))
-    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("x_val", "vals"), name="mul"))
-    crd_writer = CompressedLevelWriter(chans[crd_out], name="write_crd")
-    val_writer = ValsWriter(chans["x_val"], name="write_vals")
-    blocks.extend([crd_writer, val_writer])
-    report = run_blocks(blocks)
+    g.add(ArrayLoad(vals_b, g[ref_b], g.ch("b_val", "vals"), name="vals_b"))
+    g.add(ArrayLoad(vals_c, g[ref_c], g.ch("c_val", "vals"), name="vals_c"))
+    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("x_val", "vals"), name="mul"))
+    crd_writer = g.add(CompressedLevelWriter(g[crd_out], name="write_crd"))
+    val_writer = g.add(ValsWriter(g["x_val"], name="write_vals"))
+    report = g.run(backend=backend)
     config = "bv_split" if split else "bv"
     return VecMulResult(config, report.cycles, val_writer.vals, crd_writer.crd)
 
 
-def vecmul(config: str, b, c, split: int = 64, bits_per_word: int = 64) -> VecMulResult:
+def vecmul(
+    config: str,
+    b,
+    c,
+    split: int = 64,
+    bits_per_word: int = 64,
+    backend: Optional[str] = None,
+) -> VecMulResult:
     """Run one Figure 13 configuration of ``x(i) = b(i) * c(i)``."""
     if config not in CONFIGS:
         raise ValueError(f"unknown config {config!r}; choose from {CONFIGS}")
     if config in ("dense", "crd", "crd_split"):
-        return _compiled_vecmul(config, b, c, split)
+        return _compiled_vecmul(config, b, c, split, backend=backend)
     if config == "crd_skip":
-        return _skip_vecmul(b, c)
-    return _bv_vecmul(b, c, bits_per_word, split=config == "bv_split")
+        return _skip_vecmul(b, c, backend=backend)
+    return _bv_vecmul(b, c, bits_per_word, split=config == "bv_split",
+                      backend=backend)

@@ -16,7 +16,7 @@ critical path, so lane scaling is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Optional
 
 import numpy as np
 
@@ -37,8 +37,7 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import FiberTensor
-from ..sim.engine import run_blocks
-from ..streams.channel import Channel
+from ..graph.builder import GraphBuilder
 
 
 @dataclass
@@ -50,7 +49,12 @@ class GammaResult:
     critical_path: int
 
 
-def gamma_spmm(B: np.ndarray, C: np.ndarray, lanes: int = 4) -> GammaResult:
+def gamma_spmm(
+    B: np.ndarray,
+    C: np.ndarray,
+    lanes: int = 4,
+    backend: Optional[str] = None,
+) -> GammaResult:
     """Run Gustavson SpM*SpM with rows distributed across L lanes."""
     B = np.asarray(B, dtype=float)
     C = np.asarray(C, dtype=float)
@@ -61,93 +65,87 @@ def gamma_spmm(B: np.ndarray, C: np.ndarray, lanes: int = 4) -> GammaResult:
     nonempty_rows = bt.levels[0].fiber_size(0)
     lanes = max(1, min(lanes, nonempty_rows)) if nonempty_rows else 1
 
-    blocks: List = []
-    chans = {}
-
-    def ch(name, kind="crd"):
-        chans[name] = Channel(name, kind=kind)
-        return chans[name]
+    g = GraphBuilder("gamma_spmm")
 
     # Scan B's i level once and distribute rows across lanes.
-    blocks.append(RootFeeder(ch("b_root", "ref"), name="root_B"))
-    blocks.append(
-        make_scanner(bt.levels[0], chans["b_root"], ch("bi_crd"), ch("bi_ref", "ref"),
+    g.add(RootFeeder(g.ch("b_root", "ref"), name="root_B"))
+    g.add(
+        make_scanner(bt.levels[0], g["b_root"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
                      name="scan_Bi")
     )
-    blocks.append(Fanout(chans["bi_crd"], [ch("bi_par"), ch("bi_wr")], name="fan_bi"))
-    lane_ref = [ch(f"l{l}_ref", "ref") for l in range(lanes)]
-    lane_crd = [ch(f"l{l}_crd") for l in range(lanes)]
-    blocks.append(
-        Parallelizer(chans["bi_ref"], lane_ref, granularity="element", name="par_ref")
+    g.add(Fanout(g["bi_crd"], [g.ch("bi_par"), g.ch("bi_wr")], name="fan_bi"))
+    lane_ref = [g.ch(f"l{l}_ref", "ref") for l in range(lanes)]
+    lane_crd = [g.ch(f"l{l}_crd") for l in range(lanes)]
+    g.add(
+        Parallelizer(g["bi_ref"], lane_ref, granularity="element", name="par_ref")
     )
-    blocks.append(
-        Parallelizer(chans["bi_par"], lane_crd, granularity="element", name="par_crd")
+    g.add(
+        Parallelizer(g["bi_par"], lane_crd, granularity="element", name="par_crd")
     )
 
     lane_xj, lane_xv = [], []
     for lane in range(lanes):
         p = f"l{lane}"
-        blocks.append(RootFeeder(ch(f"{p}_croot", "ref"), name=f"root_C_{lane}"))
-        blocks.extend(
-            make_repeater(lane_crd[lane], chans[f"{p}_croot"],
-                          ch(f"{p}_crep", "ref"), name=f"repeat_Ci_{lane}")
+        g.add(RootFeeder(g.ch(f"{p}_croot", "ref"), name=f"root_C_{lane}"))
+        g.add_all(
+            make_repeater(lane_crd[lane], g[f"{p}_croot"],
+                          g.ch(f"{p}_crep", "ref"), name=f"repeat_Ci_{lane}")
         )
-        blocks.append(
-            make_scanner(bt.levels[1], lane_ref[lane], ch(f"{p}_bk_crd"),
-                         ch(f"{p}_bk_ref", "ref"), name=f"scan_Bk_{lane}")
+        g.add(
+            make_scanner(bt.levels[1], lane_ref[lane], g.ch(f"{p}_bk_crd"),
+                         g.ch(f"{p}_bk_ref", "ref"), name=f"scan_Bk_{lane}")
         )
-        blocks.append(
-            make_scanner(ct.levels[0], chans[f"{p}_crep"], ch(f"{p}_ck_crd"),
-                         ch(f"{p}_ck_ref", "ref"), name=f"scan_Ck_{lane}")
+        g.add(
+            make_scanner(ct.levels[0], g[f"{p}_crep"], g.ch(f"{p}_ck_crd"),
+                         g.ch(f"{p}_ck_ref", "ref"), name=f"scan_Ck_{lane}")
         )
-        blocks.append(
+        g.add(
             Intersect(
-                [MergeSide(chans[f"{p}_bk_crd"], [chans[f"{p}_bk_ref"]]),
-                 MergeSide(chans[f"{p}_ck_crd"], [chans[f"{p}_ck_ref"]])],
-                ch(f"{p}_k_crd"),
-                [[ch(f"{p}_kb_ref", "ref")], [ch(f"{p}_kc_ref", "ref")]],
+                [MergeSide(g[f"{p}_bk_crd"], [g[f"{p}_bk_ref"]]),
+                 MergeSide(g[f"{p}_ck_crd"], [g[f"{p}_ck_ref"]])],
+                g.ch(f"{p}_k_crd"),
+                [[g.ch(f"{p}_kb_ref", "ref")], [g.ch(f"{p}_kc_ref", "ref")]],
                 name=f"intersect_k_{lane}",
             )
         )
-        blocks.append(
-            make_scanner(ct.levels[1], chans[f"{p}_kc_ref"], ch(f"{p}_cj_crd"),
-                         ch(f"{p}_cj_ref", "ref"), name=f"scan_Cj_{lane}")
+        g.add(
+            make_scanner(ct.levels[1], g[f"{p}_kc_ref"], g.ch(f"{p}_cj_crd"),
+                         g.ch(f"{p}_cj_ref", "ref"), name=f"scan_Cj_{lane}")
         )
-        blocks.append(
-            Fanout(chans[f"{p}_cj_crd"], [ch(f"{p}_cj_rep"), ch(f"{p}_cj_red")],
+        g.add(
+            Fanout(g[f"{p}_cj_crd"], [g.ch(f"{p}_cj_rep"), g.ch(f"{p}_cj_red")],
                    name=f"fan_cj_{lane}")
         )
-        blocks.extend(
-            make_repeater(chans[f"{p}_cj_rep"], chans[f"{p}_kb_ref"],
-                          ch(f"{p}_b_rep", "ref"), name=f"repeat_Bj_{lane}")
+        g.add_all(
+            make_repeater(g[f"{p}_cj_rep"], g[f"{p}_kb_ref"],
+                          g.ch(f"{p}_b_rep", "ref"), name=f"repeat_Bj_{lane}")
         )
-        blocks.append(ArrayLoad(bt.vals, chans[f"{p}_b_rep"], ch(f"{p}_bval", "vals"),
-                                name=f"vals_B_{lane}"))
-        blocks.append(ArrayLoad(ct.vals, chans[f"{p}_cj_ref"], ch(f"{p}_cval", "vals"),
-                                name=f"vals_C_{lane}"))
-        blocks.append(ALU("mul", chans[f"{p}_bval"], chans[f"{p}_cval"],
-                          ch(f"{p}_prod", "vals"), name=f"mul_{lane}"))
-        blocks.append(
-            VectorReducer(chans[f"{p}_cj_red"], chans[f"{p}_prod"],
-                          ch(f"{p}_xj"), ch(f"{p}_xv", "vals"),
+        g.add(ArrayLoad(bt.vals, g[f"{p}_b_rep"], g.ch(f"{p}_bval", "vals"),
+                        name=f"vals_B_{lane}"))
+        g.add(ArrayLoad(ct.vals, g[f"{p}_cj_ref"], g.ch(f"{p}_cval", "vals"),
+                        name=f"vals_C_{lane}"))
+        g.add(ALU("mul", g[f"{p}_bval"], g[f"{p}_cval"],
+                  g.ch(f"{p}_prod", "vals"), name=f"mul_{lane}"))
+        g.add(
+            VectorReducer(g[f"{p}_cj_red"], g[f"{p}_prod"],
+                          g.ch(f"{p}_xj"), g.ch(f"{p}_xv", "vals"),
                           name=f"reduce_{lane}")
         )
-        lane_xj.append(chans[f"{p}_xj"])
-        lane_xv.append(chans[f"{p}_xv"])
+        lane_xj.append(g[f"{p}_xj"])
+        lane_xv.append(g[f"{p}_xv"])
 
     # Rejoin per-row results in original row order.
-    blocks.append(InterleaveSerializer(lane_xj, ch("xj_crd"), name="join_crd"))
-    blocks.append(InterleaveSerializer(lane_xv, ch("x_val", "vals"), name="join_val"))
-    blocks.append(
-        CoordDropper(chans["bi_wr"], chans["xj_crd"], ch("xi_d"), ch("xj_d"),
+    g.add(InterleaveSerializer(lane_xj, g.ch("xj_crd"), name="join_crd"))
+    g.add(InterleaveSerializer(lane_xv, g.ch("x_val", "vals"), name="join_val"))
+    g.add(
+        CoordDropper(g["bi_wr"], g["xj_crd"], g.ch("xi_d"), g.ch("xj_d"),
                      name="drop_i")
     )
-    xi_writer = CompressedLevelWriter(chans["xi_d"], name="write_Xi")
-    xj_writer = CompressedLevelWriter(chans["xj_d"], name="write_Xj")
-    xv_writer = ValsWriter(chans["x_val"], name="write_Xvals")
-    blocks.extend([xi_writer, xj_writer, xv_writer])
+    xi_writer = g.add(CompressedLevelWriter(g["xi_d"], name="write_Xi"))
+    xj_writer = g.add(CompressedLevelWriter(g["xj_d"], name="write_Xj"))
+    xv_writer = g.add(ValsWriter(g["x_val"], name="write_Xvals"))
 
-    report = run_blocks(blocks)
+    report = g.run(backend=backend)
     x = FiberTensor(
         (B.shape[0], C.shape[1]),
         [xi_writer.level, xj_writer.level],
@@ -156,7 +154,7 @@ def gamma_spmm(B: np.ndarray, C: np.ndarray, lanes: int = 4) -> GammaResult:
     )
     critical = max(
         block.busy_cycles
-        for block in blocks
+        for block in g.blocks
         if block.name.startswith(("scan_Cj", "mul_", "scan_Bk", "reduce_"))
     )
     return GammaResult(x.to_numpy(), report.cycles, lanes, critical)

@@ -16,7 +16,7 @@ dataflow described in the text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Optional
 
 import numpy as np
 
@@ -36,8 +36,7 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import DenseLevel, FiberTensor
-from ..sim.engine import run_blocks
-from ..streams.channel import Channel
+from ..graph.builder import GraphBuilder
 
 
 @dataclass
@@ -51,7 +50,9 @@ class OuterSpaceResult:
         return self.multiply_cycles + self.merge_cycles
 
 
-def outerspace_spmm(B: np.ndarray, C: np.ndarray) -> OuterSpaceResult:
+def outerspace_spmm(
+    B: np.ndarray, C: np.ndarray, backend: Optional[str] = None
+) -> OuterSpaceResult:
     """Run the two OuterSPACE phases; returns X and per-phase cycles."""
     B = np.asarray(B, dtype=float)
     C = np.asarray(C, dtype=float)
@@ -61,64 +62,58 @@ def outerspace_spmm(B: np.ndarray, C: np.ndarray) -> OuterSpaceResult:
     ct = FiberTensor.from_numpy(C, name="C")
 
     # ---- multiply phase: Y(i,k,j) = B(i,k) * C(k,j) in k,i,j order -------
-    blocks: List = []
-    chans = {}
+    g = GraphBuilder("outerspace_multiply")
 
-    def ch(name, kind="crd"):
-        chans[name] = Channel(name, kind=kind)
-        return chans[name]
-
-    blocks.append(RootFeeder(ch("b_root", "ref"), name="root_B"))
-    blocks.append(RootFeeder(ch("c_root", "ref"), name="root_C"))
-    blocks.append(
-        make_scanner(bt.levels[0], chans["b_root"], ch("bk_crd"), ch("bk_ref", "ref"),
+    g.add(RootFeeder(g.ch("b_root", "ref"), name="root_B"))
+    g.add(RootFeeder(g.ch("c_root", "ref"), name="root_C"))
+    g.add(
+        make_scanner(bt.levels[0], g["b_root"], g.ch("bk_crd"), g.ch("bk_ref", "ref"),
                      name="scan_Bk")
     )
-    blocks.append(
-        make_scanner(ct.levels[0], chans["c_root"], ch("ck_crd"), ch("ck_ref", "ref"),
+    g.add(
+        make_scanner(ct.levels[0], g["c_root"], g.ch("ck_crd"), g.ch("ck_ref", "ref"),
                      name="scan_Ck")
     )
-    blocks.append(
+    g.add(
         Intersect(
-            [MergeSide(chans["bk_crd"], [chans["bk_ref"]]),
-             MergeSide(chans["ck_crd"], [chans["ck_ref"]])],
-            ch("k_crd"), [[ch("kb_ref", "ref")], [ch("kc_ref", "ref")]],
+            [MergeSide(g["bk_crd"], [g["bk_ref"]]),
+             MergeSide(g["ck_crd"], [g["ck_ref"]])],
+            g.ch("k_crd"), [[g.ch("kb_ref", "ref")], [g.ch("kc_ref", "ref")]],
             name="intersect_k",
         )
     )
-    blocks.append(
-        make_scanner(bt.levels[1], chans["kb_ref"], ch("bi_crd"), ch("bi_ref", "ref"),
+    g.add(
+        make_scanner(bt.levels[1], g["kb_ref"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
                      name="scan_Bi")
     )
-    blocks.append(Fanout(chans["bi_crd"], [ch("bi_crd_rep"), ch("bi_crd_wr"),
-                                           ch("bi_crd_krep")], name="fan_bi"))
+    g.add(Fanout(g["bi_crd"], [g.ch("bi_crd_rep"), g.ch("bi_crd_wr"),
+                               g.ch("bi_crd_krep")], name="fan_bi"))
     # Repeat C's surviving k reference over each i of B's column (Fig. 16
     # "Repeater Ci"), then scan C's j fibers once per i.
-    blocks.extend(make_repeater(chans["bi_crd_rep"], chans["kc_ref"],
-                                ch("ci_rep", "ref"), name="repeat_Ci"))
-    blocks.append(
-        make_scanner(ct.levels[1], chans["ci_rep"], ch("cj_crd"), ch("cj_ref", "ref"),
+    g.add_all(make_repeater(g["bi_crd_rep"], g["kc_ref"],
+                            g.ch("ci_rep", "ref"), name="repeat_Ci"))
+    g.add(
+        make_scanner(ct.levels[1], g["ci_rep"], g.ch("cj_crd"), g.ch("cj_ref", "ref"),
                      name="scan_Cj")
     )
-    blocks.append(Fanout(chans["cj_crd"], [ch("cj_crd_rep"), ch("cj_crd_wr")],
-                         name="fan_cj"))
+    g.add(Fanout(g["cj_crd"], [g.ch("cj_crd_rep"), g.ch("cj_crd_wr")],
+                 name="fan_cj"))
     # Repeat B's value reference over each j (Fig. 16 "Repeater Bj").
-    blocks.extend(make_repeater(chans["cj_crd_rep"], chans["bi_ref"],
-                                ch("bj_rep", "ref"), name="repeat_Bj"))
-    blocks.append(ArrayLoad(bt.vals, chans["bj_rep"], ch("b_val", "vals"), name="vals_B"))
-    blocks.append(ArrayLoad(ct.vals, chans["cj_ref"], ch("c_val", "vals"), name="vals_C"))
-    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("y_val", "vals"),
-                      name="mul"))
+    g.add_all(make_repeater(g["cj_crd_rep"], g["bi_ref"],
+                            g.ch("bj_rep", "ref"), name="repeat_Bj"))
+    g.add(ArrayLoad(bt.vals, g["bj_rep"], g.ch("b_val", "vals"), name="vals_B"))
+    g.add(ArrayLoad(ct.vals, g["cj_ref"], g.ch("c_val", "vals"), name="vals_C"))
+    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("y_val", "vals"), name="mul"))
     # Discordant write of Y: k appended under its i fiber as it arrives.
-    blocks.extend(make_repeater(chans["bi_crd_krep"], chans["k_crd"],
-                                ch("k_rep", "ref"), name="repeat_k_over_i"))
+    g.add_all(make_repeater(g["bi_crd_krep"], g["k_crd"],
+                            g.ch("k_rep", "ref"), name="repeat_k_over_i"))
     # The writer pairs (parent, crd): parent = the i coordinate naming the
     # fiber, crd = the repeated k coordinate appended under it.
-    ll_writer = LinkedListLevelWriter(chans["bi_crd_wr"], chans["k_rep"], name="write_Yk")
-    yj_writer = CompressedLevelWriter(chans["cj_crd_wr"], name="write_Yj")
-    yv_writer = ValsWriter(chans["y_val"], name="write_Yvals")
-    blocks.extend([ll_writer, yj_writer, yv_writer])
-    multiply_report = run_blocks(blocks)
+    ll_writer = g.add(LinkedListLevelWriter(g["bi_crd_wr"], g["k_rep"],
+                                            name="write_Yk"))
+    yj_writer = g.add(CompressedLevelWriter(g["cj_crd_wr"], name="write_Yj"))
+    yv_writer = g.add(ValsWriter(g["y_val"], name="write_Yvals"))
+    multiply_report = g.run(backend=backend)
     multiply_cycles = multiply_report.cycles
 
     # ---- merge phase: X(i,j) = sum_k Y(i,k,j) ---------------------------
@@ -128,41 +123,34 @@ def outerspace_spmm(B: np.ndarray, C: np.ndarray) -> OuterSpaceResult:
     y_j_level = yj_writer.level
     y_vals = yv_writer.vals
 
-    blocks2: List = []
-    chans2 = {}
+    g2 = GraphBuilder("outerspace_merge")
 
-    def ch2(name, kind="crd"):
-        chans2[name] = Channel(name, kind=kind)
-        return chans2[name]
-
-    blocks2.append(RootFeeder(ch2("root", "ref"), name="root_Y"))
-    blocks2.append(
-        make_scanner(y_i_level, chans2["root"], ch2("yi_crd"), ch2("yi_ref", "ref"),
+    g2.add(RootFeeder(g2.ch("root", "ref"), name="root_Y"))
+    g2.add(
+        make_scanner(y_i_level, g2["root"], g2.ch("yi_crd"), g2.ch("yi_ref", "ref"),
                      name="scan_Yi")
     )
-    blocks2.append(
-        make_scanner(y_k_level, chans2["yi_ref"], ch2("yk_crd"), ch2("yk_ref", "ref"),
+    g2.add(
+        make_scanner(y_k_level, g2["yi_ref"], g2.ch("yk_crd"), g2.ch("yk_ref", "ref"),
                      name="scan_Yk")
     )
-    blocks2.append(
-        make_scanner(y_j_level, chans2["yk_ref"], ch2("yj_crd"), ch2("yj_ref", "ref"),
+    g2.add(
+        make_scanner(y_j_level, g2["yk_ref"], g2.ch("yj_crd"), g2.ch("yj_ref", "ref"),
                      name="scan_Yj")
     )
-    blocks2.append(ArrayLoad(y_vals, chans2["yj_ref"], ch2("y_val", "vals"),
-                             name="vals_Y"))
-    blocks2.append(
-        VectorReducer(chans2["yj_crd"], chans2["y_val"], ch2("xj_crd"),
-                      ch2("x_val", "vals"), name="reduce_k")
+    g2.add(ArrayLoad(y_vals, g2["yj_ref"], g2.ch("y_val", "vals"), name="vals_Y"))
+    g2.add(
+        VectorReducer(g2["yj_crd"], g2["y_val"], g2.ch("xj_crd"),
+                      g2.ch("x_val", "vals"), name="reduce_k")
     )
-    blocks2.append(
-        CoordDropper(chans2["yi_crd"], chans2["xj_crd"], ch2("xi_crd_d"),
-                     ch2("xj_crd_d"), name="drop_i")
+    g2.add(
+        CoordDropper(g2["yi_crd"], g2["xj_crd"], g2.ch("xi_crd_d"),
+                     g2.ch("xj_crd_d"), name="drop_i")
     )
-    xi_writer = CompressedLevelWriter(chans2["xi_crd_d"], name="write_Xi")
-    xj_writer = CompressedLevelWriter(chans2["xj_crd_d"], name="write_Xj")
-    xv_writer = ValsWriter(chans2["x_val"], name="write_Xvals")
-    blocks2.extend([xi_writer, xj_writer, xv_writer])
-    merge_report = run_blocks(blocks2)
+    xi_writer = g2.add(CompressedLevelWriter(g2["xi_crd_d"], name="write_Xi"))
+    xj_writer = g2.add(CompressedLevelWriter(g2["xj_crd_d"], name="write_Xj"))
+    xv_writer = g2.add(ValsWriter(g2["x_val"], name="write_Xvals"))
+    merge_report = g2.run(backend=backend)
 
     x = FiberTensor(
         (B.shape[0], C.shape[1]),

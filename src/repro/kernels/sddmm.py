@@ -19,6 +19,7 @@ in three implementations:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -44,7 +45,7 @@ def sddmm_reference(B, C, D) -> np.ndarray:
     return B * (C @ D.T)
 
 
-def sddmm_unfused(B, C, D) -> SDDMMResult:
+def sddmm_unfused(B, C, D, backend: Optional[str] = None) -> SDDMMResult:
     """Factorized SDDMM: dense GEMM, then sparse element-wise sample."""
     B, C, D = _as_arrays(B, C, D)
     gemm = compile_expression(
@@ -52,13 +53,13 @@ def sddmm_unfused(B, C, D) -> SDDMMResult:
         formats={"C": ["dense", "dense"], "D": ["dense", "dense"]},
         schedule=("i", "j", "k"),
     )
-    first = gemm.run({"C": C, "D": D})
+    first = gemm.run({"C": C, "D": D}, backend=backend)
     sample = compile_expression("X(i,j) = B(i,j) * T(i,j)")
-    second = sample.run({"B": B, "T": first.output})
+    second = sample.run({"B": B, "T": first.output}, backend=backend)
     return SDDMMResult(second.to_numpy(), first.cycles + second.cycles, "unfused")
 
 
-def sddmm_fused_coiter(B, C, D) -> SDDMMResult:
+def sddmm_fused_coiter(B, C, D, backend: Optional[str] = None) -> SDDMMResult:
     """Fused SDDMM with dense coiteration at the sampled i and j levels."""
     B, C, D = _as_arrays(B, C, D)
     prog = compile_expression(
@@ -66,11 +67,11 @@ def sddmm_fused_coiter(B, C, D) -> SDDMMResult:
         formats={"C": ["dense", "dense"], "D": ["dense", "dense"]},
         schedule=("i", "j", "k"),
     )
-    res = prog.run({"B": B, "C": C, "D": D})
+    res = prog.run({"B": B, "C": C, "D": D}, backend=backend)
     return SDDMMResult(res.to_numpy(), res.cycles, "fused_coiter")
 
 
-def sddmm_fused_locate(B, C, D) -> SDDMMResult:
+def sddmm_fused_locate(B, C, D, backend: Optional[str] = None) -> SDDMMResult:
     """Fused SDDMM that locates into the dense operands (section 6.3).
 
     "We further enhance performance by using locator blocks to find the
@@ -140,7 +141,7 @@ def sddmm_fused_locate(B, C, D) -> SDDMMResult:
     g.validate()
 
     bound = bind(g, {"B": bt, "C": ct, "D": dt})
-    report = bound.run()
+    report = bound.run(backend=backend)
     out = FiberTensor(
         B.shape,
         [bound.writers["write_X_i"].level, bound.writers["write_X_j"].level],

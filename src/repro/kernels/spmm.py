@@ -14,7 +14,7 @@ reads ``B`` column-major), exactly as the paper's DCSR assumption allows.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,15 +47,24 @@ def spmm_program(order: str = "ikj") -> CompiledProgram:
     )
 
 
-def run_spmm(B: np.ndarray, C: np.ndarray, order: str = "ikj") -> RunResult:
+def run_spmm(
+    B: np.ndarray,
+    C: np.ndarray,
+    order: str = "ikj",
+    backend: Optional[str] = None,
+) -> RunResult:
     """Simulate SpM*SpM for one dataflow order on dense numpy operands."""
-    return spmm_program(order).run({"B": np.asarray(B, float), "C": np.asarray(C, float)})
+    return spmm_program(order).run(
+        {"B": np.asarray(B, float), "C": np.asarray(C, float)}, backend=backend
+    )
 
 
-def spmm_all_orders(B: np.ndarray, C: np.ndarray) -> Dict[str, Tuple[int, RunResult]]:
+def spmm_all_orders(
+    B: np.ndarray, C: np.ndarray, backend: Optional[str] = None
+) -> Dict[str, Tuple[int, RunResult]]:
     """Figure 12: cycles for every ijk permutation."""
     results = {}
     for order in ORDERS:
-        result = run_spmm(B, C, order)
+        result = run_spmm(B, C, order, backend=backend)
         results[order] = (result.cycles, result)
     return results

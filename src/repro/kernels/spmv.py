@@ -16,6 +16,8 @@ Two variants of ``x(i) = B(i,j) * c(j)``:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..blocks import (
@@ -35,9 +37,8 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import DenseLevel, FiberTensor
+from ..graph.builder import GraphBuilder
 from ..lang import CompiledProgram, compile_expression
-from ..sim.engine import run_blocks
-from ..streams.channel import Channel
 
 
 def spmv_program() -> CompiledProgram:
@@ -45,7 +46,7 @@ def spmv_program() -> CompiledProgram:
     return compile_expression("x(i) = B(i,j) * c(j)")
 
 
-def spmv_locate(B: np.ndarray, c: np.ndarray):
+def spmv_locate(B: np.ndarray, c: np.ndarray, backend: Optional[str] = None):
     """Iterate-locate SpMV: stream B's nonzeros, probe the dense vector c.
 
     Returns ``(x_coords, x_values, cycles)``.
@@ -54,47 +55,41 @@ def spmv_locate(B: np.ndarray, c: np.ndarray):
     c = np.asarray(c, dtype=float)
     bt = FiberTensor.from_numpy(B, name="B")
     c_level = DenseLevel(c.size)
-    blocks = []
-    chans = {}
+    g = GraphBuilder("spmv_locate")
 
-    def ch(name, kind="crd"):
-        chans[name] = Channel(name, kind=kind)
-        return chans[name]
-
-    blocks.append(RootFeeder(ch("root", "ref"), name="root_B"))
-    blocks.append(
-        make_scanner(bt.levels[0], chans["root"], ch("bi_crd"), ch("bi_ref", "ref"),
+    g.add(RootFeeder(g.ch("root", "ref"), name="root_B"))
+    g.add(
+        make_scanner(bt.levels[0], g["root"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
                      name="scan_Bi")
     )
-    blocks.append(
-        make_scanner(bt.levels[1], chans["bi_ref"], ch("bj_crd"), ch("bj_ref", "ref"),
+    g.add(
+        make_scanner(bt.levels[1], g["bi_ref"], g.ch("bj_crd"), g.ch("bj_ref", "ref"),
                      name="scan_Bj")
     )
     # Locator probes c's dense level with B's j coordinates (always hits
     # in-bounds coordinates; the point is never iterating c).
-    blocks.append(
+    g.add(
         Locator(
-            c_level, chans["bj_crd"], chans["bj_ref"],
-            ch("loc_crd"), ch("c_ref", "ref"), ch("b_ref", "ref"),
+            c_level, g["bj_crd"], g["bj_ref"],
+            g.ch("loc_crd"), g.ch("c_ref", "ref"), g.ch("b_ref", "ref"),
             name="locate_c",
         )
     )
-    blocks.append(ArrayLoad(bt.vals, chans["b_ref"], ch("b_val", "vals"), name="vals_B"))
-    blocks.append(ArrayLoad(list(c), chans["c_ref"], ch("c_val", "vals"), name="vals_c"))
-    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("prod", "vals"), name="mul"))
-    blocks.append(ScalarReducer(chans["prod"], ch("sum", "vals"), name="reduce_j"))
-    blocks.append(
-        ValueDropper(chans["bi_crd"], chans["sum"], ch("x_crd"), ch("x_val", "vals"),
+    g.add(ArrayLoad(bt.vals, g["b_ref"], g.ch("b_val", "vals"), name="vals_B"))
+    g.add(ArrayLoad(list(c), g["c_ref"], g.ch("c_val", "vals"), name="vals_c"))
+    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("prod", "vals"), name="mul"))
+    g.add(ScalarReducer(g["prod"], g.ch("sum", "vals"), name="reduce_j"))
+    g.add(
+        ValueDropper(g["bi_crd"], g["sum"], g.ch("x_crd"), g.ch("x_val", "vals"),
                      name="drop_zero")
     )
-    crd_writer = CompressedLevelWriter(chans["x_crd"], name="write_x_i")
-    val_writer = ValsWriter(chans["x_val"], name="write_x_vals")
-    blocks.extend([crd_writer, val_writer])
-    report = run_blocks(blocks)
+    crd_writer = g.add(CompressedLevelWriter(g["x_crd"], name="write_x_i"))
+    val_writer = g.add(ValsWriter(g["x_val"], name="write_x_vals"))
+    report = g.run(backend=backend)
     return crd_writer.crd, val_writer.vals, report.cycles
 
 
-def spmv_scatter(B: np.ndarray, c: np.ndarray):
+def spmv_scatter(B: np.ndarray, c: np.ndarray, backend: Optional[str] = None):
     """Linear-combination SpMV scattering into a dense result (section 4.2).
 
     Computes ``x(j) = sum_i B(i,j) * c(i)`` by intersecting B's rows with
@@ -108,50 +103,40 @@ def spmv_scatter(B: np.ndarray, c: np.ndarray):
     c = np.asarray(c, dtype=float)
     bt = FiberTensor.from_numpy(B, name="B")
     ct = FiberTensor.from_numpy(c, name="c")
-    blocks = []
-    chans = {}
+    g = GraphBuilder("spmv_scatter")
 
-    def ch(name, kind="crd"):
-        chans[name] = Channel(name, kind=kind)
-        return chans[name]
-
-    blocks.append(RootFeeder(ch("b_root", "ref"), name="root_B"))
-    blocks.append(RootFeeder(ch("c_root", "ref"), name="root_c"))
-    blocks.append(
-        make_scanner(bt.levels[0], chans["b_root"], ch("bi_crd"), ch("bi_ref", "ref"),
+    g.add(RootFeeder(g.ch("b_root", "ref"), name="root_B"))
+    g.add(RootFeeder(g.ch("c_root", "ref"), name="root_c"))
+    g.add(
+        make_scanner(bt.levels[0], g["b_root"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
                      name="scan_Bi")
     )
-    blocks.append(
-        make_scanner(ct.levels[0], chans["c_root"], ch("ci_crd"), ch("ci_ref", "ref"),
+    g.add(
+        make_scanner(ct.levels[0], g["c_root"], g.ch("ci_crd"), g.ch("ci_ref", "ref"),
                      name="scan_ci")
     )
-    blocks.append(
+    g.add(
         Intersect(
-            [MergeSide(chans["bi_crd"], [chans["bi_ref"]]),
-             MergeSide(chans["ci_crd"], [chans["ci_ref"]])],
-            ch("i_crd"), [[ch("ib_ref", "ref")], [ch("ic_ref", "ref")]],
+            [MergeSide(g["bi_crd"], [g["bi_ref"]]),
+             MergeSide(g["ci_crd"], [g["ci_ref"]])],
+            g.ch("i_crd"), [[g.ch("ib_ref", "ref")], [g.ch("ic_ref", "ref")]],
             name="intersect_i",
         )
     )
-    blocks.append(
-        make_scanner(bt.levels[1], chans["ib_ref"], ch("bj_crd"), ch("bj_ref", "ref"),
+    g.add(
+        make_scanner(bt.levels[1], g["ib_ref"], g.ch("bj_crd"), g.ch("bj_ref", "ref"),
                      name="scan_Bj")
     )
-    blocks.append(Fanout(chans["bj_crd"], [ch("bj_rep"), ch("bj_scatter")],
-                         name="fan_bj"))
+    g.add(Fanout(g["bj_crd"], [g.ch("bj_rep"), g.ch("bj_scatter")], name="fan_bj"))
     # Broadcast the surviving c reference over B's row fiber (Figure 6).
-    blocks.extend(make_repeater(chans["bj_rep"], chans["ic_ref"],
-                                ch("c_rep", "ref"), name="repeat_cj"))
-    blocks.append(ArrayLoad(bt.vals, chans["bj_ref"], ch("b_val", "vals"),
-                            name="vals_B"))
-    blocks.append(ArrayLoad(ct.vals, chans["c_rep"], ch("c_val", "vals"),
-                            name="vals_c"))
-    blocks.append(ALU("mul", chans["b_val"], chans["c_val"], ch("prod", "vals"),
-                      name="mul"))
+    g.add_all(make_repeater(g["bj_rep"], g["ic_ref"],
+                            g.ch("c_rep", "ref"), name="repeat_cj"))
+    g.add(ArrayLoad(bt.vals, g["bj_ref"], g.ch("b_val", "vals"), name="vals_B"))
+    g.add(ArrayLoad(ct.vals, g["c_rep"], g.ch("c_val", "vals"), name="vals_c"))
+    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("prod", "vals"), name="mul"))
     # Scatter-add at the j coordinate: the dense result supports random
     # insert, so the reduction happens in memory.
-    scatter = ScatterValsWriter(B.shape[1], chans["bj_scatter"],
-                                chans["prod"], name="scatter_x")
-    blocks.append(scatter)
-    report = run_blocks(blocks)
+    scatter = g.add(ScatterValsWriter(B.shape[1], g["bj_scatter"],
+                                      g["prod"], name="scatter_x"))
+    report = g.run(backend=backend)
     return np.array(scatter.vals), report.cycles

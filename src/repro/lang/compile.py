@@ -106,17 +106,19 @@ class CompiledProgram:
         tensors: Dict,
         record: Tuple[str, ...] = (),
         max_cycles: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> RunResult:
         """Bind the graph over *tensors*, simulate, and assemble the result.
 
         ``tensors`` maps tensor names to FiberTensors (or numpy arrays /
         plain floats for scalars); ``record`` lists ``"node.port"`` stream
         identifiers whose full token history should be captured for
-        stream analyses (Figure 14).
+        stream analyses (Figure 14); ``backend`` picks the simulation
+        engine (see :mod:`repro.sim.backends`).
         """
         prepared = self._prepare_inputs(tensors)
         bound = bind(self.graph, prepared, record=record)
-        report = bound.run(max_cycles=max_cycles)
+        report = bound.run(max_cycles=max_cycles, backend=backend)
         vals_writer = bound.writers[self.info.vals_writer_node]
         if not self.info.lhs_vars:
             value = vals_writer.vals[0] if vals_writer.vals else 0.0

@@ -1,13 +1,77 @@
-"""Cycle-approximate SAM simulator."""
+"""Cycle-approximate SAM simulator with pluggable execution backends.
 
-from .engine import CycleEngine, DeadlockError, SimulationReport, run_blocks
+Backend API
+===========
+
+A *backend* is an :class:`~repro.sim.backends.base.Engine` subclass: it
+takes the graph's block list, validates it (non-empty, unique names),
+and implements ``run(max_cycles=None) -> SimulationReport``.  Three
+backends ship in :mod:`repro.sim.backends`:
+
+``cycle`` (:class:`CycleEngine`)
+    The reference model — every unfinished block is stepped once per
+    simulated cycle.  Cycle counts are the paper's reported metric.
+
+``event`` (:class:`EventEngine`)
+    Event-driven scheduling: blocks stalled on a channel sleep until
+    that channel receives a push (or, for finite-capacity FIFOs, a
+    pop), with the skipped stall cycles credited arithmetically.
+    Produces *bit-identical* cycle counts and per-block busy/stall
+    statistics to ``cycle`` at a fraction of the wall-clock cost.
+
+``functional`` (:class:`FunctionalEngine`)
+    Drains every block to completion with no cycle accounting; the
+    report carries ``cycles == 0``.  For fast correctness-only runs.
+
+Selecting a backend
+-------------------
+
+Every entry point that runs a graph — :func:`run_blocks`,
+``GraphBuilder.run``, ``BoundGraph.run``, ``CompiledProgram.run``, the
+kernels, and the study drivers — accepts ``backend=`` (a registry name
+or an Engine class).  ``backend=None`` defers to the ``REPRO_ENGINE``
+environment variable and finally to ``"cycle"``.  The CLI exposes the
+same choice as ``repro --engine {cycle,event,functional} <command>``.
+
+Adding a backend
+----------------
+
+Subclass :class:`~repro.sim.backends.base.Engine`, set a unique
+``backend`` class attribute, implement ``run``, and register the class
+in :data:`repro.sim.backends.BACKENDS`.  Blocks expose everything a
+scheduler needs: ``step()`` (one cycle), ``drain()`` (run-to-stall),
+``finished``, and ``waiting_on`` — the ``(channel, "data"|"space")``
+reason for the last stall.  Channels accept one-shot wake callbacks via
+``add_push_waiter``/``add_pop_waiter``.
+"""
+
+from .backends import (
+    BACKENDS,
+    CycleEngine,
+    DeadlockError,
+    Engine,
+    EventEngine,
+    FunctionalEngine,
+    SimulationReport,
+    get_backend,
+    make_engine,
+    resolve_backend,
+    run_blocks,
+)
 from .stats import TokenBreakdown, channel_breakdown
 
 __all__ = [
+    "BACKENDS",
     "CycleEngine",
     "DeadlockError",
+    "Engine",
+    "EventEngine",
+    "FunctionalEngine",
     "SimulationReport",
     "TokenBreakdown",
     "channel_breakdown",
+    "get_backend",
+    "make_engine",
+    "resolve_backend",
     "run_blocks",
 ]

@@ -1,0 +1,85 @@
+"""Pluggable simulation backends.
+
+The registry maps backend names to engine classes:
+
+======================  ==============================================
+``"cycle"``             Reference model; steps every block every cycle.
+``"event"``             Event-driven; identical cycles/stats, much
+                        faster on stall-heavy graphs.
+``"functional"``        Outputs only (``cycles == 0``); fastest.
+======================  ==============================================
+
+``resolve_backend(None)`` consults the ``REPRO_ENGINE`` environment
+variable and falls back to ``"cycle"``, so any entry point that threads
+a ``backend=None`` default through can be switched globally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional, Type, Union
+
+from .base import DeadlockError, Engine, SimulationReport
+from .cycle import CycleEngine
+from .event import EventEngine
+from .functional import FunctionalEngine
+
+BACKENDS: Dict[str, Type[Engine]] = {
+    CycleEngine.backend: CycleEngine,
+    EventEngine.backend: EventEngine,
+    FunctionalEngine.backend: FunctionalEngine,
+}
+
+#: environment variable consulted when no backend is given explicitly
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve an explicit/None backend name to a registry key."""
+    if backend is None:
+        backend = os.environ.get(ENGINE_ENV_VAR) or CycleEngine.backend
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        )
+    return backend
+
+
+def get_backend(backend: Optional[str] = None) -> Type[Engine]:
+    """The engine class registered under *backend* (None → default)."""
+    return BACKENDS[resolve_backend(backend)]
+
+
+def make_engine(
+    blocks: Iterable,
+    backend: Union[str, Type[Engine], None] = None,
+) -> Engine:
+    """Instantiate a backend over *blocks*; accepts a name or a class."""
+    if isinstance(backend, type) and issubclass(backend, Engine):
+        return backend(blocks)
+    return get_backend(backend)(blocks)
+
+
+def run_blocks(
+    blocks: Iterable,
+    max_cycles: Optional[int] = None,
+    backend: Union[str, Type[Engine], None] = None,
+) -> SimulationReport:
+    """Convenience wrapper: build an engine and run it."""
+    return make_engine(blocks, backend=backend).run(max_cycles=max_cycles)
+
+
+__all__ = [
+    "BACKENDS",
+    "CycleEngine",
+    "DeadlockError",
+    "ENGINE_ENV_VAR",
+    "Engine",
+    "EventEngine",
+    "FunctionalEngine",
+    "SimulationReport",
+    "get_backend",
+    "make_engine",
+    "resolve_backend",
+    "run_blocks",
+]

@@ -1,0 +1,69 @@
+"""Shared machinery for simulation backends.
+
+Every backend consumes the same graph — a list of :class:`~repro.blocks.base.Block`
+instances wired by channels — and produces a :class:`SimulationReport`.
+Backends differ only in *how* they schedule generator resumptions:
+
+* :class:`~repro.sim.backends.cycle.CycleEngine` — the reference model;
+  steps every unfinished block once per cycle.
+* :class:`~repro.sim.backends.event.EventEngine` — event-driven; sleeps
+  stalled blocks on their blocking channel and only resumes them after
+  the channel sees a push (or a pop, for finite-capacity back-pressure),
+  reproducing the reference cycle counts and busy/stall stats exactly.
+* :class:`~repro.sim.backends.functional.FunctionalEngine` — drains each
+  block to completion with no cycle accounting; outputs only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ...blocks.base import Block
+
+
+class DeadlockError(RuntimeError):
+    """No block can make progress but the graph has not finished."""
+
+
+class SimulationReport:
+    """Result of a simulation run: cycles plus per-block activity."""
+
+    def __init__(self, cycles: int, blocks: List[Block]):
+        self.cycles = cycles
+        self.blocks = blocks
+
+    def block_activity(self) -> Dict[str, Dict[str, int]]:
+        """Per-block busy/stall cycle counts."""
+        return {
+            block.name: {"busy": block.busy_cycles, "stall": block.stall_cycles}
+            for block in self.blocks
+        }
+
+    def __repr__(self) -> str:
+        return f"SimulationReport(cycles={self.cycles}, blocks={len(self.blocks)})"
+
+
+class Engine:
+    """Base class for simulation backends: validates the block list."""
+
+    #: registry key; subclasses override ("cycle", "event", "functional")
+    backend = "abstract"
+
+    def __init__(self, blocks: Iterable[Block]):
+        self.blocks: List[Block] = list(blocks)
+        if not self.blocks:
+            raise ValueError("engine needs at least one block")
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != len(names):
+            seen, dups = set(), set()
+            for name in names:
+                (dups if name in seen else seen).add(name)
+            raise ValueError(f"duplicate block names: {sorted(dups)}")
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationReport:
+        raise NotImplementedError
+
+    def _deadlock(self, cycles: int, stuck: List[str]) -> DeadlockError:
+        return DeadlockError(
+            f"no progress after {cycles} cycles; stuck blocks: {stuck}"
+        )

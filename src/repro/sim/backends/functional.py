@@ -1,0 +1,88 @@
+"""Functional backend: correctness-only runs at maximum speed.
+
+Drains each block's generator to completion with no per-cycle
+accounting: a block runs until it stalls, parks on the channel it is
+blocked on, and is only revisited once that channel sees the push (or
+pop) it is waiting for.  There is no cycle loop at all — each generator
+is resumed O(tokens) times total instead of O(cycles).
+
+The returned report carries ``cycles == 0`` (timing is not modelled) and
+leaves per-block busy/stall counters untouched.  Use it to validate
+outputs on large workloads before paying for a timed backend.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .base import Engine, SimulationReport
+
+
+class FunctionalEngine(Engine):
+    """Runs the graph to completion; outputs only, no timing."""
+
+    backend = "functional"
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationReport:
+        blocks = self.blocks
+        n = len(blocks)
+        ready = deque(range(n))
+        queued = [True] * n
+        finished = [False] * n
+        remaining = n
+        # max_cycles has no cycle counter to bound here; treat it as a
+        # resumption budget scaled by graph size so runaway graphs still
+        # terminate with the same error surface.
+        budget = None if max_cycles is None else max_cycles * n
+        resumptions = 0
+        # Consecutive drains with no True yield; bounds the pathological
+        # case of blocks that stall without declaring a wait channel.
+        idle_streak = 0
+
+        def make_waker(i: int):
+            def wake() -> None:
+                if not finished[i] and not queued[i]:
+                    queued[i] = True
+                    ready.append(i)
+
+            return wake
+
+        wakers = [make_waker(i) for i in range(n)]
+
+        while ready:
+            i = ready.popleft()
+            queued[i] = False
+            block = blocks[i]
+            limit = None if budget is None else budget - resumptions + 1
+            progressed, steps = block.drain(limit=limit)
+            resumptions += steps
+            if budget is not None and resumptions > budget:
+                raise RuntimeError(f"exceeded max_cycles={max_cycles}")
+            if block.finished:
+                finished[i] = True
+                remaining -= 1
+                idle_streak = 0
+                continue
+            if progressed:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                if idle_streak > 2 * n + 2:
+                    stuck = [b.name for k, b in enumerate(blocks) if not finished[k]]
+                    raise self._deadlock(0, stuck)
+            wait = block._wait
+            if wait is not None:
+                channel, need = wait
+                if need == "data":
+                    channel.add_push_waiter(wakers[i])
+                else:
+                    channel.add_pop_waiter(wakers[i])
+            else:
+                # Spontaneous stall with no declared wait: retry round-robin.
+                queued[i] = True
+                ready.append(i)
+        if remaining:
+            stuck = [b.name for k, b in enumerate(blocks) if not finished[k]]
+            raise self._deadlock(0, stuck)
+        return SimulationReport(0, self.blocks)

@@ -1,86 +1,37 @@
-"""Cycle-approximate dataflow engine (paper section 6 preamble).
+"""Compatibility shim for the pre-backend engine module.
 
-The engine steps every block once per cycle until all blocks finish.
-This realises the paper's simulator model: SAM graphs are fully
-pipelined (every primitive produces one token each cycle), input queues
-are infinite, memory reads take one cycle, memories are pre-initialised,
-and primitives are not time-shared.
-
-The reported metric is the cycle count — the number of engine iterations
-in which at least one block made progress — which is what every figure
-in the paper's evaluation plots.
+The engine implementations live in :mod:`repro.sim.backends`; this
+module keeps the historical import surface (``from repro.sim.engine
+import CycleEngine, run_blocks, ...``) working and is the conventional
+home of :func:`run_blocks`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from .backends import (
+    BACKENDS,
+    CycleEngine,
+    DeadlockError,
+    Engine,
+    EventEngine,
+    FunctionalEngine,
+    SimulationReport,
+    get_backend,
+    make_engine,
+    resolve_backend,
+    run_blocks,
+)
 
-from ..blocks.base import Block
-
-
-class DeadlockError(RuntimeError):
-    """No block can make progress but the graph has not finished."""
-
-
-class SimulationReport:
-    """Result of a simulation run: cycles plus per-block activity."""
-
-    def __init__(self, cycles: int, blocks: List[Block]):
-        self.cycles = cycles
-        self.blocks = blocks
-
-    def block_activity(self) -> Dict[str, Dict[str, int]]:
-        """Per-block busy/stall cycle counts."""
-        return {
-            block.name: {"busy": block.busy_cycles, "stall": block.stall_cycles}
-            for block in self.blocks
-        }
-
-    def __repr__(self) -> str:
-        return f"SimulationReport(cycles={self.cycles}, blocks={len(self.blocks)})"
-
-
-class CycleEngine:
-    """Steps a set of blocks cycle by cycle until completion."""
-
-    def __init__(self, blocks: Iterable[Block]):
-        self.blocks: List[Block] = list(blocks)
-        if not self.blocks:
-            raise ValueError("engine needs at least one block")
-        names = [b.name for b in self.blocks]
-        if len(set(names)) != len(names):
-            seen, dups = set(), set()
-            for name in names:
-                (dups if name in seen else seen).add(name)
-            raise ValueError(f"duplicate block names: {sorted(dups)}")
-
-    def run(self, max_cycles: Optional[int] = None) -> SimulationReport:
-        """Run to completion; returns the cycle count and activity stats."""
-        cycles = 0
-        # Only step unfinished blocks; rebuild the active list as blocks
-        # retire so long tails do not pay for finished producers.
-        active = list(self.blocks)
-        while active:
-            progress = False
-            still_active = []
-            for block in active:
-                if block.step():
-                    progress = True
-                if not block.finished:
-                    still_active.append(block)
-            active = still_active
-            if progress:
-                cycles += 1
-            elif active:
-                stuck = [b.name for b in active]
-                raise DeadlockError(
-                    f"no progress after {cycles} cycles; stuck blocks: {stuck}"
-                )
-            if max_cycles is not None and cycles > max_cycles:
-                raise RuntimeError(f"exceeded max_cycles={max_cycles}")
-        return SimulationReport(cycles, self.blocks)
-
-
-def run_blocks(blocks: Iterable[Block], max_cycles: Optional[int] = None) -> SimulationReport:
-    """Convenience wrapper: build an engine and run it."""
-    return CycleEngine(blocks).run(max_cycles=max_cycles)
+__all__ = [
+    "BACKENDS",
+    "CycleEngine",
+    "DeadlockError",
+    "Engine",
+    "EventEngine",
+    "FunctionalEngine",
+    "SimulationReport",
+    "get_backend",
+    "make_engine",
+    "resolve_backend",
+    "run_blocks",
+]

@@ -12,7 +12,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from .stream import Stream
-from .token import is_data, is_done, is_empty, is_stop
+from .token import DONE, EMPTY, Stop, is_data, is_done, is_empty, is_stop
 
 
 class Channel:
@@ -34,6 +34,8 @@ class Channel:
         "pushed_empty",
         "history",
         "record",
+        "_push_waiters",
+        "_pop_waiters",
     )
 
     def __init__(
@@ -53,29 +55,47 @@ class Channel:
         self.pushed_empty = 0
         self.record = record
         self.history: list = []
+        self._push_waiters: list = []
+        self._pop_waiters: list = []
 
     # -- queue protocol ------------------------------------------------------
     def push(self, token) -> None:
-        if self.full():
+        if self.capacity is not None and len(self.queue) >= self.capacity:
             raise OverflowError(f"channel {self.name!r} is full")
         self.queue.append(token)
         if self.record:
             self.history.append(token)
-        if is_stop(token):
+        # Classification fast path: the overwhelming majority of tokens are
+        # plain int/float data, so test those classes before the controls.
+        cls = token.__class__
+        if cls is int or cls is float:
+            self.pushed_data += 1
+        elif cls is Stop:
             self.pushed_stop += 1
-        elif is_done(token):
+        elif token is DONE:
             self.pushed_done += 1
-        elif is_empty(token):
+        elif token is EMPTY:
             self.pushed_empty += 1
         else:
             self.pushed_data += 1
+        if self._push_waiters:
+            self._fire(self._push_waiters)
+
+    def _fire(self, waiters: list) -> None:
+        """Invoke and clear one-shot waiter callbacks (see add_push_waiter)."""
+        pending, waiters[:] = list(waiters), []
+        for callback in pending:
+            callback()
 
     def push_all(self, tokens) -> None:
         for token in tokens:
             self.push(token)
 
     def pop(self):
-        return self.queue.popleft()
+        token = self.queue.popleft()
+        if self._pop_waiters:
+            self._fire(self._pop_waiters)
+        return token
 
     def peek(self):
         return self.queue[0]
@@ -88,6 +108,19 @@ class Channel:
 
     def __len__(self) -> int:
         return len(self.queue)
+
+    # -- event-driven scheduling ---------------------------------------------
+    # Simulation backends that sleep stalled blocks (repro.sim.backends.event)
+    # register one-shot callbacks here; the channel notifies them on the next
+    # push (data arrived for a consumer) or pop (space freed for a producer
+    # stalled on a finite-capacity FIFO).
+    def add_push_waiter(self, callback) -> None:
+        """Call *callback* once, after the next :meth:`push`."""
+        self._push_waiters.append(callback)
+
+    def add_pop_waiter(self, callback) -> None:
+        """Call *callback* once, after the next :meth:`pop` (or drain)."""
+        self._pop_waiters.append(callback)
 
     # -- statistics ----------------------------------------------------------
     @property
@@ -107,6 +140,8 @@ class Channel:
         """Pop and return every queued token (used by sinks and tests)."""
         out = list(self.queue)
         self.queue.clear()
+        if out and self._pop_waiters:
+            self._fire(self._pop_waiters)
         return out
 
     def recorded_stream(self) -> Stream:

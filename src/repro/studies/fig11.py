@@ -16,7 +16,7 @@ in seconds; the shape is size-stable (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,7 @@ def run_fig11(
     k_sweep: Tuple[int, ...] = (1, 10, 100),
     sparsity: float = 0.95,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[Fig11Point]:
     """Sweep K for the three SDDMM implementations."""
     rng = np.random.default_rng(seed)
@@ -58,7 +59,7 @@ def run_fig11(
             ("fused_locate", sddmm_fused_locate),
             ("fused_coiter", sddmm_fused_coiter),
         ):
-            result = fn(B, C, D)
+            result = fn(B, C, D, backend=backend)
             points.append(
                 Fig11Point(k, variant, result.cycles,
                            bool(np.allclose(result.output, reference)))

@@ -15,7 +15,7 @@ size-stable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -32,14 +32,15 @@ class Fig12Point:
 
 
 def run_fig12(
-    i: int = 80, j: int = 80, k: int = 32, sparsity: float = 0.95, seed: int = 0
+    i: int = 80, j: int = 80, k: int = 32, sparsity: float = 0.95, seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[Fig12Point]:
     B = random_sparse_matrix(i, k, 1.0 - sparsity, seed=seed)
     C = random_sparse_matrix(k, j, 1.0 - sparsity, seed=seed + 1)
     expected = B @ C
     points = []
     for order in ORDERS:
-        result = run_spmm(B, C, order)
+        result = run_spmm(B, C, order, backend=backend)
         points.append(
             Fig12Point(order, FAMILY[order], result.cycles,
                        bool(np.allclose(result.to_numpy(), expected)))

@@ -15,7 +15,7 @@ nonzeros (20%); bitvector width b = 64; split factor s = 64.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..data.synthetic import blocks_vectors, runs_vectors, urandom_vector
 from ..kernels.elementwise import CONFIGS, vecmul
@@ -30,10 +30,12 @@ class Fig13Point:
     correct: bool
 
 
-def _measure(sweep: str, x: int, b, c, configs, split, bits) -> List[Fig13Point]:
+def _measure(sweep: str, x: int, b, c, configs, split, bits,
+             backend: Optional[str] = None) -> List[Fig13Point]:
     points = []
     for config in configs:
-        result = vecmul(config, b, c, split=split, bits_per_word=bits)
+        result = vecmul(config, b, c, split=split, bits_per_word=bits,
+                        backend=backend)
         points.append(
             Fig13Point(sweep, x, config, result.cycles, result.check_against(b, c))
         )
@@ -46,13 +48,15 @@ def run_fig13a(
     split: int = 50,
     bits_per_word: int = 64,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[Fig13Point]:
     """(a) performance vs. sparsity of uniformly random vectors."""
     points = []
     for nnz in nnz_sweep:
         b = urandom_vector(size, nnz, seed=seed)
         c = urandom_vector(size, nnz, seed=seed + 1)
-        points += _measure("nnz", nnz, b, c, CONFIGS, split, bits_per_word)
+        points += _measure("nnz", nnz, b, c, CONFIGS, split, bits_per_word,
+                           backend=backend)
     return points
 
 
@@ -63,12 +67,14 @@ def run_fig13b(
     split: int = 50,
     bits_per_word: int = 64,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[Fig13Point]:
     """(b) performance vs. run length of `runs` vectors."""
     points = []
     for run_length in run_sweep:
         b, c = runs_vectors(size, nnz, run_length, seed=seed)
-        points += _measure("run_length", run_length, b, c, CONFIGS, split, bits_per_word)
+        points += _measure("run_length", run_length, b, c, CONFIGS, split,
+                           bits_per_word, backend=backend)
     return points
 
 
@@ -79,12 +85,14 @@ def run_fig13c(
     split: int = 50,
     bits_per_word: int = 64,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[Fig13Point]:
     """(c) performance vs. block size of blocked vectors."""
     points = []
     for block_size in block_sweep:
         b, c = blocks_vectors(size, nnz, block_size, seed=seed)
-        points += _measure("block_size", block_size, b, c, CONFIGS, split, bits_per_word)
+        points += _measure("block_size", block_size, b, c, CONFIGS, split,
+                           bits_per_word, backend=backend)
     return points
 
 
@@ -102,10 +110,10 @@ def format_fig13(points: List[Fig13Point]) -> str:
     return "\n".join(lines)
 
 
-def main() -> str:
+def main(backend: Optional[str] = None) -> str:
     parts = []
     for run in (run_fig13a, run_fig13b, run_fig13c):
-        parts.append(format_fig13(run()))
+        parts.append(format_fig13(run(backend=backend)))
         print(parts[-1])
         print()
     return "\n\n".join(parts)

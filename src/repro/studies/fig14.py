@@ -31,9 +31,14 @@ class Fig14Row:
 
 
 def run_fig14(
-    max_nnz: Optional[int] = 30000, seed: int = 0
+    max_nnz: Optional[int] = 30000, seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[Fig14Row]:
-    """Token breakdown per matrix; cap nnz for quick runs (None = all 15)."""
+    """Token breakdown per matrix; cap nnz for quick runs (None = all 15).
+
+    The idle fractions need a timed backend (``cycle`` or ``event``);
+    ``functional`` reports zero cycles and would skew them.
+    """
     program = compile_expression("X(i,j) = B(i,j)")
     scan_i = next(n for n in program.graph.nodes if n.endswith("_i"))
     scan_j = next(n for n in program.graph.nodes if n.endswith("_j"))
@@ -44,7 +49,8 @@ def run_fig14(
         matrix = generate(spec, seed=seed)
         tensor = FiberTensor.from_scipy(matrix, name="B")
         result = program.run(
-            {"B": tensor}, record=(f"{scan_i}.crd", f"{scan_j}.crd")
+            {"B": tensor}, record=(f"{scan_i}.crd", f"{scan_j}.crd"),
+            backend=backend,
         )
         outer = inner = None
         for channel in result.bound.channels.values():
