@@ -12,14 +12,24 @@ Usage::
     python -m repro --engine event fig13
     python -m repro compile "x(i) = B(i,j) * c(j)" --dot
 
+    # sharded, cached sweeps over any subset of studies
+    python -m repro sweep all --jobs 8
+    python -m repro sweep table2 fig11 --jobs 4 --out artifacts/
+    python -m repro report table2            # render from cached results
+
 ``--engine`` selects the simulation backend (cycle, event, functional)
 for every study that runs block-level simulations; see
-:mod:`repro.sim.backends`.
+:mod:`repro.sim.backends`.  ``sweep``/``report`` are the harness entry
+points (see EXPERIMENTS.md): points fan out across ``--jobs`` worker
+processes and every completed point lands in the ``--cache-dir`` result
+cache (default ``.repro-cache`` or ``$REPRO_CACHE_DIR``), so reruns are
+cache replays and interrupted sweeps resume where they stopped.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -71,6 +81,103 @@ def _cmd_fig15(args) -> None:
     print(format_fig15(run_fig15(dimensions=dims, nnzs=nnzs)))
 
 
+def _parse_opt_value(text: str):
+    """Best-effort typed parse of one ``--opt key=value`` value."""
+    if text.lower() in ("none", "null"):
+        return None
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    if "," in text:
+        return tuple(_parse_opt_value(part) for part in text.split(",") if part)
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _sweep_options(args) -> dict:
+    options = {}
+    for item in args.opt or ():
+        if "=" not in item:
+            raise SystemExit(f"--opt expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        options[key] = _parse_opt_value(value)
+    return options
+
+
+def _study_names(args) -> list:
+    from .harness import STUDY_NAMES
+
+    names = list(args.studies)
+    for name in names:
+        if name != "all" and name not in STUDY_NAMES:
+            raise SystemExit(
+                f"unknown study {name!r}; choose from {list(STUDY_NAMES)} or 'all'"
+            )
+    if not names or "all" in names:
+        return list(STUDY_NAMES)
+    return names
+
+
+def _make_runner(args):
+    from .harness import ResultCache, SweepRunner
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    cache = ResultCache(args.cache_dir) if args.cache_dir != "none" else None
+    return SweepRunner(cache=cache, jobs=args.jobs,
+                       force=getattr(args, "force", False))
+
+
+def _run_study_sweep(args, name: str, runner):
+    """Enumerate one study's points (with CLI options) and run them."""
+    from .harness import get_study
+
+    study = get_study(name)
+    options = dict(study.quick_options) if args.quick else {}
+    options.update(_sweep_options(args))
+    specs = study.enumerate(backend=args.engine, options=options)
+    return study, runner.run(specs)
+
+
+def _write_artifacts(out_dir: str, name: str, results) -> list:
+    from .harness import write_csv_artifact, write_json_artifact
+
+    return [
+        write_json_artifact(results, os.path.join(out_dir, f"{name}.json")),
+        write_csv_artifact(results, os.path.join(out_dir, f"{name}.csv")),
+    ]
+
+
+def _cmd_sweep(args) -> None:
+    runner = _make_runner(args)
+    if args.prune and runner.cache is not None:
+        print(f"pruned {runner.cache.prune_stale()} stale cache entries")
+    for name in _study_names(args):
+        study, report = _run_study_sweep(args, name, runner)
+        print(f"{name}: {report.summary()}")
+        if args.out:
+            for path in _write_artifacts(args.out, name, report.results):
+                print(f"  wrote {path}")
+
+
+def _cmd_report(args) -> None:
+    runner = _make_runner(args)
+    for name in _study_names(args):
+        study, report = _run_study_sweep(args, name, runner)
+        if report.executed and args.jobs == 1:
+            print(f"# {name}: {report.executed} points were not cached; "
+                  f"ran them serially (use 'repro sweep' first for -j fan-out)",
+                  file=sys.stderr)
+        print(f"== {study.title} ==")
+        print(study.render(report.results))
+        print()
+        if args.out:
+            _write_artifacts(args.out, name, report.results)
+
+
 def _cmd_compile(args) -> None:
     from .lang import compile_expression, expression_features, primitive_row
 
@@ -118,6 +225,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="reduced sweep covering all three regions")
 
+    def add_harness_arguments(p, force: bool) -> None:
+        from .harness import default_cache_dir
+
+        p.add_argument("studies", nargs="*", metavar="study",
+                       help="studies to cover (default: all)")
+        p.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for uncached points")
+        p.add_argument("--cache-dir", default=default_cache_dir(),
+                       help="result cache directory ('none' disables caching; "
+                       "default: $REPRO_CACHE_DIR or .repro-cache)")
+        p.add_argument("--quick", action="store_true",
+                       help="reduced-scale smoke sweep per study")
+        p.add_argument("--opt", action="append", metavar="KEY=VALUE",
+                       help="study option override, e.g. --opt size=12 "
+                       "--opt k_sweep=1,4 (unknown keys are ignored per study)")
+        p.add_argument("--out", default=None, metavar="DIR",
+                       help="write <study>.json + <study>.csv artifacts to DIR")
+        if force:
+            p.add_argument("--force", action="store_true",
+                           help="ignore cached results and re-execute")
+            p.add_argument("--prune", action="store_true",
+                           help="first delete cache entries from older "
+                           "code versions")
+
+    p = sub.add_parser(
+        "sweep", help="execute study sweep points (sharded + cached)"
+    )
+    add_harness_arguments(p, force=True)
+
+    p = sub.add_parser(
+        "report", help="render tables/figures from cached sweep results"
+    )
+    add_harness_arguments(p, force=False)
+
     p = sub.add_parser("compile", help="compile an expression and inspect it")
     p.add_argument("expression", help='e.g. "x(i) = B(i,j) * c(j)"')
     p.add_argument("--schedule", nargs="*", default=None,
@@ -134,6 +275,8 @@ _COMMANDS = {
     "fig13": _cmd_fig13,
     "fig14": _cmd_fig14,
     "fig15": _cmd_fig15,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
     "compile": _cmd_compile,
 }
 

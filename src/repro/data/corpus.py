@@ -207,6 +207,41 @@ def generate_corpus(
     return Corpus(entries, counts.tolist())
 
 
+#: per-process memo for (corpus, compiled programs); the compile pass
+#: dominates Table 2's cost, so harness workers that each handle several
+#: removal scenarios compile the corpus exactly once
+_compiled_cache: Dict[Tuple[int, int, int], Tuple[Corpus, list]] = {}
+
+
+def compile_corpus_programs(corpus: Corpus) -> list:
+    """Compile every corpus entry; each program carries the entry's
+    user-declared ``output_format`` so the Table 2 writer scenarios can
+    inspect it."""
+    from ..lang import compile_expression
+
+    programs = []
+    for entry in corpus.entries:
+        program = compile_expression(
+            entry.expression, formats=entry.format_dict(),
+            schedule=entry.schedule,
+        )
+        program.output_format = entry.output_format
+        programs.append(program)
+    return programs
+
+
+def compiled_corpus(
+    total: int = 23794, distinct_target: int = 3839, seed: int = 0
+) -> Tuple[Corpus, list]:
+    """The corpus plus its compiled programs, memoized per process."""
+    key = (total, distinct_target, seed)
+    if key not in _compiled_cache:
+        corpus = generate_corpus(total=total, distinct_target=distinct_target,
+                                 seed=seed)
+        _compiled_cache[key] = (corpus, compile_corpus_programs(corpus))
+    return _compiled_cache[key]
+
+
 def _compiles(entry: CorpusEntry) -> bool:
     from ..lang import compile_expression
     from ..lang.ast import ExpressionError

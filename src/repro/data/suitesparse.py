@@ -6,7 +6,7 @@ offline, so we generate seeded uniform-random matrices with the *same
 name, dimensions, nonzero count, and density* as each Table 3 entry.
 The Figure 14 metric — token-type composition of the level-scanner
 output streams — depends only on those structural statistics, so the
-stand-ins preserve the study's shape (documented in DESIGN.md).
+stand-ins preserve the study's shape (documented in EXPERIMENTS.md).
 """
 
 from __future__ import annotations

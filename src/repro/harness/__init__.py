@@ -1,0 +1,55 @@
+"""Sharded experiment harness with content-hashed result caching.
+
+The pieces (see ``docs/architecture.md`` for the full picture):
+
+* :mod:`~repro.harness.spec` — :class:`ExperimentSpec` (study name +
+  parameter dict + backend) and :class:`ExperimentResult` (a durable
+  JSON payload per point), keyed by a content hash that includes a
+  digest of the package sources;
+* :mod:`~repro.harness.cache` — :class:`ResultCache`, one JSON file per
+  completed point, atomic writes, resume-by-construction;
+* :mod:`~repro.harness.runner` — :class:`SweepRunner`, which replays
+  hits and shards misses across ``multiprocessing`` workers, plus
+  JSON/CSV artifact writers;
+* :mod:`~repro.harness.registry` — the :class:`Study` descriptors that
+  every module under :mod:`repro.studies` exports as ``STUDY``.
+
+CLI: ``repro sweep <study ...> --jobs N`` executes and caches,
+``repro report <study ...>`` renders the paper tables/figures from the
+cached records (see ``EXPERIMENTS.md``).
+"""
+
+from .cache import CACHE_DIR_ENV_VAR, DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from .registry import STUDY_NAMES, Study, all_studies, execute_spec, get_study
+from .runner import (
+    SweepReport,
+    SweepRunner,
+    write_csv_artifact,
+    write_json_artifact,
+)
+from .spec import (
+    CODE_VERSION_ENV_VAR,
+    ExperimentResult,
+    ExperimentSpec,
+    code_version,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CODE_VERSION_ENV_VAR",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "STUDY_NAMES",
+    "Study",
+    "SweepReport",
+    "SweepRunner",
+    "all_studies",
+    "code_version",
+    "default_cache_dir",
+    "execute_spec",
+    "get_study",
+    "write_csv_artifact",
+    "write_json_artifact",
+]

@@ -1,0 +1,133 @@
+"""Content-hashed on-disk result cache.
+
+Layout: one JSON file per result at ``<root>/<study>/<key>.json`` where
+``key`` hashes the canonical spec, the backend, and the code version
+(:func:`repro.harness.spec.code_version`).  A sweep interrupted halfway
+leaves every completed point on disk; the next run loads them as hits
+and only executes the remainder — that is the whole resume story, there
+is no separate journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Optional
+
+from .spec import ExperimentResult, ExperimentSpec, code_version
+
+#: environment override for the default cache directory
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: default cache location (relative to the working directory)
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV_VAR) or DEFAULT_CACHE_DIR
+
+
+class ResultCache:
+    """Directory of cached :class:`ExperimentResult` records."""
+
+    def __init__(self, root: Optional[str] = None, version: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.version = version or code_version()
+
+    def path(self, spec: ExperimentSpec) -> str:
+        return os.path.join(self.root, spec.study, spec.key(self.version) + ".json")
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return os.path.exists(self.path(spec))
+
+    def load(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        """The cached result for *spec*, or None on a miss.
+
+        Unreadable/corrupt entries (e.g. a write cut short by a crash
+        that bypassed the atomic rename) count as misses.
+        """
+        path = self.path(spec)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        result = ExperimentResult.from_dict(data, cached=True)
+        result.code_version = self.version
+        return result
+
+    def store(self, result: ExperimentResult) -> str:
+        """Persist *result*; atomic via temp-file + rename."""
+        result.code_version = self.version
+        path = self.path(result.spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def evict(self, spec: ExperimentSpec) -> bool:
+        """Remove one cached entry; returns whether it existed."""
+        path = self.path(spec)
+        if os.path.exists(path):
+            os.unlink(path)
+            return True
+        return False
+
+    def iter_entries(self, study: Optional[str] = None) -> Iterator[ExperimentResult]:
+        """All readable cached results (optionally for one study)."""
+        if not os.path.isdir(self.root):
+            return
+        studies = [study] if study else sorted(os.listdir(self.root))
+        for name in studies:
+            study_dir = os.path.join(self.root, name)
+            if not os.path.isdir(study_dir):
+                continue
+            for filename in sorted(os.listdir(study_dir)):
+                if not filename.endswith(".json"):
+                    continue
+                try:
+                    with open(os.path.join(study_dir, filename)) as handle:
+                        yield ExperimentResult.from_dict(json.load(handle), cached=True)
+                except (OSError, json.JSONDecodeError):
+                    continue
+
+    def size(self, study: Optional[str] = None) -> int:
+        return sum(1 for _ in self.iter_entries(study))
+
+    def prune_stale(self) -> int:
+        """Delete entries written under other code versions.
+
+        Keys embed the code version, so every source edit orphans the
+        previous sweep's files; this reclaims them (``sweep --prune``).
+        Returns the number of files removed.
+        """
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for study in sorted(os.listdir(self.root)):
+            study_dir = os.path.join(self.root, study)
+            if not os.path.isdir(study_dir):
+                continue
+            for filename in sorted(os.listdir(study_dir)):
+                path = os.path.join(study_dir, filename)
+                if not filename.endswith(".json"):
+                    continue
+                try:
+                    with open(path) as handle:
+                        version = json.load(handle).get("code_version")
+                except (OSError, json.JSONDecodeError):
+                    version = None
+                if version != self.version:
+                    os.unlink(path)
+                    removed += 1
+        return removed

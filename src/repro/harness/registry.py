@@ -1,0 +1,83 @@
+"""Study registry: one :class:`Study` per paper table/figure.
+
+Each module under :mod:`repro.studies` exports a module-level ``STUDY``
+describing how to *enumerate* its sweep points as
+:class:`~repro.harness.spec.ExperimentSpec` records, *execute* a single
+point into a JSON payload, and *render* a list of results back into the
+paper's table/figure text.  The registry resolves study names lazily so
+importing the harness does not pull in every study's dependencies.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .spec import ExperimentResult, ExperimentSpec
+
+#: canonical study order (the paper's presentation order)
+STUDY_NAMES: Tuple[str, ...] = (
+    "table1", "table2", "fig11", "fig12", "fig13", "fig14", "fig15",
+)
+
+
+@dataclass
+class Study:
+    """How a study plugs into the sweep harness.
+
+    ``enumerate_specs(backend=..., **options)`` yields the sweep points;
+    unknown options are filtered out before the call so one CLI option
+    set can drive several studies at once.  ``execute(spec)`` must be a
+    pure function of the spec (workers run it in other processes) and
+    return a JSON-serialisable payload.  ``render(results)`` produces
+    the human-readable table/figure text.
+    """
+
+    name: str
+    title: str
+    enumerate_fn: Callable[..., List[ExperimentSpec]]
+    execute_fn: Callable[[ExperimentSpec], Dict[str, Any]]
+    render_fn: Callable[[List[ExperimentResult]], str]
+    #: whether points run block-level simulations (and thus depend on
+    #: the selected engine); compile-only/analytic studies ignore it
+    uses_backend: bool = True
+    #: reduced-scale option overrides for smoke runs (``--quick``)
+    quick_options: Dict[str, Any] = field(default_factory=dict)
+
+    def enumerate(self, backend: Optional[str] = None,
+                  options: Optional[Dict[str, Any]] = None) -> List[ExperimentSpec]:
+        """Enumerate sweep points, filtering *options* to known ones."""
+        accepted = inspect.signature(self.enumerate_fn).parameters
+        kwargs = {
+            key: value for key, value in (options or {}).items() if key in accepted
+        }
+        if self.uses_backend:
+            from ..sim.backends import resolve_backend
+
+            kwargs["backend"] = resolve_backend(backend)
+        return list(self.enumerate_fn(**kwargs))
+
+    def execute(self, spec: ExperimentSpec) -> Dict[str, Any]:
+        return self.execute_fn(spec)
+
+    def render(self, results: List[ExperimentResult]) -> str:
+        return self.render_fn(results)
+
+
+def get_study(name: str) -> Study:
+    """Resolve a study name to its ``STUDY`` descriptor."""
+    if name not in STUDY_NAMES:
+        raise KeyError(f"unknown study {name!r}; choose from {list(STUDY_NAMES)}")
+    module = importlib.import_module(f"repro.studies.{name}")
+    return module.STUDY
+
+
+def all_studies() -> List[Study]:
+    return [get_study(name) for name in STUDY_NAMES]
+
+
+def execute_spec(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Execute one spec via its study (the worker-side entry point)."""
+    return get_study(spec.study).execute(spec)

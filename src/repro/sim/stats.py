@@ -48,6 +48,16 @@ class TokenBreakdown:
             return 0.0
         return (self.stop + self.done + self.empty) / busy
 
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for JSON experiment records (harness cache)."""
+        return {"data": self.data, "stop": self.stop, "done": self.done,
+                "empty": self.empty, "idle": self.idle}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "TokenBreakdown":
+        return cls(data=data["data"], stop=data["stop"], done=data["done"],
+                   empty=data["empty"], idle=data.get("idle", 0))
+
 
 def channel_breakdown(channel: Channel, total_cycles: int = 0) -> TokenBreakdown:
     """Token breakdown for a channel; idle = cycles with no token pushed."""

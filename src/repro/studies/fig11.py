@@ -16,11 +16,13 @@ in seconds; the shape is size-stable (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.synthetic import random_sparse_matrix
+from ..harness.registry import Study
+from ..harness.spec import ExperimentResult, ExperimentSpec, as_tuple
 from ..kernels.sddmm import (
     sddmm_fused_coiter,
     sddmm_fused_locate,
@@ -29,6 +31,12 @@ from ..kernels.sddmm import (
 )
 
 VARIANTS = ("unfused", "fused_locate", "fused_coiter")
+
+_IMPLS = {
+    "unfused": sddmm_unfused,
+    "fused_locate": sddmm_fused_locate,
+    "fused_coiter": sddmm_fused_coiter,
+}
 
 
 @dataclass
@@ -39,6 +47,52 @@ class Fig11Point:
     correct: bool
 
 
+def enumerate_specs(
+    size: int = 40,
+    k_sweep: Sequence[int] = (1, 10, 100),
+    sparsity: float = 0.95,
+    seed: int = 0,
+    backend: str = "cycle",
+) -> List[ExperimentSpec]:
+    """One spec per (K, variant) point of the Figure 11 sweep."""
+    return [
+        ExperimentSpec(
+            "fig11",
+            {"size": size, "k": k, "variant": variant,
+             "sparsity": sparsity, "seed": seed},
+            backend=backend,
+        )
+        for k in as_tuple(k_sweep)
+        for variant in VARIANTS
+    ]
+
+
+def execute(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Run one SDDMM variant at one K; seeded, so replayable anywhere."""
+    p = spec.point
+    size, k, seed = p["size"], p["k"], p["seed"]
+    rng = np.random.default_rng(seed)
+    B = random_sparse_matrix(size, size, 1.0 - p["sparsity"], seed=seed)
+    # Dense inputs come from a fresh per-point RNG so a point's matrices
+    # depend only on (seed, size, k) — never on sweep order or sharding.
+    C = rng.uniform(0.1, 1.0, size=(size, k))
+    D = rng.uniform(0.1, 1.0, size=(size, k))
+    reference = sddmm_reference(B, C, D)
+    result = _IMPLS[p["variant"]](B, C, D, backend=spec.backend)
+    return {
+        "cycles": int(result.cycles),
+        "correct": bool(np.allclose(result.output, reference)),
+    }
+
+
+def points_from_results(results: Sequence[ExperimentResult]) -> List[Fig11Point]:
+    return [
+        Fig11Point(r.spec.point["k"], r.spec.point["variant"],
+                   r.payload["cycles"], r.payload["correct"])
+        for r in results
+    ]
+
+
 def run_fig11(
     size: int = 40,
     k_sweep: Tuple[int, ...] = (1, 10, 100),
@@ -46,25 +100,13 @@ def run_fig11(
     seed: int = 0,
     backend: Optional[str] = None,
 ) -> List[Fig11Point]:
-    """Sweep K for the three SDDMM implementations."""
-    rng = np.random.default_rng(seed)
-    B = random_sparse_matrix(size, size, 1.0 - sparsity, seed=seed)
-    points = []
-    for k in k_sweep:
-        C = rng.uniform(0.1, 1.0, size=(size, k))
-        D = rng.uniform(0.1, 1.0, size=(size, k))
-        reference = sddmm_reference(B, C, D)
-        for variant, fn in (
-            ("unfused", sddmm_unfused),
-            ("fused_locate", sddmm_fused_locate),
-            ("fused_coiter", sddmm_fused_coiter),
-        ):
-            result = fn(B, C, D, backend=backend)
-            points.append(
-                Fig11Point(k, variant, result.cycles,
-                           bool(np.allclose(result.output, reference)))
-            )
-    return points
+    """Sweep K for the three SDDMM implementations (serial, uncached)."""
+    from ..harness.runner import SweepRunner
+    from ..sim.backends import resolve_backend
+
+    specs = enumerate_specs(size=size, k_sweep=k_sweep, sparsity=sparsity,
+                            seed=seed, backend=resolve_backend(backend))
+    return points_from_results(SweepRunner().run(specs).results)
 
 
 def format_fig11(points: List[Fig11Point]) -> str:
@@ -78,6 +120,21 @@ def format_fig11(points: List[Fig11Point]) -> str:
             row += f"{cycles:>16}"
         lines.append(row)
     return "\n".join(lines)
+
+
+def render(results: Sequence[ExperimentResult]) -> str:
+    return format_fig11(points_from_results(results))
+
+
+STUDY = Study(
+    name="fig11",
+    title="fused vs. unfused SDDMM (Figure 11)",
+    enumerate_fn=enumerate_specs,
+    execute_fn=execute,
+    render_fn=render,
+    uses_backend=True,
+    quick_options={"size": 12, "k_sweep": (1, 4)},
+)
 
 
 def main() -> str:

@@ -9,17 +9,19 @@ dimensions.
 
 Default dimensions are scaled down for quick runs; the ordering of the
 three dataflow families is what the figure demonstrates and is
-size-stable.
+size-stable (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..data.synthetic import random_sparse_matrix
+from ..harness.registry import Study
+from ..harness.spec import ExperimentResult, ExperimentSpec
 from ..kernels.spmm import FAMILY, ORDERS, run_spmm
 
 
@@ -31,21 +33,53 @@ class Fig12Point:
     correct: bool
 
 
+def enumerate_specs(
+    i: int = 80, j: int = 80, k: int = 32, sparsity: float = 0.95, seed: int = 0,
+    backend: str = "cycle",
+) -> List[ExperimentSpec]:
+    """One spec per ijk permutation."""
+    return [
+        ExperimentSpec(
+            "fig12",
+            {"i": i, "j": j, "k": k, "order": order,
+             "sparsity": sparsity, "seed": seed},
+            backend=backend,
+        )
+        for order in ORDERS
+    ]
+
+
+def execute(spec: ExperimentSpec) -> Dict[str, Any]:
+    p = spec.point
+    B = random_sparse_matrix(p["i"], p["k"], 1.0 - p["sparsity"], seed=p["seed"])
+    C = random_sparse_matrix(p["k"], p["j"], 1.0 - p["sparsity"], seed=p["seed"] + 1)
+    result = run_spmm(B, C, p["order"], backend=spec.backend)
+    return {
+        "cycles": int(result.cycles),
+        "family": FAMILY[p["order"]],
+        "correct": bool(np.allclose(result.to_numpy(), B @ C)),
+    }
+
+
+def points_from_results(results: Sequence[ExperimentResult]) -> List[Fig12Point]:
+    return [
+        Fig12Point(r.spec.point["order"], r.payload["family"],
+                   r.payload["cycles"], r.payload["correct"])
+        for r in results
+    ]
+
+
 def run_fig12(
     i: int = 80, j: int = 80, k: int = 32, sparsity: float = 0.95, seed: int = 0,
     backend: Optional[str] = None,
 ) -> List[Fig12Point]:
-    B = random_sparse_matrix(i, k, 1.0 - sparsity, seed=seed)
-    C = random_sparse_matrix(k, j, 1.0 - sparsity, seed=seed + 1)
-    expected = B @ C
-    points = []
-    for order in ORDERS:
-        result = run_spmm(B, C, order, backend=backend)
-        points.append(
-            Fig12Point(order, FAMILY[order], result.cycles,
-                       bool(np.allclose(result.to_numpy(), expected)))
-        )
-    return points
+    """All six dataflow orders (serial, uncached)."""
+    from ..harness.runner import SweepRunner
+    from ..sim.backends import resolve_backend
+
+    specs = enumerate_specs(i=i, j=j, k=k, sparsity=sparsity, seed=seed,
+                            backend=resolve_backend(backend))
+    return points_from_results(SweepRunner().run(specs).results)
 
 
 def family_means(points: List[Fig12Point]) -> Dict[str, float]:
@@ -61,6 +95,21 @@ def format_fig12(points: List[Fig12Point]) -> str:
     for p in points:
         lines.append(f"{p.order:>6}{p.cycles:>10}  {p.family}")
     return "\n".join(lines)
+
+
+def render(results: Sequence[ExperimentResult]) -> str:
+    return format_fig12(points_from_results(results))
+
+
+STUDY = Study(
+    name="fig12",
+    title="SpM*SpM dataflow orders (Figure 12)",
+    enumerate_fn=enumerate_specs,
+    execute_fn=execute,
+    render_fn=render,
+    uses_backend=True,
+    quick_options={"i": 20, "j": 20, "k": 10},
+)
 
 
 def main() -> str:

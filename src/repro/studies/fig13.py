@@ -15,10 +15,15 @@ nonzeros (20%); bitvector width b = 64; split factor s = 64.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..data.synthetic import blocks_vectors, runs_vectors, urandom_vector
+from ..harness.registry import Study
+from ..harness.spec import ExperimentResult, ExperimentSpec, as_tuple
 from ..kernels.elementwise import CONFIGS, vecmul
+
+#: the three sub-sweeps of section 6.3, in figure order
+SWEEPS = ("nnz", "run_length", "block_size")
 
 
 @dataclass
@@ -30,16 +35,71 @@ class Fig13Point:
     correct: bool
 
 
-def _measure(sweep: str, x: int, b, c, configs, split, bits,
-             backend: Optional[str] = None) -> List[Fig13Point]:
-    points = []
-    for config in configs:
-        result = vecmul(config, b, c, split=split, bits_per_word=bits,
-                        backend=backend)
-        points.append(
-            Fig13Point(sweep, x, config, result.cycles, result.check_against(b, c))
+def _vectors(sweep: str, x: int, size: int, nnz: int, seed: int):
+    """The b, c input pair for one sweep point."""
+    if sweep == "nnz":
+        return urandom_vector(size, x, seed=seed), urandom_vector(size, x, seed=seed + 1)
+    if sweep == "run_length":
+        return runs_vectors(size, nnz, x, seed=seed)
+    if sweep == "block_size":
+        return blocks_vectors(size, nnz, x, seed=seed)
+    raise ValueError(f"unknown fig13 sweep {sweep!r}")
+
+
+def enumerate_specs(
+    size: int = 2000,
+    nnz_sweep: Sequence[int] = (5, 10, 20, 50, 100, 200, 400, 800),
+    nnz: int = 400,
+    run_sweep: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    block_sweep: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    split: int = 50,
+    bits_per_word: int = 64,
+    seed: int = 0,
+    sweeps: Sequence[str] = SWEEPS,
+    backend: str = "cycle",
+) -> List[ExperimentSpec]:
+    """One spec per (sweep, x, config) point across the three sub-sweeps."""
+    x_values = {"nnz": as_tuple(nnz_sweep), "run_length": as_tuple(run_sweep),
+                "block_size": as_tuple(block_sweep)}
+    return [
+        ExperimentSpec(
+            "fig13",
+            {"sweep": sweep, "x": x, "config": config, "size": size, "nnz": nnz,
+             "split": split, "bits_per_word": bits_per_word, "seed": seed},
+            backend=backend,
         )
-    return points
+        for sweep in as_tuple(sweeps)
+        for x in x_values[sweep]
+        for config in CONFIGS
+    ]
+
+
+def execute(spec: ExperimentSpec) -> Dict[str, Any]:
+    p = spec.point
+    b, c = _vectors(p["sweep"], p["x"], p["size"], p["nnz"], p["seed"])
+    result = vecmul(p["config"], b, c, split=p["split"],
+                    bits_per_word=p["bits_per_word"], backend=spec.backend)
+    return {
+        "cycles": int(result.cycles),
+        "correct": bool(result.check_against(b, c)),
+    }
+
+
+def points_from_results(results: Sequence[ExperimentResult]) -> List[Fig13Point]:
+    return [
+        Fig13Point(r.spec.point["sweep"], r.spec.point["x"], r.spec.point["config"],
+                   r.payload["cycles"], r.payload["correct"])
+        for r in results
+    ]
+
+
+def _run_sweep(sweep: str, backend: Optional[str], **options) -> List[Fig13Point]:
+    from ..harness.runner import SweepRunner
+    from ..sim.backends import resolve_backend
+
+    specs = enumerate_specs(sweeps=(sweep,), backend=resolve_backend(backend),
+                            **options)
+    return points_from_results(SweepRunner().run(specs).results)
 
 
 def run_fig13a(
@@ -51,13 +111,8 @@ def run_fig13a(
     backend: Optional[str] = None,
 ) -> List[Fig13Point]:
     """(a) performance vs. sparsity of uniformly random vectors."""
-    points = []
-    for nnz in nnz_sweep:
-        b = urandom_vector(size, nnz, seed=seed)
-        c = urandom_vector(size, nnz, seed=seed + 1)
-        points += _measure("nnz", nnz, b, c, CONFIGS, split, bits_per_word,
-                           backend=backend)
-    return points
+    return _run_sweep("nnz", backend, size=size, nnz_sweep=nnz_sweep,
+                      split=split, bits_per_word=bits_per_word, seed=seed)
 
 
 def run_fig13b(
@@ -70,12 +125,9 @@ def run_fig13b(
     backend: Optional[str] = None,
 ) -> List[Fig13Point]:
     """(b) performance vs. run length of `runs` vectors."""
-    points = []
-    for run_length in run_sweep:
-        b, c = runs_vectors(size, nnz, run_length, seed=seed)
-        points += _measure("run_length", run_length, b, c, CONFIGS, split,
-                           bits_per_word, backend=backend)
-    return points
+    return _run_sweep("run_length", backend, size=size, nnz=nnz,
+                      run_sweep=run_sweep, split=split,
+                      bits_per_word=bits_per_word, seed=seed)
 
 
 def run_fig13c(
@@ -88,12 +140,9 @@ def run_fig13c(
     backend: Optional[str] = None,
 ) -> List[Fig13Point]:
     """(c) performance vs. block size of blocked vectors."""
-    points = []
-    for block_size in block_sweep:
-        b, c = blocks_vectors(size, nnz, block_size, seed=seed)
-        points += _measure("block_size", block_size, b, c, CONFIGS, split,
-                           bits_per_word, backend=backend)
-    return points
+    return _run_sweep("block_size", backend, size=size, nnz=nnz,
+                      block_sweep=block_sweep, split=split,
+                      bits_per_word=bits_per_word, seed=seed)
 
 
 def format_fig13(points: List[Fig13Point]) -> str:
@@ -108,6 +157,29 @@ def format_fig13(points: List[Fig13Point]) -> str:
             row += f"{cycles:>11}"
         lines.append(row)
     return "\n".join(lines)
+
+
+def render(results: Sequence[ExperimentResult]) -> str:
+    points = points_from_results(results)
+    parts = []
+    for sweep in SWEEPS:
+        subset = [p for p in points if p.sweep == sweep]
+        if subset:
+            parts.append(format_fig13(subset))
+    return "\n\n".join(parts)
+
+
+STUDY = Study(
+    name="fig13",
+    title="iteration acceleration structures (Figure 13)",
+    enumerate_fn=enumerate_specs,
+    execute_fn=execute,
+    render_fn=render,
+    uses_backend=True,
+    quick_options={"size": 200, "nnz": 40, "split": 10,
+                   "nnz_sweep": (10, 40), "run_sweep": (2, 20),
+                   "block_sweep": (2, 8)},
+)
 
 
 def main(backend: Optional[str] = None) -> str:

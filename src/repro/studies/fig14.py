@@ -14,10 +14,12 @@ are idle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..data.suitesparse import TABLE3, MatrixSpec, generate
+from ..data.suitesparse import TABLE3, generate
 from ..formats.tensor import FiberTensor
+from ..harness.registry import Study
+from ..harness.spec import ExperimentResult, ExperimentSpec
 from ..lang import compile_expression
 from ..sim.stats import TokenBreakdown, channel_breakdown
 
@@ -30,39 +32,70 @@ class Fig14Row:
     inner: TokenBreakdown
 
 
-def run_fig14(
-    max_nnz: Optional[int] = 30000, seed: int = 0,
-    backend: Optional[str] = None,
-) -> List[Fig14Row]:
-    """Token breakdown per matrix; cap nnz for quick runs (None = all 15).
+def enumerate_specs(
+    max_nnz: Optional[int] = 30000, seed: int = 0, backend: str = "cycle",
+) -> List[ExperimentSpec]:
+    """One spec per Table 3 matrix under the nnz cap (None = all 15).
 
     The idle fractions need a timed backend (``cycle`` or ``event``);
     ``functional`` reports zero cycles and would skew them.
     """
+    return [
+        ExperimentSpec("fig14", {"matrix": spec.name, "seed": seed},
+                       backend=backend)
+        for spec in TABLE3
+        if max_nnz is None or spec.nnz <= max_nnz
+    ]
+
+
+def execute(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Token breakdown of the outer/inner scanner streams of one matrix."""
+    matrix_spec = next(m for m in TABLE3 if m.name == spec.point["matrix"])
     program = compile_expression("X(i,j) = B(i,j)")
     scan_i = next(n for n in program.graph.nodes if n.endswith("_i"))
     scan_j = next(n for n in program.graph.nodes if n.endswith("_j"))
-    rows = []
-    for spec in TABLE3:
-        if max_nnz is not None and spec.nnz > max_nnz:
+    matrix = generate(matrix_spec, seed=spec.point["seed"])
+    tensor = FiberTensor.from_scipy(matrix, name="B")
+    result = program.run(
+        {"B": tensor}, record=(f"{scan_i}.crd", f"{scan_j}.crd"),
+        backend=spec.backend,
+    )
+    outer = inner = None
+    for channel in result.bound.channels.values():
+        if not channel.record:
             continue
-        matrix = generate(spec, seed=seed)
-        tensor = FiberTensor.from_scipy(matrix, name="B")
-        result = program.run(
-            {"B": tensor}, record=(f"{scan_i}.crd", f"{scan_j}.crd"),
-            backend=backend,
-        )
-        outer = inner = None
-        for channel in result.bound.channels.values():
-            if not channel.record:
-                continue
-            breakdown = channel_breakdown(channel, total_cycles=result.cycles)
-            if channel.name.startswith(scan_i):
-                outer = breakdown
-            elif channel.name.startswith(scan_j):
-                inner = breakdown
-        rows.append(Fig14Row(spec.name, spec.nnz, outer, inner))
-    return rows
+        breakdown = channel_breakdown(channel, total_cycles=result.cycles)
+        if channel.name.startswith(scan_i):
+            outer = breakdown
+        elif channel.name.startswith(scan_j):
+            inner = breakdown
+    return {
+        "nnz": matrix_spec.nnz,
+        "outer": outer.to_dict(),
+        "inner": inner.to_dict(),
+    }
+
+
+def rows_from_results(results: Sequence[ExperimentResult]) -> List[Fig14Row]:
+    return [
+        Fig14Row(r.spec.point["matrix"], r.payload["nnz"],
+                 TokenBreakdown.from_dict(r.payload["outer"]),
+                 TokenBreakdown.from_dict(r.payload["inner"]))
+        for r in results
+    ]
+
+
+def run_fig14(
+    max_nnz: Optional[int] = 30000, seed: int = 0,
+    backend: Optional[str] = None,
+) -> List[Fig14Row]:
+    """Token breakdown per matrix (serial, uncached)."""
+    from ..harness.runner import SweepRunner
+    from ..sim.backends import resolve_backend
+
+    specs = enumerate_specs(max_nnz=max_nnz, seed=seed,
+                            backend=resolve_backend(backend))
+    return rows_from_results(SweepRunner().run(specs).results)
 
 
 def averages(rows: List[Fig14Row]) -> Dict[str, float]:
@@ -103,6 +136,21 @@ def format_fig14(rows: List[Fig14Row]) -> str:
         f"{avg['outer_idle_pct']:.2f}% (paper 83.32%)"
     )
     return "\n".join(lines)
+
+
+def render(results: Sequence[ExperimentResult]) -> str:
+    return format_fig14(rows_from_results(results))
+
+
+STUDY = Study(
+    name="fig14",
+    title="stream token composition (Figure 14)",
+    enumerate_fn=enumerate_specs,
+    execute_fn=execute,
+    render_fn=render,
+    uses_backend=True,
+    quick_options={"max_nnz": 200},
+)
 
 
 def main() -> str:

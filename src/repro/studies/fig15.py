@@ -13,16 +13,22 @@ then saturation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..data.synthetic import extensor_matrix
+from ..harness.registry import Study
+from ..harness.spec import ExperimentResult, ExperimentSpec, as_tuple
 from ..memory.extensor import ExTensorConfig, ExTensorResult, extensor_spmm_cycles
 
 #: the paper's sweep: dimensions range(1024, 15721, 1336), nnz in
 #: {5000, 10000, 25000, 50000}
 PAPER_DIMENSIONS: Tuple[int, ...] = tuple(range(1024, 15721, 1336))
 PAPER_NNZS: Tuple[int, ...] = (5000, 10000, 25000, 50000)
+
+#: reduced sweep still covering all three regions (CLI ``--quick``)
+QUICK_DIMENSIONS: Tuple[int, ...] = (1024, 3696, 7704, 11712, 15720)
+QUICK_NNZS: Tuple[int, ...] = (5000, 10000)
 
 
 @dataclass
@@ -33,20 +39,57 @@ class Fig15Point:
     result: ExTensorResult
 
 
+def enumerate_specs(
+    dimensions: Sequence[int] = PAPER_DIMENSIONS,
+    nnzs: Sequence[int] = PAPER_NNZS,
+    seed: int = 0,
+) -> List[ExperimentSpec]:
+    """One spec per (dimension, nnz) point; the model is analytic, so
+    no simulation backend enters the cache key."""
+    return [
+        ExperimentSpec("fig15", {"dimension": dim, "nnz": nnz, "seed": seed})
+        for nnz in as_tuple(nnzs)
+        for dim in as_tuple(dimensions)
+    ]
+
+
+def execute(spec: ExperimentSpec) -> Dict[str, Any]:
+    p = spec.point
+    B = extensor_matrix(p["dimension"], p["nnz"], seed=p["seed"])
+    C = extensor_matrix(p["dimension"], p["nnz"], seed=p["seed"] + 1)
+    result = extensor_spmm_cycles(B, C, None)
+    return asdict(result)
+
+
+def points_from_results(results: Sequence[ExperimentResult]) -> List[Fig15Point]:
+    return [
+        Fig15Point(r.spec.point["dimension"], r.spec.point["nnz"],
+                   r.payload["cycles"], ExTensorResult(**r.payload))
+        for r in results
+    ]
+
+
 def run_fig15(
     dimensions: Tuple[int, ...] = PAPER_DIMENSIONS,
     nnzs: Tuple[int, ...] = PAPER_NNZS,
     seed: int = 0,
     config: ExTensorConfig = None,
 ) -> List[Fig15Point]:
-    points = []
-    for nnz in nnzs:
-        for dim in dimensions:
-            B = extensor_matrix(dim, nnz, seed=seed)
-            C = extensor_matrix(dim, nnz, seed=seed + 1)
-            result = extensor_spmm_cycles(B, C, config)
-            points.append(Fig15Point(dim, nnz, result.cycles, result))
-    return points
+    """The dimension/nnz sweep.  A custom ``config`` (not expressible as
+    a JSON spec) bypasses the harness and runs the model directly."""
+    if config is not None:
+        points = []
+        for nnz in nnzs:
+            for dim in dimensions:
+                B = extensor_matrix(dim, nnz, seed=seed)
+                C = extensor_matrix(dim, nnz, seed=seed + 1)
+                result = extensor_spmm_cycles(B, C, config)
+                points.append(Fig15Point(dim, nnz, result.cycles, result))
+        return points
+    from ..harness.runner import SweepRunner
+
+    specs = enumerate_specs(dimensions=dimensions, nnzs=nnzs, seed=seed)
+    return points_from_results(SweepRunner().run(specs).results)
 
 
 def regions(points: List[Fig15Point], nnz: int) -> Tuple[bool, bool]:
@@ -77,6 +120,21 @@ def format_fig15(points: List[Fig15Point]) -> str:
             row += f"{cycles:>16.0f}"
         lines.append(row)
     return "\n".join(lines)
+
+
+def render(results: Sequence[ExperimentResult]) -> str:
+    return format_fig15(points_from_results(results))
+
+
+STUDY = Study(
+    name="fig15",
+    title="ExTensor recreation (Figure 15)",
+    enumerate_fn=enumerate_specs,
+    execute_fn=execute,
+    render_fn=render,
+    uses_backend=False,
+    quick_options={"dimensions": QUICK_DIMENSIONS, "nnzs": QUICK_NNZS},
+)
 
 
 def main() -> str:

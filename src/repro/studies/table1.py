@@ -9,9 +9,11 @@ a 0-2 range across dataflow orders; we list the linear-combination
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..harness.registry import Study
+from ..harness.spec import ExperimentResult, ExperimentSpec
 from ..lang import TABLE1_COLUMNS, compile_expression, expression_features, primitive_row
 
 
@@ -74,24 +76,55 @@ ENTRIES: Tuple[Table1Entry, ...] = (
 KNOWN_DIVERGENCES = {"MTTKRP": {"crd_drop": (2, 3)}}
 
 
+def enumerate_specs(backend: str = "-") -> List[ExperimentSpec]:
+    """One spec per Table 1 expression (compile-only: backend ignored)."""
+    return [ExperimentSpec("table1", {"name": entry.name}) for entry in ENTRIES]
+
+
+def execute(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Compile one entry and compare its counts to the paper row."""
+    entry = next(e for e in ENTRIES if e.name == spec.point["name"])
+    program = compile_expression(
+        entry.expression, formats=entry.formats, schedule=entry.schedule
+    )
+    counts = primitive_row(program)
+    features = expression_features(program)
+    paper = dict(zip(TABLE1_COLUMNS, entry.paper))
+    divergences = KNOWN_DIVERGENCES.get(entry.name, {})
+    match = all(
+        counts[col] == paper[col]
+        for col in TABLE1_COLUMNS
+        if col not in divergences
+    )
+    features_dict = asdict(features)
+    # Payloads are JSON records; keep them JSON-native (tuples → lists).
+    features_dict["input_orders"] = list(features_dict["input_orders"])
+    features_dict["ops"] = list(features_dict["ops"])
+    return {"counts": dict(counts), "features": features_dict,
+            "paper": paper, "match": bool(match)}
+
+
+def rows_from_results(results: Sequence[ExperimentResult]):
+    from ..lang.analysis import ExpressionFeatures
+
+    rows = []
+    for result in results:
+        entry = next(e for e in ENTRIES if e.name == result.spec.point["name"])
+        raw = dict(result.payload["features"])
+        # JSON round-trips tuples as lists; restore the dataclass shape.
+        raw["input_orders"] = tuple(raw["input_orders"])
+        raw["ops"] = tuple(raw["ops"])
+        features = ExpressionFeatures(**raw)
+        rows.append((entry, features, result.payload["counts"],
+                     result.payload["paper"], result.payload["match"]))
+    return rows
+
+
 def run_table1():
     """Compile every entry; returns rows of (entry, features, counts, match)."""
-    rows = []
-    for entry in ENTRIES:
-        program = compile_expression(
-            entry.expression, formats=entry.formats, schedule=entry.schedule
-        )
-        counts = primitive_row(program)
-        features = expression_features(program)
-        paper = dict(zip(TABLE1_COLUMNS, entry.paper))
-        divergences = KNOWN_DIVERGENCES.get(entry.name, {})
-        match = all(
-            counts[col] == paper[col]
-            for col in TABLE1_COLUMNS
-            if col not in divergences
-        )
-        rows.append((entry, features, counts, paper, match))
-    return rows
+    from ..harness.runner import SweepRunner
+
+    return rows_from_results(SweepRunner().run(enumerate_specs()).results)
 
 
 def format_table1(rows) -> str:
@@ -104,6 +137,20 @@ def format_table1(rows) -> str:
         ref = f"{'  (paper)':<12}" + "".join(f"{paper[c]:>9}" for c in TABLE1_COLUMNS)
         lines.extend([ours, ref])
     return "\n".join(lines)
+
+
+def render(results: Sequence[ExperimentResult]) -> str:
+    return format_table1(rows_from_results(results))
+
+
+STUDY = Study(
+    name="table1",
+    title="SAM primitive counts (Table 1)",
+    enumerate_fn=enumerate_specs,
+    execute_fn=execute,
+    render_fn=render,
+    uses_backend=False,
+)
 
 
 def main() -> str:

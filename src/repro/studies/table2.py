@@ -1,19 +1,26 @@
 """Table 2 reproduction: algorithms lost when a SAM primitive is removed.
 
 The paper analyses 23,794 TACO-website algorithms (3,839 distinct).  We
-run the same ablation over the synthetic corpus described in DESIGN.md:
-compile every distinct algorithm, then for each removal scenario count
-how many algorithms become inexpressible, both over distinct algorithms
-("Unique") and weighted by usage ("All").
+run the same ablation over the synthetic corpus described in
+EXPERIMENTS.md: compile every distinct algorithm, then for each removal
+scenario count how many algorithms become inexpressible, both over
+distinct algorithms ("Unique") and weighted by usage ("All").
+
+The corpus compile pass is the slow path; under the sweep harness each
+removal scenario is one sweep point and every worker process compiles
+the corpus once (:func:`repro.data.corpus.compiled_corpus` memoizes it),
+so ``repro sweep table2 --jobs N`` splits the twelve scenarios N ways.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
-from ..data.corpus import Corpus, generate_corpus
-from ..lang import TABLE2_SCENARIOS, compile_expression, lost_without
+from ..data.corpus import Corpus, compile_corpus_programs, compiled_corpus
+from ..harness.registry import Study
+from ..harness.spec import ExperimentResult, ExperimentSpec
+from ..lang import TABLE2_SCENARIOS, lost_without
 
 #: the paper's published percentages (unique %, all %) per scenario
 PAPER_PERCENTAGES: Dict[str, Tuple[float, float]] = {
@@ -43,45 +50,89 @@ class Table2Row:
     paper_pct_all: float
 
 
-def run_table2(corpus: Corpus = None, seed: int = 0, distinct: int = 400,
-               total: int = 23794) -> List[Table2Row]:
-    """Run the ablation; the corpus is regenerated unless supplied.
+def _ablate(programs: Sequence, counts: Sequence[int], scenario: str) -> Tuple[int, int]:
+    """Count algorithms lost (distinct, usage-weighted) for one scenario."""
+    lost_unique = 0
+    lost_all = 0
+    for program, count in zip(programs, counts):
+        if lost_without(program, scenario):
+            lost_unique += 1
+            lost_all += count
+    return lost_unique, lost_all
+
+
+def _row(scenario: str, lost_unique: int, lost_all: int,
+         distinct: int, total: int) -> Table2Row:
+    paper = PAPER_PERCENTAGES[scenario]
+    return Table2Row(
+        scenario,
+        lost_unique,
+        lost_all,
+        100.0 * lost_unique / distinct,
+        100.0 * lost_all / total,
+        paper[0],
+        paper[1],
+    )
+
+
+def enumerate_specs(
+    distinct: int = 400, total: int = 23794, seed: int = 0, backend: str = "-",
+) -> List[ExperimentSpec]:
+    """One spec per removal scenario (compile-only: backend ignored).
 
     ``distinct`` scales the corpus (the paper's full 3,839 works too but
     takes a few minutes; the percentages are stable beyond a few hundred
     entries because they are ratios).
     """
-    if corpus is None:
-        corpus = generate_corpus(total=total, distinct_target=distinct, seed=seed)
-    programs = []
-    for entry in corpus.entries:
-        program = compile_expression(
-            entry.expression, formats=entry.format_dict(), schedule=entry.schedule
+    return [
+        ExperimentSpec(
+            "table2",
+            {"scenario": scenario, "distinct": distinct, "total": total,
+             "seed": seed},
         )
-        # Attach the user-declared output format for the writer scenarios.
-        program.output_format = entry.output_format
-        programs.append(program)
-    rows = []
-    for scenario in TABLE2_SCENARIOS:
-        lost_unique = 0
-        lost_all = 0
-        for program, count in zip(programs, corpus.counts):
-            if lost_without(program, scenario):
-                lost_unique += 1
-                lost_all += count
-        paper = PAPER_PERCENTAGES[scenario]
-        rows.append(
-            Table2Row(
-                scenario,
-                lost_unique,
-                lost_all,
-                100.0 * lost_unique / corpus.distinct,
-                100.0 * lost_all / corpus.total,
-                paper[0],
-                paper[1],
-            )
-        )
-    return rows
+        for scenario in TABLE2_SCENARIOS
+    ]
+
+
+def execute(spec: ExperimentSpec) -> Dict[str, Any]:
+    p = spec.point
+    corpus, programs = compiled_corpus(
+        total=p["total"], distinct_target=p["distinct"], seed=p["seed"]
+    )
+    lost_unique, lost_all = _ablate(programs, corpus.counts, p["scenario"])
+    return {
+        "lost_unique": lost_unique,
+        "lost_all": lost_all,
+        "corpus_distinct": corpus.distinct,
+        "corpus_total": corpus.total,
+    }
+
+
+def rows_from_results(results: Sequence[ExperimentResult]) -> List[Table2Row]:
+    return [
+        _row(r.spec.point["scenario"], r.payload["lost_unique"],
+             r.payload["lost_all"], r.payload["corpus_distinct"],
+             r.payload["corpus_total"])
+        for r in results
+    ]
+
+
+def run_table2(corpus: Corpus = None, seed: int = 0, distinct: int = 400,
+               total: int = 23794) -> List[Table2Row]:
+    """Run the ablation; the corpus is regenerated unless supplied."""
+    if corpus is not None:
+        # A caller-supplied corpus is not expressible as a JSON spec;
+        # compile and ablate it directly.
+        programs = compile_corpus_programs(corpus)
+        return [
+            _row(scenario, *_ablate(programs, corpus.counts, scenario),
+                 corpus.distinct, corpus.total)
+            for scenario in TABLE2_SCENARIOS
+        ]
+    from ..harness.runner import SweepRunner
+
+    specs = enumerate_specs(distinct=distinct, total=total, seed=seed)
+    return rows_from_results(SweepRunner().run(specs).results)
 
 
 def format_table2(rows: List[Table2Row]) -> str:
@@ -97,6 +148,21 @@ def format_table2(rows: List[Table2Row]) -> str:
             f"{row.paper_pct_unique:>10.2f}{row.paper_pct_all:>10.2f}"
         )
     return "\n".join(lines)
+
+
+def render(results: Sequence[ExperimentResult]) -> str:
+    return format_table2(rows_from_results(results))
+
+
+STUDY = Study(
+    name="table2",
+    title="primitive-removal ablation (Table 2)",
+    enumerate_fn=enumerate_specs,
+    execute_fn=execute,
+    render_fn=render,
+    uses_backend=False,
+    quick_options={"distinct": 40, "total": 500},
+)
 
 
 def main() -> str:

@@ -1,0 +1,121 @@
+"""ExperimentSpec keying and ResultCache hit/miss semantics."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import (
+    CODE_VERSION_ENV_VAR,
+    ExperimentResult,
+    ExperimentSpec,
+    ResultCache,
+    code_version,
+)
+
+
+class TestSpecKeys:
+    def test_canonical_is_key_order_independent(self):
+        a = ExperimentSpec("fig11", {"size": 12, "k": 1, "variant": "unfused"})
+        b = ExperimentSpec("fig11", {"variant": "unfused", "k": 1, "size": 12})
+        assert a.canonical() == b.canonical()
+        assert a.key() == b.key()
+
+    def test_key_depends_on_point(self):
+        a = ExperimentSpec("fig11", {"k": 1})
+        b = ExperimentSpec("fig11", {"k": 2})
+        assert a.key() != b.key()
+
+    def test_key_depends_on_backend(self):
+        a = ExperimentSpec("fig11", {"k": 1}, backend="cycle")
+        b = ExperimentSpec("fig11", {"k": 1}, backend="event")
+        assert a.key() != b.key()
+
+    def test_key_depends_on_code_version(self):
+        spec = ExperimentSpec("fig11", {"k": 1})
+        assert spec.key("v1") != spec.key("v2")
+
+    def test_code_version_env_override(self, monkeypatch):
+        monkeypatch.setenv(CODE_VERSION_ENV_VAR, "testing-digest")
+        assert code_version() == "testing-digest"
+
+    def test_code_version_digests_sources(self, monkeypatch):
+        monkeypatch.delenv(CODE_VERSION_ENV_VAR, raising=False)
+        version = code_version()
+        assert version and len(version) == 16
+        # Stable across calls within one process (memoized).
+        assert code_version() == version
+
+    def test_round_trip(self):
+        spec = ExperimentSpec("fig12", {"i": 20, "order": "ikj"}, backend="event")
+        again = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+
+    def test_label_mentions_study_and_point(self):
+        spec = ExperimentSpec("fig11", {"k": 10, "variant": "unfused"})
+        assert "fig11" in spec.label() and "k=10" in spec.label()
+
+
+class TestResultCache:
+    @pytest.fixture
+    def cache(self, tmp_path):
+        return ResultCache(str(tmp_path / "cache"), version="v-test")
+
+    def test_miss_then_hit(self, cache):
+        spec = ExperimentSpec("fig11", {"k": 1})
+        assert spec not in cache
+        assert cache.load(spec) is None
+        cache.store(ExperimentResult(spec, {"cycles": 42}, elapsed_s=0.5))
+        assert spec in cache
+        loaded = cache.load(spec)
+        assert loaded.payload == {"cycles": 42}
+        assert loaded.cached is True
+        assert loaded.spec == spec
+
+    def test_version_partitions_entries(self, tmp_path):
+        spec = ExperimentSpec("fig11", {"k": 1})
+        old = ResultCache(str(tmp_path), version="v-old")
+        old.store(ExperimentResult(spec, {"cycles": 1}))
+        assert old.load(spec) is not None
+        new = ResultCache(str(tmp_path), version="v-new")
+        assert new.load(spec) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        spec = ExperimentSpec("fig11", {"k": 1})
+        cache.store(ExperimentResult(spec, {"cycles": 42}))
+        with open(cache.path(spec), "w") as handle:
+            handle.write("{truncated")
+        assert cache.load(spec) is None
+
+    def test_evict(self, cache):
+        spec = ExperimentSpec("fig11", {"k": 1})
+        cache.store(ExperimentResult(spec, {"cycles": 42}))
+        assert cache.evict(spec) is True
+        assert cache.evict(spec) is False
+        assert spec not in cache
+
+    def test_iter_entries_and_size(self, cache):
+        for k in (1, 2, 3):
+            cache.store(ExperimentResult(ExperimentSpec("fig11", {"k": k}), {"c": k}))
+        cache.store(ExperimentResult(ExperimentSpec("table2", {"s": "adder"}), {}))
+        assert cache.size() == 4
+        assert cache.size("fig11") == 3
+        payloads = sorted(r.payload["c"] for r in cache.iter_entries("fig11"))
+        assert payloads == [1, 2, 3]
+
+    def test_prune_stale_keeps_current_version(self, tmp_path):
+        spec = ExperimentSpec("fig11", {"k": 1})
+        old = ResultCache(str(tmp_path), version="v-old")
+        old.store(ExperimentResult(spec, {"cycles": 1}))
+        new = ResultCache(str(tmp_path), version="v-new")
+        new.store(ExperimentResult(spec, {"cycles": 2}))
+        assert new.prune_stale() == 1
+        assert old.load(spec) is None
+        assert new.load(spec).payload == {"cycles": 2}
+        assert new.prune_stale() == 0
+
+    def test_store_is_atomic_no_temp_residue(self, cache):
+        spec = ExperimentSpec("fig11", {"k": 1})
+        path = cache.store(ExperimentResult(spec, {"cycles": 42}))
+        directory = os.path.dirname(path)
+        assert [f for f in os.listdir(directory) if f.startswith(".tmp-")] == []

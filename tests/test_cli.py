@@ -36,3 +36,87 @@ class TestCLI:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCLI:
+    def _sweep(self, tmp_path, *extra):
+        return [
+            "sweep", "fig11", "--quick", "--cache-dir", str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_sweep_executes_then_replays(self, tmp_path, capsys):
+        assert main(self._sweep(tmp_path)) == 0
+        assert "6 executed" in capsys.readouterr().out
+        assert main(self._sweep(tmp_path)) == 0
+        assert "6 cached, 0 executed" in capsys.readouterr().out
+
+    def test_sweep_force_reexecutes(self, tmp_path, capsys):
+        main(self._sweep(tmp_path))
+        capsys.readouterr()
+        main(self._sweep(tmp_path, "--force"))
+        assert "0 cached, 6 executed" in capsys.readouterr().out
+
+    def test_sweep_jobs_matches_serial(self, tmp_path, capsys):
+        import json
+
+        main(self._sweep(tmp_path, "--out", str(tmp_path / "serial")))
+        main(self._sweep(tmp_path, "--jobs", "2", "--force",
+                         "--out", str(tmp_path / "sharded")))
+        serial = json.load(open(tmp_path / "serial" / "fig11.json"))
+        sharded = json.load(open(tmp_path / "sharded" / "fig11.json"))
+        assert [r["payload"] for r in serial] == [r["payload"] for r in sharded]
+
+    def test_sweep_writes_artifacts(self, tmp_path, capsys):
+        main(self._sweep(tmp_path, "--out", str(tmp_path / "art")))
+        assert (tmp_path / "art" / "fig11.json").exists()
+        assert (tmp_path / "art" / "fig11.csv").exists()
+
+    def test_sweep_opt_overrides(self, tmp_path, capsys):
+        assert main([
+            "sweep", "fig11", "--cache-dir", str(tmp_path / "cache"),
+            "--opt", "size=10", "--opt", "k_sweep=1",
+        ]) == 0
+        assert "3 points" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_study(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig99", "--cache-dir", str(tmp_path / "cache")])
+
+    def test_sweep_rejects_unknown_study_alongside_all(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "all", "fig99", "--cache-dir", str(tmp_path / "cache")])
+
+    def test_sweep_rejects_nonpositive_jobs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self._sweep(tmp_path, "--jobs", "0"))
+
+    def test_sweep_prune_drops_stale_versions(self, tmp_path, capsys, monkeypatch):
+        from repro.harness import CODE_VERSION_ENV_VAR
+
+        monkeypatch.setenv(CODE_VERSION_ENV_VAR, "v-old")
+        main(self._sweep(tmp_path))
+        monkeypatch.setenv(CODE_VERSION_ENV_VAR, "v-new")
+        capsys.readouterr()
+        main(self._sweep(tmp_path, "--prune"))
+        assert "pruned 6 stale cache entries" in capsys.readouterr().out
+
+    def test_sweep_rejects_malformed_opt(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self._sweep(tmp_path, "--opt", "sizetwelve"))
+
+    def test_report_renders_from_cache(self, tmp_path, capsys):
+        main(self._sweep(tmp_path))
+        capsys.readouterr()
+        assert main([
+            "report", "fig11", "--quick",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out and "unfused" in out
+
+    def test_report_runs_missing_points(self, tmp_path, capsys):
+        assert main([
+            "report", "table1", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "SpMV" in capsys.readouterr().out

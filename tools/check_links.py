@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Docs link checker (run by the CI docs job).
+
+Fails (exit 1) when:
+
+* a relative markdown link ``[text](path)`` in any tracked ``*.md`` file
+  points at a file that does not exist;
+* a ``*.md`` document referenced from a Python docstring/comment in
+  ``src/`` (e.g. ``EXPERIMENTS.md``, ``docs/architecture.md``) does not
+  exist — this is exactly how the repo once shipped dangling
+  ``EXPERIMENTS.md`` citations;
+* a repo-relative ``src/...``/``tests/...``/``benchmarks/...`` path
+  named in a markdown file does not exist.
+
+Usage::
+
+    python tools/check_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: repo-relative code paths mentioned in markdown prose/backticks
+MD_CODE_PATH = re.compile(r"\b((?:src|tests|benchmarks|docs|tools)/[\w./-]+\.(?:py|md|yml))")
+#: doc files cited from Python sources: either a docs/ path or an
+#: ALL-CAPS root document (EXPERIMENTS.md, README.md, ...) — anything
+#: looser also matches attribute accesses like ``self.md``
+PY_DOC_REF = re.compile(r"\b(docs/[\w-]+\.md|[A-Z][A-Z0-9_-]+\.md)\b")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+#: meta files that quote paths from *other* repositories (exemplar
+#: snippets, related-work notes) — not claims about this tree
+SKIP_FILES = {"SNIPPETS.md", "PAPERS.md", "ISSUE.md", "CHANGES.md"}
+
+
+def iter_files(root: str, suffix: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in (".git", "__pycache__", ".repro-cache", ".pytest_cache")
+        ]
+        for filename in sorted(filenames):
+            if filename.endswith(suffix):
+                yield os.path.join(dirpath, filename)
+
+
+def check_markdown(root: str):
+    for path in iter_files(root, ".md"):
+        if os.path.basename(path) in SKIP_FILES:
+            continue
+        base = os.path.dirname(path)
+        text = open(path, encoding="utf-8").read()
+        for match in MD_LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                yield path, f"broken link -> {match.group(1)}"
+        for match in MD_CODE_PATH.finditer(text):
+            if not os.path.exists(os.path.join(root, match.group(1))):
+                yield path, f"missing referenced file -> {match.group(1)}"
+
+
+def check_python_doc_refs(root: str):
+    for path in iter_files(os.path.join(root, "src"), ".py"):
+        text = open(path, encoding="utf-8").read()
+        for match in PY_DOC_REF.finditer(text):
+            name = match.group(1)
+            if not (
+                os.path.exists(os.path.join(root, name))
+                or os.path.exists(os.path.join(root, "docs", name))
+            ):
+                yield path, f"cites nonexistent doc -> {name}"
+
+
+def main(argv=None) -> int:
+    root = os.path.abspath((argv or sys.argv[1:] or ["."])[0])
+    problems = list(check_markdown(root)) + list(check_python_doc_refs(root))
+    for path, message in problems:
+        print(f"{os.path.relpath(path, root)}: {message}")
+    if problems:
+        print(f"\n{len(problems)} broken reference(s)")
+        return 1
+    print("docs links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
