@@ -178,6 +178,81 @@ def _cmd_report(args) -> None:
             _write_artifacts(args.out, name, report.results)
 
 
+def _dataset_spec(registry, name: str):
+    try:
+        return registry.spec(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+
+
+def _cmd_datasets(args) -> None:
+    from .data import default_registry
+
+    registry = default_registry(args.data_dir)
+    if args.list or not (args.materialize or args.smoke):
+        header = (f"{'name':<14}{'domain':<34}{'shape':>16}{'nnz':>9}"
+                  f"{'density':>11}  source")
+        print(header)
+        print("-" * len(header))
+        for name, spec, source in registry.rows():
+            shape = f"{spec.shape[0]}x{spec.shape[1]}"
+            print(f"{name:<14}{spec.domain:<34}{shape:>16}{spec.nnz:>9}"
+                  f"{spec.density:>11.2e}  {source}")
+    if args.materialize:
+        names = (registry.names() if "all" in args.materialize
+                 else args.materialize)
+        for name in names:
+            _dataset_spec(registry, name)
+            try:
+                print(f"wrote {registry.materialize(name, seed=args.seed)}")
+            except FileExistsError:
+                # Never clobber — the file may be a real download.
+                print(f"{name}: already backed by {registry.path(name)}, "
+                      f"skipping (delete the file to regenerate)")
+    if args.smoke:
+        _datasets_smoke(args, registry)
+
+
+def _datasets_smoke(args, registry) -> None:
+    """Large-matrix ingestion smoke: load -> FiberTensor -> SpMV -> scipy check."""
+    import time
+
+    import numpy as np
+
+    from .formats import FiberTensor
+    from .kernels.spmv import spmv_locate
+
+    name = args.matrix
+    spec = _dataset_spec(registry, name)
+    source = registry.source(name)
+    matrix = registry.load_matrix(name, seed=args.seed)
+    start = time.perf_counter()
+    tensor = FiberTensor.from_scipy(matrix, name="B")
+    build_s = time.perf_counter() - start
+    rng = np.random.default_rng(args.seed)
+    c = rng.uniform(0.1, 1.0, size=spec.shape[1])
+    # Honour the usual engine switches; only then default to functional
+    # (the fastest backend — the smoke checks values, not cycles).
+    from .sim.backends import ENGINE_ENV_VAR
+
+    backend = args.engine or os.environ.get(ENGINE_ENV_VAR) or "functional"
+    start = time.perf_counter()
+    crd, vals, cycles = spmv_locate(tensor, c, backend=backend)
+    run_s = time.perf_counter() - start
+    x = np.zeros(spec.shape[0])
+    if crd:
+        x[np.asarray(crd, dtype=np.int64)] = vals
+    reference = matrix @ c
+    ok = bool(np.allclose(x, reference))
+    print(f"{name} ({source}): shape {spec.shape[0]}x{spec.shape[1]}, "
+          f"nnz {matrix.nnz}")
+    print(f"  FiberTensor build: {build_s:.3f}s   SpMV [{backend}]: "
+          f"{run_s:.3f}s ({cycles} cycles)")
+    print(f"  values match scipy reference: {ok}")
+    if not ok:
+        raise SystemExit(f"{name}: SpMV mismatch vs. scipy reference")
+
+
 def _cmd_compile(args) -> None:
     from .lang import compile_expression, expression_features, primitive_row
 
@@ -259,6 +334,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_harness_arguments(p, force=False)
 
+    p = sub.add_parser(
+        "datasets", help="dataset registry: list entries, materialize "
+        "stand-ins, run the ingestion smoke"
+    )
+    p.add_argument("--list", action="store_true",
+                   help="list registry entries with their source "
+                   "(default action)")
+    p.add_argument("--data-dir", default=None, metavar="DIR",
+                   help="dataset directory (default: $REPRO_DATA_DIR or "
+                   ".repro-datasets)")
+    p.add_argument("--materialize", nargs="+", metavar="NAME",
+                   help="write synthetic stand-ins to the data dir as real "
+                   ".mtx files ('all' for every entry)")
+    p.add_argument("--smoke", action="store_true",
+                   help="large-matrix end-to-end check: load, build a "
+                   "FiberTensor, run SpMV, compare against scipy")
+    p.add_argument("--matrix", default="lpl3",
+                   help="registry entry used by --smoke (default: lpl3, "
+                   "~1e5 nnz)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for synthetic stand-ins")
+
     p = sub.add_parser("compile", help="compile an expression and inspect it")
     p.add_argument("expression", help='e.g. "x(i) = B(i,j) * c(j)"')
     p.add_argument("--schedule", nargs="*", default=None,
@@ -277,6 +374,7 @@ _COMMANDS = {
     "fig15": _cmd_fig15,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "datasets": _cmd_datasets,
     "compile": _cmd_compile,
 }
 

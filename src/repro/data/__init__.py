@@ -1,7 +1,30 @@
-"""Workload generators: synthetic tensors and the expression corpus."""
+"""Workload generators, real-tensor ingestion, and the expression corpus."""
 
 from .corpus import Corpus, CorpusEntry, generate_corpus
-from .suitesparse import LARGE, MEDIUM, SMALL, TABLE3, MatrixSpec, generate, load_all
+from .io import (
+    CooTensor,
+    load_tensor,
+    read_mtx,
+    read_tns,
+    write_mtx,
+    write_tns,
+)
+from .registry import (
+    DATA_DIR_ENV_VAR,
+    DatasetRegistry,
+    default_data_dir,
+    default_registry,
+)
+from .suitesparse import (
+    LARGE,
+    MEDIUM,
+    SMALL,
+    TABLE3,
+    MatrixSpec,
+    generate,
+    load,
+    load_all,
+)
 from .synthetic import (
     blocks_vectors,
     extensor_matrix,
@@ -12,20 +35,31 @@ from .synthetic import (
 )
 
 __all__ = [
+    "CooTensor",
     "Corpus",
     "CorpusEntry",
+    "DATA_DIR_ENV_VAR",
+    "DatasetRegistry",
     "LARGE",
     "MEDIUM",
     "MatrixSpec",
     "SMALL",
     "TABLE3",
     "blocks_vectors",
+    "default_data_dir",
+    "default_registry",
     "extensor_matrix",
     "frostt_like_tensor",
     "generate",
     "generate_corpus",
+    "load",
     "load_all",
+    "load_tensor",
     "random_sparse_matrix",
+    "read_mtx",
+    "read_tns",
     "runs_vectors",
     "urandom_vector",
+    "write_mtx",
+    "write_tns",
 ]

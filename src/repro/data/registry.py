@@ -1,0 +1,167 @@
+"""Dataset registry: real matrix files with a deterministic synthetic fallback.
+
+The registry maps dataset names to :class:`MatrixSpec` metadata and
+resolves each name against a local data directory (``$REPRO_DATA_DIR``,
+default ``.repro-datasets``).  If ``<data_dir>/<name>.mtx`` (or
+``.mtx.gz``) exists, the real file is loaded through
+:mod:`repro.data.io`; otherwise the seeded synthetic stand-in with the
+spec's shape/nnz is generated — so studies bind one API
+(``load_matrix``) and transparently pick up real SuiteSparse downloads
+the moment they are dropped into the cache directory.
+
+There is deliberately no network code: drop files in by hand (or via
+``repro datasets --materialize``, which writes the synthetic stand-ins
+out as real ``.mtx`` files to document the layout).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .io import read_mtx, write_mtx
+from .suitesparse import TABLE3, MatrixSpec, generate
+
+#: environment override for the default dataset directory
+DATA_DIR_ENV_VAR = "REPRO_DATA_DIR"
+
+#: default dataset location (relative to the working directory)
+DEFAULT_DATA_DIR = ".repro-datasets"
+
+
+def default_data_dir() -> str:
+    return os.environ.get(DATA_DIR_ENV_VAR) or DEFAULT_DATA_DIR
+
+
+class DatasetRegistry:
+    """Named datasets resolved against a local cache of ``.mtx`` files."""
+
+    def __init__(
+        self,
+        data_dir: Optional[str] = None,
+        specs: Sequence[MatrixSpec] = TABLE3,
+    ):
+        self.data_dir = data_dir or default_data_dir()
+        self._specs: Dict[str, MatrixSpec] = {spec.name: spec for spec in specs}
+        #: explicit file paths from register_file (beats the data_dir scan)
+        self._paths: Dict[str, str] = {}
+
+    # -- membership ------------------------------------------------------
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    def spec(self, name: str) -> MatrixSpec:
+        if name not in self._specs:
+            raise KeyError(
+                f"unknown dataset {name!r}; known: {sorted(self._specs)}"
+            )
+        return self._specs[name]
+
+    def register(self, spec: MatrixSpec) -> MatrixSpec:
+        """Add (or replace) a dataset spec."""
+        self._specs[spec.name] = spec
+        return spec
+
+    def register_file(self, path: str, name: Optional[str] = None,
+                      domain: str = "local file") -> MatrixSpec:
+        """Register an arbitrary local ``.mtx`` file, inferring its spec."""
+        coo = read_mtx(path)
+        stem = os.path.basename(str(path))
+        for suffix in (".gz", ".mtx"):
+            if stem.endswith(suffix):
+                stem = stem[: -len(suffix)]
+        spec = MatrixSpec(name or stem, domain, coo.shape, coo.nnz)
+        self._specs[spec.name] = spec
+        self._paths[spec.name] = str(path)
+        return spec
+
+    # -- resolution ------------------------------------------------------
+    def path(self, name: str) -> Optional[str]:
+        """The on-disk file backing *name*, or None if only synthetic."""
+        explicit = self._paths.get(name)
+        if explicit and os.path.exists(explicit):
+            return explicit
+        for suffix in (".mtx", ".mtx.gz"):
+            candidate = os.path.join(self.data_dir, name + suffix)
+            if os.path.exists(candidate):
+                return candidate
+        return None
+
+    def source(self, name: str) -> str:
+        """``"file:<path>"`` when a real file backs *name*, else ``"synthetic"``."""
+        self.spec(name)
+        path = self.path(name)
+        return f"file:{path}" if path else "synthetic"
+
+    def load_matrix(self, name: str, seed: int = 0):
+        """Resolve *name* to a ``scipy.sparse.csr_matrix``.
+
+        A cached real file wins over the synthetic stand-in.  A shape
+        mismatch against the registered spec fails loudly (same-name
+        wrong matrix); an entry-count mismatch only warns, since valid
+        downloads may carry explicit zeros or duplicate entries while
+        still being the right matrix.
+        """
+        spec = self.spec(name)
+        path = self.path(name)
+        if path is None:
+            return generate(spec, seed=seed)
+        coo = read_mtx(path)
+        if coo.shape != spec.shape:
+            raise ValueError(
+                f"{path}: shape {coo.shape} does not match registered "
+                f"spec {spec.shape} for {name!r}"
+            )
+        if coo.nnz != spec.nnz:
+            warnings.warn(
+                f"{path}: {coo.nnz} stored entries vs. registered spec "
+                f"nnz {spec.nnz} for {name!r} — explicit zeros/duplicates, "
+                f"or a different matrix with the same shape",
+                stacklevel=2,
+            )
+        return coo.to_scipy()
+
+    def load_tensor(self, name: str, formats=None, mode_order=None,
+                    seed: int = 0):
+        """Resolve *name* straight to a :class:`FiberTensor`."""
+        from ..formats.tensor import FiberTensor
+
+        return FiberTensor.from_scipy(
+            self.load_matrix(name, seed=seed), formats=formats,
+            mode_order=mode_order, name=name,
+        )
+
+    # -- materialisation -------------------------------------------------
+    def materialize(self, name: str, seed: int = 0,
+                    overwrite: bool = False) -> str:
+        """Write the synthetic stand-in for *name* into the data dir.
+
+        After this, :meth:`load_matrix` resolves to the file — the same
+        path a real SuiteSparse download would take.  Refuses to clobber
+        an existing file (which may be a real download) unless
+        ``overwrite=True``.
+        """
+        spec = self.spec(name)
+        existing = self.path(name)
+        if existing and not overwrite:
+            raise FileExistsError(
+                f"{existing} already backs {name!r}; delete it or pass "
+                f"overwrite=True to replace it with synthetic data"
+            )
+        os.makedirs(self.data_dir, exist_ok=True)
+        target = os.path.join(self.data_dir, name + ".mtx")
+        return write_mtx(
+            target, generate(spec, seed=seed),
+            comment=f"synthetic stand-in for {name} ({spec.domain}), seed={seed}",
+        )
+
+    def rows(self) -> List[Tuple[str, MatrixSpec, str]]:
+        """(name, spec, source) listing rows, registry order."""
+        return [(name, self._specs[name], self.source(name))
+                for name in self._specs]
+
+
+def default_registry(data_dir: Optional[str] = None) -> DatasetRegistry:
+    """A fresh registry over the Table 3 specs and the default data dir."""
+    return DatasetRegistry(data_dir=data_dir)

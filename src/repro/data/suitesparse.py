@@ -1,18 +1,26 @@
 """Synthetic stand-ins for the Table 3 SuiteSparse matrices.
 
 The paper's stream analysis (Figure 14) runs the matrix identity
-expression over 15 SuiteSparse matrices.  SuiteSparse is not available
-offline, so we generate seeded uniform-random matrices with the *same
-name, dimensions, nonzero count, and density* as each Table 3 entry.
-The Figure 14 metric — token-type composition of the level-scanner
-output streams — depends only on those structural statistics, so the
-stand-ins preserve the study's shape (documented in EXPERIMENTS.md).
+expression over 15 SuiteSparse matrices.  SuiteSparse is not always
+available offline, so by default we generate seeded uniform-random
+matrices with the *same name, dimensions, nonzero count, and density* as
+each Table 3 entry.  The Figure 14 metric — token-type composition of
+the level-scanner output streams — depends only on those structural
+statistics, so the stand-ins preserve the study's shape (documented in
+EXPERIMENTS.md).
+
+Real matrices take precedence when present: :func:`load` resolves each
+spec through the dataset registry (:mod:`repro.data.registry`), which
+prefers a ``<data_dir>/<name>.mtx`` file over the synthetic generator —
+drop actual SuiteSparse downloads into ``$REPRO_DATA_DIR`` and every
+study picks them up without code changes.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -59,8 +67,13 @@ LARGE = TABLE3[10:]
 
 
 def generate(spec: MatrixSpec, seed: int = 0) -> sparse.csr_matrix:
-    """Seeded uniform-random stand-in with the spec's shape and nnz."""
-    rng = np.random.default_rng(seed ^ hash(spec.name) % (2**32))
+    """Seeded uniform-random stand-in with the spec's shape and nnz.
+
+    The per-matrix seed mixes in ``crc32(name)`` — NOT Python's ``hash``,
+    which is salted per process, so the "deterministic" stand-ins used to
+    differ from run to run (silently poisoning cached study results).
+    """
+    rng = np.random.default_rng(seed ^ zlib.crc32(spec.name.encode()))
     rows, cols = spec.shape
     # Sample without replacement so nnz is exact.
     flat = rng.choice(rows * cols, size=spec.nnz, replace=False)
@@ -71,11 +84,23 @@ def generate(spec: MatrixSpec, seed: int = 0) -> sparse.csr_matrix:
     return matrix
 
 
-def load_all(seed: int = 0, max_nnz: int = None) -> List[Tuple[MatrixSpec, sparse.csr_matrix]]:
-    """All Table 3 stand-ins (optionally capped by nnz for quick runs)."""
+def load(spec: MatrixSpec, seed: int = 0,
+         data_dir: Optional[str] = None) -> sparse.csr_matrix:
+    """Registry-backed load: a real cached ``.mtx`` file if present,
+    the deterministic synthetic stand-in otherwise."""
+    from .registry import DatasetRegistry
+
+    return DatasetRegistry(data_dir=data_dir, specs=(spec,)).load_matrix(
+        spec.name, seed=seed
+    )
+
+
+def load_all(seed: int = 0, max_nnz: int = None,
+             data_dir: Optional[str] = None) -> List[Tuple[MatrixSpec, sparse.csr_matrix]]:
+    """All Table 3 matrices (optionally capped by nnz for quick runs)."""
     out = []
     for spec in TABLE3:
         if max_nnz is not None and spec.nnz > max_nnz:
             continue
-        out.append((spec, generate(spec, seed)))
+        out.append((spec, load(spec, seed, data_dir=data_dir)))
     return out

@@ -8,10 +8,19 @@ the classic sparse formats:
 * dense outer + compressed inner      -> CSR
 * all-dense                           -> a plain dense array
 * all-compressed higher-order tensor  -> CSF
+* compressed + bitvector              -> the section 4.3 bitmask format
 
 ``mode_order`` maps storage levels to logical dimensions, so a transposed
 matrix is just the same data with ``mode_order=(1, 0)`` — the format
 language of section 5 (``C=({comp., comp.}, {mode1, mode0})``).
+
+Construction is fully vectorized: COO input is validated, permuted,
+lexsorted and deduplicated with numpy, and every level's segment/
+coordinate (or word) arrays fall out of segment-boundary masks — no
+per-entry Python loops, so million-nnz operands build in ~100ms.  The
+pre-vectorization pure-Python pipeline is kept as
+:meth:`FiberTensor.from_coords_reference`, serving as a differential-
+testing oracle and as the baseline for ``benchmarks/bench_formats.py``.
 """
 
 from __future__ import annotations
@@ -28,6 +37,111 @@ from .level import Level
 FORMAT_NAMES = ("compressed", "dense", "bitvector")
 
 
+def dense_nonzeros(array) -> Tuple[np.ndarray, np.ndarray]:
+    """``(coords, values)`` of a dense array's nonzero entries.
+
+    ``coords`` is ``(n, ndim)`` int64 in C order — the one shared
+    dense-to-COO extraction used by :meth:`FiberTensor.from_numpy` and
+    the ``.mtx`` readers (note ``nz.size``, not ``len(nz)``: an empty
+    result still carries the dimension count).
+    """
+    array = np.asarray(array, dtype=float)
+    nz = np.argwhere(array != 0)
+    values = array[tuple(nz.T)] if nz.size else np.empty(0)
+    return nz.astype(np.int64, copy=False), values
+
+
+def segment_offsets(counts: np.ndarray) -> np.ndarray:
+    """Within-segment offsets ``[0..c0), [0..c1), ...`` for ragged expansion.
+
+    For ``counts = [2, 3]`` returns ``[0, 1, 0, 1, 2]`` — the vectorized
+    building block for expanding per-fiber counts into flat positions
+    (used by :meth:`FiberTensor.to_coo` and the ``.mtx`` array reader).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    return np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+
+
+def _coerce_coo(
+    shape: Tuple[int, ...],
+    coords: Sequence[Sequence[int]],
+    values: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(n, order) int64 coordinates + (n,) float64 values, validated."""
+    order = len(shape)
+    coords_arr = np.asarray(coords, dtype=np.int64)
+    values_arr = np.asarray(values, dtype=np.float64).reshape(-1)
+    if coords_arr.ndim != 2 and coords_arr.size == 0:
+        # An empty coords list arrives as shape (0,); note an order-0
+        # tensor's entries already parse as (n, 0) and keep their count.
+        coords_arr = coords_arr.reshape(0, order)
+    if coords_arr.ndim != 2 or coords_arr.shape[1] != order:
+        raise ValueError(
+            f"coords must be (n, {order}) for a shape-{shape} tensor, "
+            f"got array of shape {coords_arr.shape}"
+        )
+    if coords_arr.shape[0] != values_arr.size:
+        raise ValueError(
+            f"{coords_arr.shape[0]} coordinates but {values_arr.size} values"
+        )
+    if coords_arr.size:
+        shape_arr = np.asarray(shape, dtype=np.int64)
+        bad = (coords_arr < 0) | (coords_arr >= shape_arr)
+        if bad.any():
+            entry, axis = map(int, np.argwhere(bad)[0])
+            raise ValueError(
+                f"coordinate {tuple(coords_arr[entry].tolist())} at entry "
+                f"{entry} is outside shape {shape}: axis {axis} value "
+                f"{int(coords_arr[entry, axis])} not in [0, {shape[axis]})"
+            )
+    return coords_arr, values_arr
+
+
+def _dedupe_sorted(
+    key: np.ndarray, values: np.ndarray, keep_zeros: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lexsort *key* rows, sum duplicate values, optionally drop zeros.
+
+    The sort is stable, so duplicates are summed in arrival order; entries
+    whose merged value is exactly zero (e.g. ``+1.0`` cancelled by
+    ``-1.0``) are dropped unless ``keep_zeros`` asks for explicit zeros.
+    """
+    n = key.shape[0]
+    if n == 0:
+        return key, values
+    if key.shape[1]:
+        sort_idx = np.lexsort(key.T[::-1])
+        key = key[sort_idx]
+        values = values[sort_idx]
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    if key.shape[1]:
+        head[1:] = (key[1:] != key[:-1]).any(axis=1)
+    else:
+        head[1:] = False
+    starts = np.flatnonzero(head)
+    if starts.size == n:
+        merged = values.copy()
+    else:
+        # np.add.at applies the additions element-by-element in array
+        # order (unbuffered), so duplicates really are summed in arrival
+        # order — np.add.reduceat would pairwise-sum groups larger than
+        # numpy's unrolling block, silently diverging from the
+        # from_coords_reference oracle in the last bits.
+        merged = np.zeros(starts.size, dtype=np.float64)
+        np.add.at(merged, np.cumsum(head) - 1, values)
+    key = key[starts]
+    if not keep_zeros:
+        nonzero = merged != 0
+        if not nonzero.all():
+            key = key[nonzero]
+            merged = merged[nonzero]
+    return key, merged
+
+
 class FiberTensor:
     """A tensor stored as a fibertree with per-level formats."""
 
@@ -41,7 +155,7 @@ class FiberTensor:
     ):
         self.shape: Tuple[int, ...] = tuple(shape)
         self.levels: List[Level] = list(levels)
-        self.vals: List[float] = list(vals)
+        self.vals: np.ndarray = np.array(vals, dtype=np.float64).reshape(-1)
         self.mode_order: Tuple[int, ...] = tuple(
             mode_order if mode_order is not None else range(len(self.shape))
         )
@@ -65,11 +179,95 @@ class FiberTensor:
         mode_order: Optional[Sequence[int]] = None,
         name: str = "T",
         bits_per_word: int = 64,
+        keep_zeros: bool = False,
     ) -> "FiberTensor":
         """Build a fibertree from COO-style (coords, values) data.
 
-        Duplicate coordinates are summed.  ``formats`` gives one format
-        name per *storage level*; the default is all-compressed.
+        Coordinates are validated against *shape* (out-of-range or
+        negative entries raise ``ValueError``).  Duplicate coordinates are
+        summed in arrival order; entries whose merged value is exactly
+        zero are dropped unless ``keep_zeros=True``.  ``formats`` gives
+        one format name per *storage level*; the default is
+        all-compressed.
+        """
+        shape = tuple(int(s) for s in shape)
+        order = len(shape)
+        perm = tuple(
+            int(m) for m in (mode_order if mode_order is not None else range(order))
+        )
+        if sorted(perm) != list(range(order)):
+            raise ValueError(f"mode_order {perm} is not a permutation")
+        formats = tuple(formats if formats is not None else ["compressed"] * order)
+        if len(formats) != order:
+            raise ValueError(f"need {order} level formats, got {len(formats)}")
+
+        coords_arr, values_arr = _coerce_coo(shape, coords, values)
+        # Permute to storage order, sort lexicographically, merge duplicates.
+        key = coords_arr[:, list(perm)] if order else coords_arr
+        key, merged = _dedupe_sorted(key, values_arr, keep_zeros)
+
+        # Walk the levels top-down.  ``parent`` maps every surviving entry
+        # to its fiber at the current level; compressed/bitvector levels
+        # derive their fibers from segment-boundary masks, dense levels
+        # expand the fiber space affinely.
+        m = key.shape[0]
+        parent = np.zeros(m, dtype=np.int64)
+        num_fibers = 1
+        levels: List[Level] = []
+        for d in range(order):
+            size = shape[perm[d]]
+            fmt = formats[d]
+            col = key[:, d]
+            if fmt in ("compressed", "bitvector"):
+                head = np.empty(m, dtype=bool)
+                if m:
+                    head[0] = True
+                    head[1:] = (parent[1:] != parent[:-1]) | (col[1:] != col[:-1])
+                starts = np.flatnonzero(head)
+                fiber_of_group = parent[starts]
+                crd_of_group = col[starts]
+                counts = np.bincount(fiber_of_group, minlength=num_fibers)
+                seg = np.concatenate(([0], np.cumsum(counts)))
+                if fmt == "compressed":
+                    levels.append(CompressedLevel(seg, crd_of_group))
+                else:
+                    levels.append(
+                        BitvectorLevel.from_arrays(
+                            fiber_of_group, crd_of_group, num_fibers, size,
+                            bits_per_word,
+                        )
+                    )
+                parent = np.cumsum(head) - 1
+                num_fibers = starts.size
+            elif fmt == "dense":
+                levels.append(DenseLevel(size, num_fibers=num_fibers))
+                parent = parent * size + col
+                num_fibers *= size
+            else:
+                raise ValueError(f"unknown level format {fmt!r}")
+
+        vals = np.zeros(num_fibers if order else 1, dtype=np.float64)
+        vals[parent if order else np.zeros(m, dtype=np.int64)] = merged
+        return cls(shape, levels, vals, mode_order=perm, name=name)
+
+    @classmethod
+    def from_coords_reference(
+        cls,
+        shape: Sequence[int],
+        coords: Sequence[Sequence[int]],
+        values: Sequence[float],
+        formats: Optional[Sequence[str]] = None,
+        mode_order: Optional[Sequence[int]] = None,
+        name: str = "T",
+        bits_per_word: int = 64,
+        keep_zeros: bool = False,
+    ) -> "FiberTensor":
+        """Pure-Python construction oracle (the pre-vectorization pipeline).
+
+        Semantically identical to :meth:`from_coords` — the differential
+        tests assert structural equality — but built with per-entry dict
+        and nested-list passes.  Kept for verification and as the baseline
+        measured by ``benchmarks/bench_formats.py``.
         """
         shape = tuple(shape)
         order = len(shape)
@@ -77,12 +275,15 @@ class FiberTensor:
         formats = tuple(formats if formats is not None else ["compressed"] * order)
         if len(formats) != order:
             raise ValueError(f"need {order} level formats, got {len(formats)}")
+        coords_arr, values_arr = _coerce_coo(shape, coords, values)
 
         # Deduplicate and sort nonzeros by permuted coordinate.
         merged: Dict[Tuple[int, ...], float] = {}
-        for crd, val in zip(coords, values):
-            key = tuple(int(crd[perm[d]]) for d in range(order))
+        for crd, val in zip(coords_arr.tolist(), values_arr.tolist()):
+            key = tuple(crd[perm[d]] for d in range(order))
             merged[key] = merged.get(key, 0.0) + float(val)
+        if not keep_zeros:
+            merged = {key: val for key, val in merged.items() if val != 0}
         entries = sorted(merged.items())
 
         levels: List[Level] = []
@@ -138,20 +339,27 @@ class FiberTensor:
     ) -> "FiberTensor":
         """Build a fibertree from a dense numpy array, omitting zeros."""
         array = np.asarray(array, dtype=float)
-        nz = np.argwhere(array != 0)
-        values = array[tuple(nz.T)] if len(nz) else np.array([])
+        coords, values = dense_nonzeros(array)
         return cls.from_coords(
-            array.shape, nz.tolist(), values.tolist(), formats, mode_order, name,
+            array.shape, coords, values, formats, mode_order, name,
             bits_per_word,
         )
 
     @classmethod
-    def from_scipy(cls, matrix, formats=None, mode_order=None, name: str = "T"):
-        """Build from any scipy.sparse matrix."""
+    def from_scipy(cls, matrix, formats=None, mode_order=None, name: str = "T",
+                   keep_zeros: bool = False):
+        """Build from any scipy.sparse matrix.
+
+        ``keep_zeros=True`` preserves explicit-zero stored entries (as
+        scipy does), so the fibertree's coordinate structure mirrors the
+        source file's — what stream-measurement studies want for real
+        matrices.
+        """
         coo = matrix.tocoo()
-        coords = list(zip(coo.row.tolist(), coo.col.tolist()))
+        coords = np.column_stack([coo.row, coo.col]).astype(np.int64)
         return cls.from_coords(
-            coo.shape, coords, coo.data.tolist(), formats, mode_order, name
+            coo.shape, coords, coo.data, formats, mode_order, name,
+            keep_zeros=keep_zeros,
         )
 
     # -- inspection ------------------------------------------------------
@@ -161,7 +369,7 @@ class FiberTensor:
 
     @property
     def nnz(self) -> int:
-        return sum(1 for v in self.vals if v != 0)
+        return int(np.count_nonzero(self.vals))
 
     @property
     def density(self) -> float:
@@ -173,26 +381,67 @@ class FiberTensor:
 
     def memory_footprint(self) -> int:
         """Stored words: level metadata plus the value array."""
-        return sum(lv.memory_footprint() for lv in self.levels) + len(self.vals)
+        return sum(lv.memory_footprint() for lv in self.levels) + int(self.vals.size)
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Expand to ``(coords, values)`` COO arrays in storage order.
+
+        Coordinates are *logical* (``mode_order`` already applied), of
+        shape ``(n, order)``; value slots holding explicit zeros are
+        included.  Compressed and dense levels expand vectorized; other
+        level formats fall back to the generic ``fiber()`` walk.
+        """
+        refs = np.zeros(1, dtype=np.int64)
+        columns: List[np.ndarray] = []
+        for level in self.levels:
+            if isinstance(level, CompressedLevel):
+                counts = level.seg[refs + 1] - level.seg[refs]
+                rep = np.repeat(np.arange(refs.size), counts)
+                positions = level.seg[refs][rep] + segment_offsets(counts)
+                columns = [c[rep] for c in columns]
+                columns.append(level.crd[positions])
+                refs = positions
+            elif isinstance(level, DenseLevel):
+                size = level.size
+                rep = np.repeat(np.arange(refs.size), size)
+                crd = np.tile(np.arange(size, dtype=np.int64), refs.size)
+                columns = [c[rep] for c in columns]
+                columns.append(crd)
+                refs = refs[rep] * size + crd
+            else:
+                rep_list: List[int] = []
+                crd_list: List[int] = []
+                ref_list: List[int] = []
+                for i, ref in enumerate(refs.tolist()):
+                    for crd, child in level.fiber(ref):
+                        rep_list.append(i)
+                        crd_list.append(crd)
+                        ref_list.append(child)
+                rep = np.asarray(rep_list, dtype=np.int64)
+                columns = [c[rep] for c in columns]
+                columns.append(np.asarray(crd_list, dtype=np.int64))
+                refs = np.asarray(ref_list, dtype=np.int64)
+        if not self.order:
+            return np.empty((0, 0), dtype=np.int64), self.vals[:1].copy()
+        values = self.vals[refs]
+        storage = (
+            np.stack(columns, axis=1)
+            if columns
+            else np.empty((0, 0), dtype=np.int64)
+        )
+        logical = np.empty_like(storage)
+        for depth, axis in enumerate(self.mode_order):
+            logical[:, axis] = storage[:, depth]
+        return logical, values
 
     def to_numpy(self) -> np.ndarray:
         """Expand back to a dense numpy array (for correctness checking)."""
-        out = np.zeros(self.shape, dtype=float)
         if not self.shape:
-            return np.array(self.vals[0] if self.vals else 0.0)
-
-        def walk(depth: int, ref: int, prefix: Tuple[int, ...]) -> None:
-            if depth == self.order:
-                if self.vals[ref] != 0:
-                    logical = [0] * self.order
-                    for lvl, crd in enumerate(prefix):
-                        logical[self.mode_order[lvl]] = crd
-                    out[tuple(logical)] = self.vals[ref]
-                return
-            for crd, child in self.levels[depth].fiber(ref):
-                walk(depth + 1, child, prefix + (crd,))
-
-        walk(0, 0, ())
+            return np.array(float(self.vals[0]) if self.vals.size else 0.0)
+        out = np.zeros(self.shape, dtype=float)
+        coords, values = self.to_coo()
+        if coords.size:
+            out[tuple(coords.T)] = values
         return out
 
     def __repr__(self) -> str:

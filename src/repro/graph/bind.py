@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..blocks import (
     ALU,
     ArrayLoad,
@@ -145,8 +147,10 @@ def _resolve_tensor(name: str, tensors: Dict[str, FiberTensor]) -> FiberTensor:
     if name not in tensors:
         raise GraphError(f"tensor {name!r} not supplied to bind()")
     value = tensors[name]
-    if isinstance(value, (int, float)):
-        return scalar_tensor(value, name=name)
+    # Accept numpy scalars too: the vectorized data plane hands back
+    # np.float64 values, which sweep code may pass straight in as alphas.
+    if isinstance(value, (int, float, np.number)):
+        return scalar_tensor(float(value), name=name)
     return value
 
 

@@ -15,7 +15,7 @@ import os
 import tempfile
 from typing import Iterator, Optional
 
-from .spec import ExperimentResult, ExperimentSpec, code_version
+from .spec import ExperimentResult, ExperimentSpec, _json_default, code_version
 
 #: environment override for the default cache directory
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
@@ -67,7 +67,8 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+                json.dump(result.to_dict(), handle, indent=1, sort_keys=True,
+                          default=_json_default)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):

@@ -141,9 +141,12 @@ def write_json_artifact(results: Sequence[ExperimentResult], path: str) -> str:
     """Write results as a JSON array of result records."""
     import json
 
+    from .spec import _json_default
+
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w") as handle:
-        json.dump([r.to_dict() for r in results], handle, indent=1, sort_keys=True)
+        json.dump([r.to_dict() for r in results], handle, indent=1,
+                  sort_keys=True, default=_json_default)
     return path
 
 

@@ -20,6 +20,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+import numpy as np
+
 #: environment override for the code-version digest (tests use this to
 #: force cache hits/misses without editing sources)
 CODE_VERSION_ENV_VAR = "REPRO_CODE_VERSION"
@@ -53,9 +55,36 @@ def code_version() -> str:
     return _code_version_cache
 
 
+def _json_default(value: Any):
+    """Coerce numpy scalar/array types to native Python for JSON.
+
+    Sweep axes built with ``np.linspace``/``np.arange`` put ``np.int64``/
+    ``np.float64`` scalars into spec points; those must canonicalise to
+    the same JSON as their native equivalents (so cache keys match) and
+    must not crash serialisation.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        f"Object of type {type(value).__name__} is not JSON serializable"
+    )
+
+
 def canonical_json(value: Any) -> str:
-    """Deterministic JSON: sorted keys, no whitespace variance."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    """Deterministic JSON: sorted keys, no whitespace variance.
+
+    Numpy scalars and arrays are coerced to native Python types, so spec
+    points produced by ``np.linspace``/``np.arange`` sweeps canonicalise
+    identically to hand-written ints/floats.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
 
 
 def as_tuple(value: Any) -> tuple:

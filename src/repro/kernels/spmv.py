@@ -46,14 +46,35 @@ def spmv_program() -> CompiledProgram:
     return compile_expression("x(i) = B(i,j) * c(j)")
 
 
-def spmv_locate(B: np.ndarray, c: np.ndarray, backend: Optional[str] = None):
+def spmv_locate(B, c: np.ndarray, backend: Optional[str] = None):
     """Iterate-locate SpMV: stream B's nonzeros, probe the dense vector c.
 
+    ``B`` may be a dense numpy matrix or a prebuilt two-level
+    :class:`FiberTensor` (the path large ``.mtx``-ingested operands take,
+    where densifying first would not fit in memory).
     Returns ``(x_coords, x_values, cycles)``.
     """
-    B = np.asarray(B, dtype=float)
     c = np.asarray(c, dtype=float)
-    bt = FiberTensor.from_numpy(B, name="B")
+    if isinstance(B, FiberTensor):
+        bt = B
+    else:
+        bt = FiberTensor.from_numpy(np.asarray(B, dtype=float), name="B")
+    if bt.order != 2:
+        raise ValueError(f"spmv_locate needs a matrix, got order {bt.order}")
+    if bt.mode_order != (0, 1):
+        # The graph scans storage levels as (row, column); transposed
+        # storage would silently compute B.T @ c.
+        raise ValueError(
+            f"spmv_locate requires row-major storage (mode_order (0, 1)), "
+            f"got mode_order {bt.mode_order}"
+        )
+    # The locator probes c with storage level 1's coordinates; a short c
+    # would silently drop every j >= c.size (DenseLevel.locate misses).
+    if bt.shape[1] != c.size:
+        raise ValueError(
+            f"B's scanned column dimension is {bt.shape[1]} but c has "
+            f"{c.size} entries"
+        )
     c_level = DenseLevel(c.size)
     g = GraphBuilder("spmv_locate")
 

@@ -79,7 +79,7 @@ class CompiledProgram:
             if name not in tensors:
                 raise ExpressionError(f"missing input tensor {name!r}")
             value = tensors[name]
-            if isinstance(value, (int, float)):
+            if isinstance(value, (int, float, np.number)):
                 prepared[name] = scalar_tensor(float(value), name=name)
             elif isinstance(value, np.ndarray):
                 access = next(

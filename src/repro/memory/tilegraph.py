@@ -57,7 +57,10 @@ def _tile_map_tensor(tiled: TiledMatrix, name: str):
     keys = sorted(tiled.tiles)
     coords = list(keys)
     refs = list(range(len(keys)))
-    tensor = FiberTensor.from_coords(tiled.grid, coords, refs, name=name)
+    # Values are tile *references*, so 0 is meaningful — keep_zeros stops
+    # the cancelled-duplicate cleanup from dropping tile ref 0.
+    tensor = FiberTensor.from_coords(tiled.grid, coords, refs, name=name,
+                                     keep_zeros=True)
     return tensor, keys
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..data.suitesparse import TABLE3, generate
+from ..data.suitesparse import TABLE3
 from ..formats.tensor import FiberTensor
 from ..harness.registry import Study
 from ..harness.spec import ExperimentResult, ExperimentSpec
@@ -38,11 +38,22 @@ def enumerate_specs(
     """One spec per Table 3 matrix under the nnz cap (None = all 15).
 
     The idle fractions need a timed backend (``cycle`` or ``event``);
-    ``functional`` reports zero cycles and would skew them.
+    ``functional`` reports zero cycles and would skew them.  The spec
+    point records how each matrix currently *resolves* (synthetic
+    stand-in vs. a real ``.mtx`` in the data dir), so dropping a real
+    file in changes the cache key — stale synthetic results are never
+    replayed as if they were real-matrix measurements.
     """
+    from ..data.registry import default_registry
+
+    registry = default_registry()
     return [
-        ExperimentSpec("fig14", {"matrix": spec.name, "seed": seed},
-                       backend=backend)
+        ExperimentSpec(
+            "fig14",
+            {"matrix": spec.name, "seed": seed,
+             "source": registry.source(spec.name)},
+            backend=backend,
+        )
         for spec in TABLE3
         if max_nnz is None or spec.nnz <= max_nnz
     ]
@@ -50,12 +61,31 @@ def enumerate_specs(
 
 def execute(spec: ExperimentSpec) -> Dict[str, Any]:
     """Token breakdown of the outer/inner scanner streams of one matrix."""
+    from ..data.registry import default_registry
+
     matrix_spec = next(m for m in TABLE3 if m.name == spec.point["matrix"])
     program = compile_expression("X(i,j) = B(i,j)")
     scan_i = next(n for n in program.graph.nodes if n.endswith("_i"))
     scan_j = next(n for n in program.graph.nodes if n.endswith("_j"))
-    matrix = generate(matrix_spec, seed=spec.point["seed"])
-    tensor = FiberTensor.from_scipy(matrix, name="B")
+    # Registry-backed: a real .mtx in $REPRO_DATA_DIR wins over the
+    # synthetic stand-in (see EXPERIMENTS.md "Datasets").  The spec's
+    # recorded resolution must still hold at run time, otherwise the
+    # measurement would be cached under the wrong source label.
+    registry = default_registry()
+    expected_source = spec.point.get("source")
+    actual_source = registry.source(matrix_spec.name)
+    if expected_source is not None and actual_source != expected_source:
+        raise RuntimeError(
+            f"dataset {matrix_spec.name!r} resolution changed mid-sweep "
+            f"(spec says {expected_source}, now {actual_source}); rerun "
+            f"the sweep so specs are re-enumerated"
+        )
+    matrix = registry.load_matrix(matrix_spec.name, seed=spec.point["seed"])
+    # keep_zeros: a real file's explicit-zero entries are stored
+    # coordinates and must appear in the measured streams (matching the
+    # reported nnz); synthetic stand-ins have no zeros, so this is a
+    # no-op for them.
+    tensor = FiberTensor.from_scipy(matrix, name="B", keep_zeros=True)
     result = program.run(
         {"B": tensor}, record=(f"{scan_i}.crd", f"{scan_j}.crd"),
         backend=spec.backend,
@@ -70,7 +100,9 @@ def execute(spec: ExperimentSpec) -> Dict[str, Any]:
         elif channel.name.startswith(scan_j):
             inner = breakdown
     return {
-        "nnz": matrix_spec.nnz,
+        # The loaded matrix's actual nnz (equals the spec for synthetic
+        # stand-ins; a real file reports what was really measured).
+        "nnz": int(matrix.nnz),
         "outer": outer.to_dict(),
         "inner": inner.to_dict(),
     }

@@ -1,0 +1,449 @@
+"""Tensor ingestion (.mtx/.tns), the dataset registry, and degenerate
+tensors driven through all three simulation backends."""
+
+import gzip
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data import (
+    DatasetRegistry,
+    MatrixSpec,
+    TABLE3,
+    generate,
+    load_tensor,
+    read_mtx,
+    read_tns,
+    write_mtx,
+    write_tns,
+)
+from repro.data.io import CooTensor
+from repro.formats import FiberTensor
+from repro.lang import compile_expression
+
+BACKENDS = ("cycle", "event", "functional")
+
+MTX_GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment line
+4 4 5
+1 2 1.0
+2 1 2.0
+2 3 3.0
+4 2 4.0
+4 4 5.0
+"""
+
+DENSE_GENERAL = np.array(
+    [
+        [0, 1, 0, 0],
+        [2, 0, 3, 0],
+        [0, 0, 0, 0],
+        [0, 4, 0, 5],
+    ],
+    dtype=float,
+)
+
+
+class TestMtxReader:
+    def test_coordinate_general(self, tmp_path):
+        path = tmp_path / "a.mtx"
+        path.write_text(MTX_GENERAL)
+        coo = read_mtx(str(path))
+        assert coo.shape == (4, 4)
+        assert coo.nnz == 5
+        dense = coo.to_scipy().toarray()
+        assert np.array_equal(dense, DENSE_GENERAL)
+
+    def test_gzip_transparent(self, tmp_path):
+        path = tmp_path / "a.mtx.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(MTX_GENERAL)
+        assert np.array_equal(
+            read_mtx(str(path)).to_scipy().toarray(), DENSE_GENERAL
+        )
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 3 2\n1 1\n2 3\n"
+        )
+        coo = read_mtx(str(path))
+        assert coo.values.tolist() == [1.0, 1.0]
+        assert coo.coords.tolist() == [[0, 0], [1, 2]]
+
+    def test_symmetric_expands_off_diagonal(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 1.0\n2 1 2.0\n3 2 3.0\n"
+        )
+        dense = read_mtx(str(path)).to_scipy().toarray()
+        expected = np.array([[1, 2, 0], [2, 0, 3], [0, 3, 0]], dtype=float)
+        assert np.array_equal(dense, expected)
+
+    def test_skew_symmetric_negates_mirror(self, tmp_path):
+        path = tmp_path / "k.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 5.0\n"
+        )
+        dense = read_mtx(str(path)).to_scipy().toarray()
+        assert np.array_equal(dense, np.array([[0, -5], [5, 0]], dtype=float))
+
+    def test_array_skew_symmetric_strict_lower_triangle(self, tmp_path):
+        # MM array skew-symmetric files store only the strictly-lower
+        # triangle (the diagonal is implicitly zero): 3 values for 3x3.
+        path = tmp_path / "ks.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix array real skew-symmetric\n"
+            "3 3\n1.0\n2.0\n3.0\n"
+        )
+        dense = read_mtx(str(path)).to_scipy().toarray()
+        expected = np.array(
+            [[0, -1, -2], [1, 0, -3], [2, 3, 0]], dtype=float
+        )
+        assert np.array_equal(dense, expected)
+
+    def test_array_format_column_major(self, tmp_path):
+        path = tmp_path / "d.mtx"
+        body = "\n".join(
+            str(v) for v in DENSE_GENERAL.T.reshape(-1)
+        )
+        path.write_text(
+            f"%%MatrixMarket matrix array real general\n4 4\n{body}\n"
+        )
+        coo = read_mtx(str(path))
+        assert np.array_equal(coo.to_scipy().toarray(), DENSE_GENERAL)
+
+    def test_blank_line_before_size_line_tolerated(self, tmp_path):
+        path = tmp_path / "b.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n"
+            "\n"
+            "2 2 1\n1 2 3.5\n"
+        )
+        assert read_mtx(str(path)).values.tolist() == [3.5]
+
+    def test_malformed_size_line_rejected(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2\n"
+        )
+        with pytest.raises(ValueError, match="size line"):
+            read_mtx(str(path))
+
+    def test_non_ascii_comment_tolerated(self, tmp_path):
+        # Real SuiteSparse headers carry author names etc.; a non-ASCII
+        # comment byte must not abort the load.
+        path = tmp_path / "u.mtx"
+        path.write_bytes(
+            b"%%MatrixMarket matrix coordinate real general\n"
+            b"% author: Universit\xc3\xa9 catholique\n"
+            b"2 2 1\n1 2 3.5\n"
+        )
+        coo = read_mtx(str(path))
+        assert coo.values.tolist() == [3.5]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("3 3 1\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="MatrixMarket header"):
+            read_mtx(str(path))
+
+    def test_complex_rejected(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n"
+            "1 1 1\n1 1 1.0 0.0\n"
+        )
+        with pytest.raises(ValueError, match="complex"):
+            read_mtx(str(path))
+
+    def test_entry_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "short.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n"
+        )
+        with pytest.raises(ValueError, match="promises 2"):
+            read_mtx(str(path))
+
+    def test_out_of_range_coordinate_rejected(self, tmp_path):
+        path = tmp_path / "oob.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
+        )
+        with pytest.raises(ValueError, match="outside shape"):
+            read_mtx(str(path))
+
+    def test_write_read_round_trip_scipy(self, tmp_path):
+        rng = np.random.default_rng(3)
+        matrix = sparse.random(17, 23, density=0.2, random_state=3,
+                               format="csr")
+        path = write_mtx(str(tmp_path / "rt.mtx"), matrix, comment="round trip")
+        back = read_mtx(path).to_scipy()
+        assert (matrix != back).nnz == 0
+
+
+class TestTnsReader:
+    def test_order3_with_comments(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("# FROSTT-style tensor\n1 1 1 1.5\n2 3 4 2.5\n")
+        coo = read_tns(str(path))
+        assert coo.shape == (2, 3, 4)
+        assert coo.coords.tolist() == [[0, 0, 0], [1, 2, 3]]
+        assert coo.values.tolist() == [1.5, 2.5]
+
+    def test_explicit_shape(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1.0\n")
+        coo = read_tns(str(path), shape=(5, 6))
+        assert coo.shape == (5, 6)
+
+    def test_shape_header_after_other_comments(self, tmp_path):
+        # The shape annotation must be found even below provenance
+        # comments, not just on the very first line.
+        path = tmp_path / "t.tns"
+        path.write_text("# FROSTT tensor\n# shape: 3 4 5\n1 2 3 1.0\n")
+        assert read_tns(str(path)).shape == (3, 4, 5)
+
+    def test_shape_order_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1.0\n")
+        with pytest.raises(ValueError, match="order"):
+            read_tns(str(path), shape=(5, 6, 7))
+
+    def test_empty_needs_shape(self, tmp_path):
+        path = tmp_path / "e.tns"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError, match="explicit shape"):
+            read_tns(str(path))
+        coo = read_tns(str(path), shape=(3, 4))
+        assert coo.nnz == 0 and coo.shape == (3, 4)
+
+    def test_write_read_round_trip(self, tmp_path):
+        cube = np.zeros((2, 3, 4))
+        cube[0, 1, 2] = 1.25
+        cube[1, 2, 3] = -2.5
+        nz = np.argwhere(cube != 0)
+        coo = CooTensor(cube.shape, nz.astype(np.int64), cube[tuple(nz.T)])
+        path = write_tns(str(tmp_path / "rt.tns"), coo)
+        back = read_tns(path)
+        assert back.shape == (2, 3, 4)
+        assert np.array_equal(back.to_fibertensor().to_numpy(), cube)
+
+    def test_load_tensor_dispatch(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 2 4.0\n2 1 3.0\n")
+        tensor = load_tensor(str(path))
+        assert isinstance(tensor, FiberTensor)
+        assert tensor.name == "t"
+        assert np.array_equal(
+            tensor.to_numpy(), np.array([[0, 4], [3, 0]], dtype=float)
+        )
+        with pytest.raises(ValueError, match="extension"):
+            load_tensor(str(tmp_path / "t.unknown"))
+
+
+class TestRegistry:
+    def test_synthetic_fallback_matches_spec(self, tmp_path):
+        registry = DatasetRegistry(data_dir=str(tmp_path))
+        matrix = registry.load_matrix("LFAT5")
+        spec = registry.spec("LFAT5")
+        assert matrix.shape == spec.shape and matrix.nnz == spec.nnz
+        assert registry.source("LFAT5") == "synthetic"
+
+    def test_materialized_file_wins(self, tmp_path):
+        registry = DatasetRegistry(data_dir=str(tmp_path))
+        synthetic = registry.load_matrix("relat3", seed=0)
+        path = registry.materialize("relat3", seed=0)
+        assert registry.source("relat3") == f"file:{path}"
+        from_file = registry.load_matrix("relat3")
+        assert (synthetic != from_file).nnz == 0
+
+    def test_materialize_refuses_overwrite(self, tmp_path):
+        registry = DatasetRegistry(data_dir=str(tmp_path))
+        path = registry.materialize("relat3", seed=0)
+        before = open(path).read()
+        with pytest.raises(FileExistsError, match="already backs"):
+            registry.materialize("relat3", seed=1)
+        assert open(path).read() == before
+        # Explicit overwrite is the only way to replace the file.
+        registry.materialize("relat3", seed=1, overwrite=True)
+        assert open(path).read() != before
+
+    def test_file_shape_mismatch_rejected(self, tmp_path):
+        registry = DatasetRegistry(data_dir=str(tmp_path))
+        bad = tmp_path / "LFAT5.mtx"
+        bad.write_text(MTX_GENERAL)  # 4x4, spec says 14x14
+        with pytest.raises(ValueError, match="does not match"):
+            registry.load_matrix("LFAT5")
+
+    def test_file_nnz_mismatch_warns(self, tmp_path):
+        # Same shape but different entry count: could be explicit zeros
+        # in a genuine download, so it loads — with a loud warning.
+        registry = DatasetRegistry(data_dir=str(tmp_path))
+        spec = registry.spec("relat3")  # 8x5, 24 nnz
+        bad = tmp_path / "relat3.mtx"
+        bad.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            f"{spec.shape[0]} {spec.shape[1]} 1\n1 1 1.0\n"
+        )
+        with pytest.warns(UserWarning, match="stored entries"):
+            matrix = registry.load_matrix("relat3")
+        assert matrix.nnz == 1
+
+    def test_register_file_infers_spec(self, tmp_path):
+        path = tmp_path / "mine.mtx"
+        path.write_text(MTX_GENERAL)
+        registry = DatasetRegistry(data_dir=str(tmp_path))
+        spec = registry.register_file(str(path))
+        assert spec.name == "mine" and spec.shape == (4, 4) and spec.nnz == 5
+        tensor = registry.load_tensor("mine")
+        assert np.array_equal(tensor.to_numpy(), DENSE_GENERAL)
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            DatasetRegistry(data_dir=str(tmp_path)).spec("nope")
+
+    def test_fig14_specs_track_dataset_resolution(self, tmp_path, monkeypatch):
+        # Dropping a real file in must change the cache key, so stale
+        # synthetic results are never replayed as real-matrix numbers.
+        from repro.data import DATA_DIR_ENV_VAR
+        from repro.studies.fig14 import enumerate_specs
+
+        monkeypatch.setenv(DATA_DIR_ENV_VAR, str(tmp_path))
+        before = {s.point["matrix"]: s for s in enumerate_specs(max_nnz=200)}
+        DatasetRegistry(data_dir=str(tmp_path)).materialize("relat3")
+        after = {s.point["matrix"]: s for s in enumerate_specs(max_nnz=200)}
+        assert before["relat3"].key() != after["relat3"].key()
+        assert before["lpi_itest6"].key() == after["lpi_itest6"].key()
+
+    def test_fig14_execute_rejects_midsweep_resolution_change(
+        self, tmp_path, monkeypatch
+    ):
+        # A file appearing between enumerate and execute must not be
+        # measured and cached under the 'synthetic' source label.
+        from repro.data import DATA_DIR_ENV_VAR
+        from repro.studies.fig14 import enumerate_specs, execute
+
+        monkeypatch.setenv(DATA_DIR_ENV_VAR, str(tmp_path))
+        spec = enumerate_specs(max_nnz=200)[0]
+        assert spec.point["source"] == "synthetic"
+        DatasetRegistry(data_dir=str(tmp_path)).materialize(
+            spec.point["matrix"]
+        )
+        with pytest.raises(RuntimeError, match="resolution changed"):
+            execute(spec)
+
+    def test_generate_stable_across_processes(self):
+        # Regression: generate() once mixed the salted hash() into the
+        # seed, so "deterministic" stand-ins differed per process.
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        code = (
+            "import hashlib; from repro.data.suitesparse import TABLE3, "
+            "generate; m = generate(TABLE3[2], seed=0); "
+            "print(hashlib.sha256(m.toarray().tobytes()).hexdigest())"
+        )
+        digests = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONPATH=os.path.abspath(src),
+                       PYTHONHASHSEED=hash_seed)
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env, check=True,
+                capture_output=True, text=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+
+def _identity_run(tensor, backend):
+    program = compile_expression("X(i,j) = B(i,j)")
+    return program.run({"B": tensor}, backend=backend)
+
+
+class TestDegenerateTensors:
+    """0-row/0-col, all-zero, and empty-fiber operands through every backend."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shape", [(0, 4), (4, 0), (0, 0)])
+    def test_zero_dimension_identity(self, backend, shape):
+        tensor = FiberTensor.from_coords(shape, [], [], name="B")
+        result = _identity_run(tensor, backend)
+        assert np.array_equal(result.to_numpy(), np.zeros(shape))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_zero_operand_spmv(self, backend):
+        program = compile_expression("x(i) = B(i,j) * c(j)")
+        B = FiberTensor.from_numpy(np.zeros((3, 4)), name="B")
+        c = FiberTensor.from_numpy(np.arange(1.0, 5.0), name="c")
+        result = program.run({"B": B, "c": c}, backend=backend)
+        assert np.array_equal(result.to_numpy(), np.zeros(3))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_compressed_fibers(self, backend):
+        # Rows 0 and 2 have no nonzeros: empty fibers via from_coords.
+        dense = np.zeros((4, 3))
+        dense[1, 2] = 2.0
+        dense[3, 0] = 3.0
+        tensor = FiberTensor.from_coords(
+            dense.shape, np.argwhere(dense != 0), dense[dense != 0], name="B"
+        )
+        result = _identity_run(tensor, backend)
+        assert np.array_equal(result.to_numpy(), dense)
+
+    @pytest.mark.parametrize("constructor", ["numpy", "mtx", "tns"])
+    def test_degenerate_sources_round_trip(self, constructor, tmp_path):
+        dense = np.zeros((3, 5))
+        dense[0, 4] = 1.5
+        if constructor == "numpy":
+            tensor = FiberTensor.from_numpy(dense)
+        elif constructor == "mtx":
+            path = write_mtx(str(tmp_path / "d.mtx"), dense)
+            tensor = load_tensor(path)
+            # scipy reference for the same file
+            assert np.array_equal(
+                read_mtx(path).to_scipy().toarray(), dense
+            )
+        else:
+            nz = np.argwhere(dense != 0)
+            coo = CooTensor(dense.shape, nz.astype(np.int64),
+                            dense[tuple(nz.T)])
+            tensor = load_tensor(write_tns(str(tmp_path / "d.tns"), coo))
+        assert np.array_equal(tensor.to_numpy(), dense)
+
+    def test_empty_mtx_round_trip(self, tmp_path):
+        path = tmp_path / "z.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 4 0\n"
+        )
+        coo = read_mtx(str(path))
+        assert coo.nnz == 0
+        tensor = coo.to_fibertensor()
+        assert np.array_equal(tensor.to_numpy(), np.zeros((3, 4)))
+
+
+class TestMtxEndToEnd:
+    """Acceptance: .mtx -> FiberTensor -> compiled SpMV -> scipy reference."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mtx_spmv_matches_scipy(self, backend, tmp_path):
+        matrix = generate(MatrixSpec("e2e", "test", (30, 40), 150), seed=5)
+        path = write_mtx(str(tmp_path / "e2e.mtx"), matrix)
+        tensor = load_tensor(path, name="B")
+        rng = np.random.default_rng(7)
+        c = rng.uniform(0.1, 1.0, size=40)
+        program = compile_expression("x(i) = B(i,j) * c(j)")
+        result = program.run(
+            {"B": tensor, "c": FiberTensor.from_numpy(c, name="c")},
+            backend=backend,
+        )
+        reference = matrix @ c
+        assert np.allclose(result.to_numpy(), reference)
+        if backend != "functional":
+            assert result.cycles > 0

@@ -1,5 +1,6 @@
 """Unit tests for the four level formats."""
 
+import numpy as np
 import pytest
 
 from repro.formats import (
@@ -30,8 +31,8 @@ class TestCompressedLevel:
 
     def test_from_fibers(self):
         level = CompressedLevel.from_fibers([[0, 1, 3], [2]])
-        assert level.seg == [0, 3, 4]
-        assert level.crd == [0, 1, 3, 2]
+        assert level.seg.tolist() == [0, 3, 4]
+        assert level.crd.tolist() == [0, 1, 3, 2]
 
     def test_locate_binary_search(self):
         level = CompressedLevel.from_fibers([[0, 2, 5, 9]])
@@ -119,6 +120,17 @@ class TestBitvectorLevel:
         level = BitvectorLevel.from_fibers([[0, 2, 6]], 8, 4)
         assert level.locate(0, 2) == 1
         assert level.locate(0, 3) is None
+
+    def test_word_width_beyond_uint64_rejected(self):
+        # Words are stored in a uint64 array; wider widths would silently
+        # drop high bits instead of packing them.
+        with pytest.raises(ValueError, match=r"bits_per_word"):
+            BitvectorLevel.from_fibers([[70]], 128, 128)
+        with pytest.raises(ValueError, match=r"bits_per_word"):
+            BitvectorLevel.from_arrays(
+                np.zeros(1, dtype=np.int64), np.array([70], dtype=np.int64),
+                1, 128, 128,
+            )
 
 
 class TestLinkedListLevel:

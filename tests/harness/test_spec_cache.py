@@ -35,6 +35,32 @@ class TestSpecKeys:
         spec = ExperimentSpec("fig11", {"k": 1})
         assert spec.key("v1") != spec.key("v2")
 
+    def test_numpy_scalar_points_canonicalise(self):
+        # np.linspace/np.arange sweeps put numpy scalars into points;
+        # they must serialise and hash identically to native values.
+        import numpy as np
+
+        native = ExperimentSpec("fig15", {"dim": 1024, "frac": 0.5})
+        numpied = ExperimentSpec(
+            "fig15", {"dim": np.int64(1024), "frac": np.float64(0.5)}
+        )
+        assert numpied.canonical() == native.canonical()
+        assert numpied.key() == native.key()
+
+    def test_numpy_array_point_canonicalises_as_list(self):
+        import numpy as np
+
+        from repro.harness.spec import canonical_json
+
+        assert canonical_json({"k": np.arange(3)}) == '{"k":[0,1,2]}'
+        assert canonical_json({"flag": np.bool_(True)}) == '{"flag":true}'
+
+    def test_non_serialisable_point_still_rejected(self):
+        from repro.harness.spec import canonical_json
+
+        with pytest.raises(TypeError):
+            canonical_json({"bad": object()})
+
     def test_code_version_env_override(self, monkeypatch):
         monkeypatch.setenv(CODE_VERSION_ENV_VAR, "testing-digest")
         assert code_version() == "testing-digest"
@@ -119,3 +145,15 @@ class TestResultCache:
         path = cache.store(ExperimentResult(spec, {"cycles": 42}))
         directory = os.path.dirname(path)
         assert [f for f in os.listdir(directory) if f.startswith(".tmp-")] == []
+
+    def test_numpy_payload_round_trips(self, cache):
+        # Studies routinely hand back np.int64 cycles / np.float64 stats;
+        # storing them must not crash and must reload as native values.
+        import numpy as np
+
+        spec = ExperimentSpec("fig11", {"size": np.int64(12)})
+        cache.store(ExperimentResult(
+            spec, {"cycles": np.int64(42), "frac": np.float64(0.25)}
+        ))
+        loaded = cache.load(spec)
+        assert loaded.payload == {"cycles": 42, "frac": 0.25}

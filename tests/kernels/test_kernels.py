@@ -82,6 +82,33 @@ class TestSpMV:
         assert np.allclose(x, B @ c)
         assert cycles > 0
 
+    def test_locate_accepts_prebuilt_fibertensor(self, rng):
+        from repro.formats import FiberTensor
+
+        B = random_sparse_matrix(10, 8, 0.3, seed=2)
+        c = rng.random(8)
+        bt = FiberTensor.from_numpy(B, name="B")
+        coords, vals, _ = spmv_locate(bt, c)
+        x = np.zeros(10)
+        x[coords] = vals
+        assert np.allclose(x, B @ c)
+
+    def test_locate_rejects_mismatched_operands(self, rng):
+        import pytest
+
+        from repro.formats import FiberTensor
+
+        cube = FiberTensor.from_numpy(np.ones((2, 2, 2)))
+        with pytest.raises(ValueError, match="order"):
+            spmv_locate(cube, rng.random(2))
+        B = FiberTensor.from_numpy(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="column dimension"):
+            spmv_locate(B, rng.random(2))
+        # Transposed storage would silently compute B.T @ c.
+        square = FiberTensor.from_numpy(np.ones((3, 3)), mode_order=(1, 0))
+        with pytest.raises(ValueError, match="mode_order"):
+            spmv_locate(square, rng.random(3))
+
     def test_locate_cheaper_than_coiterating_dense_vector(self, rng):
         B = random_sparse_matrix(24, 64, 0.03, seed=3)
         c = rng.random(64)
