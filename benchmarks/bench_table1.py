@@ -1,19 +1,22 @@
 """Benchmark: regenerate Table 1 (SAM primitive counts per expression)."""
 
 from repro.lang import TABLE1_COLUMNS
-from repro.studies.table1 import ENTRIES, KNOWN_DIVERGENCES, format_table1, run_table1
+from repro.studies.table1 import ENTRIES, format_table1, run_table1
 
 
 def test_table1_counts_match_paper(benchmark):
     rows = benchmark(run_table1)
     print()
     print(format_table1(rows))
-    for entry, _, counts, paper, match in rows:
-        divergences = KNOWN_DIVERGENCES.get(entry.name, {})
+    for entry, _, counts, paper, divergence, match in rows:
+        assert match, f"{entry.name}: row does not match the paper"
         for column in TABLE1_COLUMNS:
-            if column in divergences:
-                ours, theirs = divergences[column]
-                assert counts[column] == ours and paper[column] == theirs
+            if divergence is not None and column == divergence["column"]:
+                # Divergences are legitimate only when the executed
+                # differential check proved them immaterial.
+                assert divergence["redundant"], divergence
+                assert counts[column] == divergence["ours"]
+                assert paper[column] == divergence["paper"]
             else:
                 assert counts[column] == paper[column], (
                     f"{entry.name}: {column} = {counts[column]}, "

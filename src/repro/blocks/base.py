@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..streams.batch import BatchBuilder, BatchReader, TokenBatch, concat_batches
 from ..streams.channel import Channel
 from ..streams.token import DONE, is_data, is_done, is_stop
 
@@ -32,6 +33,16 @@ class Block:
     #: class-level primitive name used by graph analyses ("level_scanner", ...)
     primitive = "block"
 
+    #: batched-drain hook.  Subclasses that support the numpy token fast
+    #: path override this with a method ``drain_batch(self) -> (bool, int)``
+    #: following the :meth:`drain` contract (progress flag, token-operation
+    #: count, ``self._wait`` set while stalled).  ``None`` means the block
+    #: only has the scalar/generator path; the functional engine falls
+    #: back per block, so mixed graphs work.  A batched implementation may
+    #: permanently opt out mid-run by calling :meth:`_bail_batch`, which
+    #: requeues its held input and flips :attr:`_batch_ok`.
+    drain_batch = None
+
     def __init__(self, name: str = ""):
         self.name = name or type(self).__name__
         self.inputs: Dict[str, Channel] = {}
@@ -40,6 +51,9 @@ class Block:
         self.busy_cycles = 0
         self.stall_cycles = 0
         self._gen = None
+        #: False once a batched drain bailed out; the engine then sticks
+        #: to the scalar path for the rest of the run
+        self._batch_ok = True
         #: (channel, "data"|"space") while stalled in _get/_peek/_put, else
         #: None.  Event-driven backends read this after a stalled step to
         #: learn which channel must receive a push (data) or a pop (space)
@@ -121,6 +135,64 @@ class Block:
             ch.capacity is None for ch in self.outputs.values()
         )
 
+    # -- batched-drain helpers ---------------------------------------------
+    def _breader(self, channel: Channel) -> BatchReader:
+        """Cached input reader for *channel*, refilled from the queue."""
+        try:
+            readers = self._batch_readers
+        except AttributeError:
+            readers = self._batch_readers = {}
+        reader = readers.get(channel)
+        if reader is None:
+            reader = readers[channel] = BatchReader(channel)
+        reader.pull()
+        return reader
+
+    def _bbuilder(self, channel: Channel) -> BatchBuilder:
+        """Cached output builder for *channel* (flush before returning)."""
+        try:
+            builders = self._batch_builders
+        except AttributeError:
+            builders = self._batch_builders = {}
+        builder = builders.get(channel)
+        if builder is None:
+            builder = builders[channel] = BatchBuilder(channel)
+        return builder
+
+    def _batch_bail_safe(self) -> bool:
+        """Whether the scalar path can take over right now.
+
+        True by default: most blocks keep their mid-stream state in
+        instance attributes shared with the scalar path (or can requeue
+        it — see the overrides).  Blocks whose batched state cannot be
+        handed back (a half-folded repeater, a held dropper boundary)
+        return False, turning a mid-stream bail into a loud error
+        instead of silent corruption.
+        """
+        return True
+
+    def _bail_batch(self) -> Tuple[bool, int]:
+        """Opt out of batched draining for the rest of the run.
+
+        Requeues every reader's unconsumed window onto its channel and
+        delegates to the scalar :meth:`drain`.  Only safe at points where
+        the scalar path can take over — either before anything was
+        consumed, or when all mid-stream state lives in instance
+        attributes shared with the scalar path (guarded by
+        :meth:`_batch_bail_safe`; stateful blocks override it, or
+        override this method to requeue their carried state first).
+        """
+        if not self._batch_bail_safe():
+            raise BlockError(
+                f"{self.name}: cannot leave the batched plane mid-stream "
+                f"(unbatchable tokens arrived after stateful batched "
+                f"processing)"
+            )
+        for reader in getattr(self, "_batch_readers", {}).values():
+            reader.requeue()
+        self._batch_ok = False
+        return self.drain()
+
     # -- generator helpers -------------------------------------------------
     def _get(self, channel: Channel):
         """Pop the next token, yielding stall cycles while the input is empty."""
@@ -191,6 +263,20 @@ class StreamFeeder(Block):
         self._wait = None
         return bool(self.tokens), len(self.tokens)
 
+    def drain_batch(self) -> Tuple[bool, int]:
+        if self.finished:
+            return False, 0
+        try:
+            batch = TokenBatch.from_tokens(self.tokens)
+        except (TypeError, ValueError):
+            # Unbatchable payloads (tuples — uniform or ragged — and
+            # custom objects): scalar path.
+            return self._bail_batch()
+        self.out.push_batch(batch)
+        self.finished = True
+        self._wait = None
+        return bool(self.tokens), len(self.tokens)
+
 
 class RootFeeder(StreamFeeder):
     """Plays the ``D, 0`` root reference stream that starts tensor iteration."""
@@ -241,6 +327,29 @@ class Fanout(Block):
         self._wait = (in_, "data")
         return steps > 0, steps
 
+    def drain_batch(self) -> Tuple[bool, int]:
+        if self.finished:
+            return False, 0
+        reader = self._breader(self.in_)
+        if not reader.held:
+            self._wait = (self.in_, "data")
+            return False, 0
+        window = concat_batches(reader.held)
+        reader.held.clear()
+        head, tail = window.split_done()
+        for channel in self.outs:
+            channel.push_batch(head)
+        steps = len(head)
+        if head.ends_done:
+            if tail is not None:
+                # The generator stops at D and leaves trailing tokens.
+                self.in_.requeue_front(tail)
+            self.finished = True
+            self._wait = None
+            return True, steps
+        self._wait = (self.in_, "data")
+        return steps > 0, steps
+
 
 class Sink(Block):
     """Consumes a stream (one token per cycle) and records it."""
@@ -274,6 +383,27 @@ class Sink(Block):
                 self._wait = None
                 return True, steps
         self._wait = (in_, "data")
+        return steps > 0, steps
+
+    def drain_batch(self) -> Tuple[bool, int]:
+        if self.finished:
+            return False, 0
+        reader = self._breader(self.in_)
+        if not reader.held:
+            self._wait = (self.in_, "data")
+            return False, 0
+        window = concat_batches(reader.held)
+        reader.held.clear()
+        head, tail = window.split_done()
+        self.tokens.extend(head.tokens())
+        steps = len(head)
+        if head.ends_done:
+            if tail is not None:
+                self.in_.requeue_front(tail)
+            self.finished = True
+            self._wait = None
+            return True, steps
+        self._wait = (self.in_, "data")
         return steps > 0, steps
 
 

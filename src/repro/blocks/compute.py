@@ -15,6 +15,9 @@ from __future__ import annotations
 import operator
 from typing import Callable, Optional, Tuple
 
+import numpy as np
+
+from ..streams.batch import CODE_DONE, CODE_EMPTY, decode_code
 from ..streams.channel import Channel
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
 from .base import Block, BlockError
@@ -161,6 +164,120 @@ class ALU(Block):
                 )
             a = b = _NO_TOKEN
 
+    def drain_batch(self):
+        """Batched drain: apply the operator to aligned numpy runs.
+
+        Empty tokens densify to explicit zeros first (the ALU's N-as-zero
+        rule), so aligned streams reduce to matching data runs and
+        matching control tokens; the phantom-zero realignment of
+        ``_drain_phantoms`` shows up as a data front against a control
+        front and is resolved token-wise.
+        """
+        if self.finished:
+            return False, 0
+        rd_a = self._breader(self.in_a)
+        rd_b = self._breader(self.in_b)
+        rd_a.densify_empty(0.0)
+        rd_b.densify_empty(0.0)
+        out = self._bbuilder(self.out)
+        fn = self._fn
+        steps = 0
+
+        def park(channel):
+            nonlocal steps
+            steps += out.flush()
+            self._wait = (channel, "data")
+            return steps > 0, steps
+
+        # Whole-window fast path: when both windows carry the identical
+        # control structure (the aligned common case), the entire window
+        # reduces to one vectorized operation — no per-fiber iteration.
+        wa = rd_a.take_window()
+        wb = rd_b.take_window()
+        if wa is not None and wb is not None:
+            da, pa, ca = wa.remaining_arrays()
+            db, pb, cb = wb.remaining_arrays()
+            if (
+                len(da) == len(db)
+                and np.array_equal(pa, pb)
+                and np.array_equal(ca, cb)
+                and (len(ca) == 0 or (ca[:-1] >= 0).all())
+                and (len(ca) == 0 or ca[-1] >= CODE_DONE)
+            ):
+                out.data_with_ctrl(fn(da, db), pa, ca)
+                steps += 2 * (len(da) + len(ca))
+                if wa.ends_done:
+                    steps += out.flush()
+                    self.finished = True
+                    self._wait = None
+                    return True, steps
+                return park(self.in_a)
+            # Structures differ (phantom zeros, ragged arrival): hand the
+            # windows back and fall through to the token-accurate loop.
+            rd_a.held = [wa]
+            rd_b.held = [wb]
+        else:
+            if wa is not None:
+                rd_a.held = [wa]
+            if wb is not None:
+                rd_b.held = [wb]
+
+        while True:
+            ca = rd_a.front_ctrl()
+            cb = rd_b.front_ctrl()
+            la = rd_a.run_length() if ca is None else 0
+            lb = rd_b.run_length() if cb is None else 0
+            if ca is None and la == 0:
+                return park(self.in_a)
+            if cb is None and lb == 0:
+                return park(self.in_b)
+            if ca is None and cb is None:
+                m = min(la, lb)
+                a = rd_a.pop_run_upto(m)
+                b = rd_b.pop_run_upto(m)
+                out.data(fn(a, b))
+                steps += m
+                continue
+            if ca is not None and cb is not None:
+                rd_a.pop()
+                rd_b.pop()
+                steps += 2
+                if ca == CODE_DONE and cb == CODE_DONE:
+                    out.ctrl(CODE_DONE)
+                    steps += out.flush()
+                    self.finished = True
+                    self._wait = None
+                    return True, steps
+                if ca >= 0 and cb >= 0:
+                    if ca != cb:
+                        raise BlockError(
+                            f"{self.name}: misaligned stops "
+                            f"{decode_code(ca)!r} vs {decode_code(cb)!r}"
+                        )
+                    out.ctrl(ca)
+                    continue
+                raise BlockError(
+                    f"{self.name}: misaligned value streams "
+                    f"({decode_code(ca)!r} vs {decode_code(cb)!r})"
+                )
+            # Phantom-zero realignment (see _drain_phantoms): the data
+            # side must carry an exact zero, which is discarded.
+            if ca is None:
+                v = rd_a.pop()
+                other = decode_code(cb)
+                if v != 0.0:
+                    raise BlockError(
+                        f"{self.name}: misaligned value streams ({v!r} vs {other!r})"
+                    )
+            else:
+                v = rd_b.pop()
+                other = decode_code(ca)
+                if v != 0.0:
+                    raise BlockError(
+                        f"{self.name}: misaligned value streams ({other!r} vs {v!r})"
+                    )
+            steps += 1
+
 
 class ScalarALU(Block):
     """One-input ALU with a folded constant (e.g. ``alpha * v``)."""
@@ -214,6 +331,37 @@ class ScalarALU(Block):
         self._wait = (qa, "data")
         return steps > 0, steps
 
+    def drain_batch(self):
+        if self.finished:
+            return False, 0
+        reader = self._breader(self.in_a)
+        out = self._bbuilder(self.out)
+        fn, const = self._fn, self.constant
+        steps = 0
+        while True:
+            ctrl = reader.front_ctrl()
+            if ctrl is None:
+                run = reader.pop_run()
+                if len(run) == 0:
+                    steps += out.flush()
+                    self._wait = (self.in_a, "data")
+                    return steps > 0, steps
+                out.data(fn(run, const))
+                steps += len(run)
+                continue
+            reader.pop()
+            steps += 1
+            if ctrl == CODE_EMPTY:
+                out.scalar(fn(0.0, const))
+            elif ctrl == CODE_DONE:
+                out.ctrl(CODE_DONE)
+                steps += out.flush()
+                self.finished = True
+                self._wait = None
+                return True, steps
+            else:
+                out.ctrl(ctrl)
+
 
 class Exp(Block):
     """Pass-through unary map block (utility for custom element-wise ops)."""
@@ -255,3 +403,36 @@ class Exp(Block):
                 return True, steps
         self._wait = (qa, "data")
         return steps > 0, steps
+
+    def drain_batch(self):
+        """Batched drain; *fn* is applied per element (it is an arbitrary
+        Python callable, so vectorising it could change results)."""
+        if self.finished:
+            return False, 0
+        reader = self._breader(self.in_a)
+        out = self._bbuilder(self.out)
+        fn = self._fn
+        steps = 0
+        while True:
+            ctrl = reader.front_ctrl()
+            if ctrl is None:
+                run = reader.pop_run()
+                if len(run) == 0:
+                    steps += out.flush()
+                    self._wait = (self.in_a, "data")
+                    return steps > 0, steps
+                out.data(np.asarray([fn(v) for v in run.tolist()]))
+                steps += len(run)
+                continue
+            reader.pop()
+            steps += 1
+            if ctrl == CODE_EMPTY:
+                out.scalar(fn(0.0))
+            elif ctrl == CODE_DONE:
+                out.ctrl(CODE_DONE)
+                steps += out.flush()
+                self.finished = True
+                self._wait = None
+                return True, steps
+            else:
+                out.ctrl(ctrl)

@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
+from ..streams.batch import CODE_DONE, decode_code
 from ..streams.channel import Channel
 from ..streams.token import DONE, EMPTY, Stop, is_data, is_done, is_stop
 from .base import Block, BlockError
@@ -215,6 +218,110 @@ class Intersect(_Merger):
             for i, c in enumerate(crds):
                 if c < high:
                     self._tup[i] = None
+
+    def drain_batch(self):
+        """Batched drain: per-fiber sorted-set intersection with numpy.
+
+        Handles the two-sided, one-reference-each shape (the common
+        compiled form).  Each iteration needs one complete fiber chunk —
+        a data run plus its terminating control token — from both sides;
+        SAM's merge protocol keeps the two sides' control structures
+        identical, so fibers pair one-to-one and each pair intersects
+        with ``np.intersect1d`` (fiber coordinates are sorted and
+        unique).  Anything off-protocol (phantom zeros riding reference
+        ports, ragged crd/ref alignment, empty tokens) requeues the
+        window and falls back to the scalar drain permanently.
+        """
+        if self.finished:
+            return False, 0
+        if self.arity != 2 or len(self.sides[0].refs) != 1 or len(self.sides[1].refs) != 1:
+            return self._bail_batch()
+        readers = []
+        for side in self.sides:
+            readers.append(
+                (self._breader(side.crd), self._breader(side.refs[0]))
+            )
+        out_crd = self._bbuilder(self.out_crd)
+        out_a = self._bbuilder(self.out_refs[0][0])
+        out_b = self._bbuilder(self.out_refs[1][0])
+        steps = 0
+
+        def park(channel):
+            nonlocal steps
+            for builder in (out_crd, out_a, out_b):
+                steps += builder.flush()
+            self._wait = (channel, "data")
+            return steps > 0, steps
+
+        while True:
+            chunks = []
+            stall = None
+            clean = True
+            for i, (rd_c, rd_r) in enumerate(readers):
+                code_c = rd_c.next_ctrl_code()
+                if code_c is None:
+                    stall = self.sides[i].crd
+                    break
+                code_r = rd_r.next_ctrl_code()
+                if code_r is None:
+                    stall = self.sides[i].refs[0]
+                    break
+                if (
+                    code_c != code_r
+                    or code_c < CODE_DONE  # empty/repeat: scalar territory
+                    or rd_c.run_length() != rd_r.run_length()
+                ):
+                    clean = False
+                    break
+                chunks.append((rd_c, rd_r, code_c))
+            if stall is not None:
+                return park(stall)
+            if not clean:
+                for builder in (out_crd, out_a, out_b):
+                    builder.flush()
+                return self._bail_batch()
+            (rd_ca, rd_ra, code_a), (rd_cb, rd_rb, code_b) = chunks
+            crds_a = rd_ca.pop_run()
+            refs_a = rd_ra.pop_run()
+            crds_b = rd_cb.pop_run()
+            refs_b = rd_rb.pop_run()
+            rd_ca.pop()
+            rd_ra.pop()
+            rd_cb.pop()
+            rd_rb.pop()
+            steps += 2 * (len(crds_a) + len(crds_b)) + 4
+            if len(crds_a) and len(crds_b):
+                common, ia, ib = np.intersect1d(
+                    crds_a, crds_b, assume_unique=True, return_indices=True
+                )
+                if len(common):
+                    out_crd.data(common)
+                    out_a.data(refs_a[ia])
+                    out_b.data(refs_b[ib])
+            if code_a == CODE_DONE and code_b == CODE_DONE:
+                out_crd.ctrl(CODE_DONE)
+                out_a.ctrl(CODE_DONE)
+                out_b.ctrl(CODE_DONE)
+                for builder in (out_crd, out_a, out_b):
+                    steps += builder.flush()
+                self.finished = True
+                self._wait = None
+                return True, steps
+            if code_a != code_b:
+                raise BlockError(
+                    f"{self.name}: misaligned "
+                    + (
+                        f"stops [{decode_code(code_a)!r}, {decode_code(code_b)!r}]"
+                        if code_a >= 0 and code_b >= 0
+                        else f"control tokens "
+                        f"[{decode_code(code_a)!r}, {decode_code(code_b)!r}]"
+                    )
+                )
+            out_crd.ctrl(code_a)
+            out_a.ctrl(code_a)
+            out_b.ctrl(code_a)
+            self._side_fibers[0] += 1
+            self._side_fibers[1] += 1
 
     def _drain2(self):
         """Two-sided, one-reference-each fast path of the batched drain."""

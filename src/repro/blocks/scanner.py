@@ -28,7 +28,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..formats.level import Level
+from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
 from .base import Block, BlockError
@@ -182,6 +185,85 @@ class LevelScanner(Block):
                     out_ref.push(child)
                     steps += 1
             self._after_fiber = True
+
+    def drain_batch(self):
+        """Batched drain: emit whole fibers as numpy runs.
+
+        Needs a level with the array interface (compressed/dense); other
+        formats bail to the scalar path up front.  Skip hints are a
+        timing optimisation (they never change what survives the
+        downstream intersection), so — like the scalar ``drain`` — the
+        batched path ignores them.
+        """
+        if self.finished:
+            return False, 0
+        level = self.level
+        if not hasattr(level, "fiber_arrays"):
+            return self._bail_batch()
+        reader = self._breader(self.in_ref)
+        out_crd = self._bbuilder(self.out_crd)
+        out_ref = self._bbuilder(self.out_ref)
+        steps = 0
+
+        def flush() -> int:
+            nonlocal steps
+            steps += out_crd.flush()
+            steps += out_ref.flush()
+            return steps
+
+        while True:
+            if self._after_fiber:
+                # The closing stop's level depends on the next input token.
+                token = reader.peek()
+                if token is NO_TOKEN:
+                    self._wait = (self.in_ref, "data")
+                    return flush() > 0, steps
+                if is_stop(token):
+                    reader.pop()
+                    steps += 1
+                    level_code = token.level + 1
+                else:
+                    level_code = 0
+                out_crd.ctrl(level_code)
+                out_ref.ctrl(level_code)
+                self._fiber_index += 1
+                self._after_fiber = False
+                continue
+            ctrl = reader.front_ctrl()
+            if ctrl is None:
+                refs = reader.pop_run()
+                if len(refs) == 0:
+                    self._wait = (self.in_ref, "data")
+                    return flush() > 0, steps
+                steps += len(refs)
+                crds, children, lens = level.fiber_arrays(refs)
+                # Fibers before the last are followed by more data refs,
+                # so their closing stops are S0 at the cumulative breaks.
+                breaks = np.cumsum(lens[:-1])
+                zeros = np.zeros(len(breaks), dtype=np.int64)
+                out_crd.data_with_ctrl(crds, breaks, zeros)
+                out_ref.data_with_ctrl(children, breaks, zeros)
+                self._fiber_index += len(refs) - 1
+                self._after_fiber = True
+                continue
+            reader.pop()
+            steps += 1
+            if ctrl == CODE_DONE:
+                out_crd.ctrl(CODE_DONE)
+                out_ref.ctrl(CODE_DONE)
+                flush()
+                self.finished = True
+                self._wait = None
+                return True, steps
+            if ctrl == CODE_EMPTY:
+                # An empty input reference scans as an empty fiber.
+                self._after_fiber = True
+                continue
+            # Stray stop (region of empty fibers upstream): re-emit one
+            # level up to preserve the hierarchy.
+            out_crd.ctrl(ctrl + 1)
+            out_ref.ctrl(ctrl + 1)
+            self._fiber_index += 1
 
 
 class CompressedLevelScanner(LevelScanner):

@@ -35,11 +35,17 @@ class CooTensor:
 
     ``coords`` is ``(nnz, order)`` int64, zero-indexed; ``values`` is
     float64.  Use :meth:`to_fibertensor` (or ``scipy.sparse``) downstream.
+
+    ``field`` carries the Matrix Market value field the data came from
+    (``"real"``, ``"integer"`` or ``"pattern"``) so a read→write round
+    trip preserves it; data built from numpy/scipy infers ``"integer"``
+    from an integer dtype.
     """
 
     shape: Tuple[int, ...]
     coords: np.ndarray
     values: np.ndarray
+    field: str = "real"
 
     @property
     def order(self) -> int:
@@ -168,7 +174,7 @@ def read_mtx(path: str) -> CooTensor:
         raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
 
     _validate_coords(path, coords, (rows, cols))
-    return CooTensor((rows, cols), coords, values)
+    return CooTensor((rows, cols), coords, values, field=field)
 
 
 def read_tns(path: str, shape: Optional[Sequence[int]] = None) -> CooTensor:
@@ -225,29 +231,111 @@ def _validate_coords(path, coords: np.ndarray, shape: Sequence[int]) -> None:
         raise ValueError(f"{path}: coordinates outside shape {tuple(shape)}")
 
 
-def write_mtx(path: str, data, comment: str = "") -> str:
-    """Write a matrix as ``coordinate real general`` Matrix Market.
+def _open_write(path: str):
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="ascii")
+    return open(path, "w", encoding="ascii")
+
+
+#: Matrix Market value fields the writer (and reader) support
+MTX_FIELDS = ("real", "integer", "pattern")
+MTX_SYMMETRIES = ("general", "symmetric", "skew-symmetric")
+
+
+def _check_symmetry(coo: CooTensor, symmetry: str) -> np.ndarray:
+    """Validate *coo* against *symmetry*; returns the stored-entry mask.
+
+    Symmetric matrices store the lower triangle (``i >= j``),
+    skew-symmetric ones the strictly lower triangle (their diagonal is
+    zero by definition).  Entries must mirror exactly — value-for-value,
+    sign-flipped for skew — or a ``ValueError`` explains the offender.
+    """
+    i, j = coo.coords[:, 0], coo.coords[:, 1]
+    values = coo.values
+    order = np.lexsort((j, i))
+    mirror = np.lexsort((i, j))
+    want = values[mirror] if symmetry == "symmetric" else -values[mirror]
+    if (
+        not np.array_equal(i[order], j[mirror])
+        or not np.array_equal(j[order], i[mirror])
+        or not np.array_equal(values[order], want)
+    ):
+        raise ValueError(
+            f"matrix is not {symmetry}: entries do not mirror across the "
+            f"diagonal (write with symmetry='general' to store it expanded)"
+        )
+    if symmetry == "skew-symmetric" and np.any((i == j) & (values != 0)):
+        raise ValueError("skew-symmetric matrix with nonzero diagonal")
+    if symmetry == "skew-symmetric":
+        return i > j
+    return i >= j
+
+
+def write_mtx(
+    path: str,
+    data,
+    comment: str = "",
+    field: Optional[str] = None,
+    symmetry: str = "general",
+) -> str:
+    """Write a matrix as coordinate Matrix Market (``.gz`` supported).
 
     *data* may be a :class:`CooTensor`, a scipy sparse matrix, or a dense
-    numpy matrix.  Returns *path* (handy for the dataset registry).
+    numpy matrix.  ``field`` defaults to what the data carries: a
+    :class:`CooTensor`'s :attr:`~CooTensor.field` (so a read→write round
+    trip preserves ``integer``/``pattern``), or ``integer`` for
+    integer-dtype numpy/scipy input.  ``symmetry="symmetric"`` /
+    ``"skew-symmetric"`` verifies the mirror property and stores only the
+    (strictly) lower triangle; the default ``"general"`` stores every
+    entry expanded.  Returns *path* (handy for the dataset registry).
     """
     coo = _as_coo(data)
     if coo.order != 2:
         raise ValueError(f"write_mtx needs a matrix, got order {coo.order}")
-    with open(path, "w", encoding="ascii") as handle:
-        handle.write("%%MatrixMarket matrix coordinate real general\n")
+    if field is None:
+        field = coo.field
+    if field not in MTX_FIELDS:
+        raise ValueError(f"unsupported field {field!r} (choose from {MTX_FIELDS})")
+    if symmetry not in MTX_SYMMETRIES:
+        raise ValueError(
+            f"unsupported symmetry {symmetry!r} (choose from {MTX_SYMMETRIES})"
+        )
+    coords, values = coo.coords, coo.values
+    if field == "integer" and np.any(values != np.trunc(values)):
+        raise ValueError(
+            "field='integer' but the matrix holds non-integral values"
+        )
+    if field == "pattern" and np.any(values != 1.0):
+        # A pattern file stores structure only; writing one from data
+        # with real values would silently lose them on the round trip.
+        raise ValueError(
+            "field='pattern' but the matrix holds values other than 1 "
+            "(pattern files store structure only — write with "
+            "field='real' to keep the values)"
+        )
+    if symmetry != "general":
+        keep = _check_symmetry(coo, symmetry)
+        coords, values = coords[keep], values[keep]
+    with _open_write(path) as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate {field} {symmetry}\n")
         for line in comment.splitlines():
             handle.write(f"% {line}\n")
-        handle.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
-        body = np.column_stack([coo.coords + 1, coo.values.reshape(-1, 1)])
-        np.savetxt(handle, body, fmt="%d %d %.17g")
+        handle.write(f"{coo.shape[0]} {coo.shape[1]} {len(values)}\n")
+        if field == "pattern":
+            np.savetxt(handle, coords + 1, fmt="%d %d")
+        elif field == "integer":
+            body = np.column_stack([coords + 1, values.astype(np.int64)])
+            np.savetxt(handle, body, fmt="%d %d %d")
+        else:
+            body = np.column_stack([coords + 1, values.reshape(-1, 1)])
+            np.savetxt(handle, body, fmt="%d %d %.17g")
     return path
 
 
 def write_tns(path: str, data) -> str:
-    """Write a :class:`CooTensor` (any order) as a FROSTT ``.tns`` file."""
+    """Write a :class:`CooTensor` (any order) as FROSTT ``.tns`` (``.gz`` ok)."""
     coo = _as_coo(data)
-    with open(path, "w", encoding="ascii") as handle:
+    with _open_write(path) as handle:
         handle.write(f"# shape: {' '.join(str(s) for s in coo.shape)}\n")
         fmt = " ".join(["%d"] * coo.order + ["%.17g"])
         body = np.column_stack([coo.coords + 1, coo.values.reshape(-1, 1)])
@@ -264,10 +352,13 @@ def _as_coo(data) -> CooTensor:
             tuple(int(s) for s in coo.shape),
             np.column_stack([coo.row, coo.col]).astype(np.int64),
             np.asarray(coo.data, dtype=np.float64),
+            field="integer" if np.asarray(coo.data).dtype.kind in "iu" else "real",
         )
-    dense = np.asarray(data, dtype=float)
+    dense = np.asarray(data)
+    field = "integer" if dense.dtype.kind in "iu" else "real"
+    dense = dense.astype(float)
     coords, values = dense_nonzeros(dense)
-    return CooTensor(dense.shape, coords, values)
+    return CooTensor(dense.shape, coords, values, field=field)
 
 
 def load_tensor(path: str, formats=None, mode_order=None, name: Optional[str] = None,

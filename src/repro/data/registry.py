@@ -23,6 +23,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .io import read_mtx, write_mtx
 from .suitesparse import TABLE3, MatrixSpec, generate
 
+#: datasets beyond the paper's Table 3, used by the scale benchmarks and
+#: the batched-data-plane CI smoke (studies iterate TABLE3 directly, so
+#: these never change study payloads).  torso2 is the canonical
+#: ~1e6-nnz SuiteSparse matrix; until the real file is dropped into the
+#: data dir, the deterministic synthetic stand-in is used.
+EXTRA_DATASETS: Tuple[MatrixSpec, ...] = (
+    MatrixSpec("torso2", "2D/3D Problem", (115967, 115967), 1033473),
+)
+
 #: environment override for the default dataset directory
 DATA_DIR_ENV_VAR = "REPRO_DATA_DIR"
 
@@ -40,7 +49,7 @@ class DatasetRegistry:
     def __init__(
         self,
         data_dir: Optional[str] = None,
-        specs: Sequence[MatrixSpec] = TABLE3,
+        specs: Sequence[MatrixSpec] = TABLE3 + EXTRA_DATASETS,
     ):
         self.data_dir = data_dir or default_data_dir()
         self._specs: Dict[str, MatrixSpec] = {spec.name: spec for spec in specs}

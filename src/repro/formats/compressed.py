@@ -82,6 +82,46 @@ class CompressedLevel(Level):
         pos = bisect_left(self._crd_as_list(), coordinate, start + position, stop)
         return pos - start
 
+    # -- batched data plane --------------------------------------------------
+    def fiber_arrays(self, refs: np.ndarray):
+        """Vectorized :meth:`fiber` over a run of references.
+
+        Returns ``(crds, children, lens)``: the concatenated coordinates
+        and child references of every requested fiber, plus per-fiber
+        lengths (so callers can place the fiber-separating stop tokens).
+        """
+        refs = np.asarray(refs, dtype=np.int64)
+        starts = self.seg[refs]
+        lens = self.seg[refs + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, lens
+        # Global position p of local index q within fiber i is
+        # starts[i] + q; build it as arange(total) rebased per fiber.
+        before = np.concatenate([[0], np.cumsum(lens[:-1])])
+        children = np.arange(total, dtype=np.int64) + np.repeat(starts - before, lens)
+        return self.crd[children], children, lens
+
+    def locate_arrays(self, ref: int, coordinates: np.ndarray):
+        """Vectorized :meth:`locate` of many coordinates in one fiber.
+
+        Returns ``(found, hits)``: candidate child references and a hit
+        mask (``found`` entries are only meaningful where ``hits``).
+        """
+        start, stop = int(self.seg[ref]), int(self.seg[ref + 1])
+        coordinates = np.asarray(coordinates, dtype=np.int64)
+        width = stop - start
+        if width == 0:
+            return np.zeros(len(coordinates), dtype=np.int64), np.zeros(
+                len(coordinates), dtype=bool
+            )
+        window = self.crd[start:stop]
+        pos = np.searchsorted(window, coordinates)
+        hits = pos < width
+        hits &= window[np.minimum(pos, width - 1)] == coordinates
+        return start + pos, hits
+
     def fiber_size(self, ref: int) -> int:
         return int(self.seg[ref + 1] - self.seg[ref])
 

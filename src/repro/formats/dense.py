@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from .level import Level
 
 
@@ -38,6 +40,23 @@ class DenseLevel(Level):
 
     def skip_to(self, ref: int, position: int, coordinate: int) -> int:
         return max(position, min(coordinate, self.size))
+
+    # -- batched data plane --------------------------------------------------
+    def fiber_arrays(self, refs: np.ndarray):
+        """Vectorized :meth:`fiber`: every fiber holds 0..size-1."""
+        refs = np.asarray(refs, dtype=np.int64)
+        size = self.size
+        coords = np.arange(size, dtype=np.int64)
+        crds = np.tile(coords, len(refs))
+        children = (refs[:, None] * size + coords).ravel()
+        lens = np.full(len(refs), size, dtype=np.int64)
+        return crds, children, lens
+
+    def locate_arrays(self, ref: int, coordinates: np.ndarray):
+        """Vectorized :meth:`locate`: in-range coordinates always hit."""
+        coordinates = np.asarray(coordinates, dtype=np.int64)
+        hits = (coordinates >= 0) & (coordinates < self.size)
+        return ref * self.size + coordinates, hits
 
     def fiber_size(self, ref: int) -> int:
         return self.size

@@ -130,9 +130,11 @@ class BoundGraph:
         self,
         max_cycles: Optional[int] = None,
         backend: Optional[str] = None,
+        max_resumptions: Optional[int] = None,
     ) -> SimulationReport:
         self._report = run_blocks(
-            self.blocks, max_cycles=max_cycles, backend=backend
+            self.blocks, max_cycles=max_cycles, backend=backend,
+            max_resumptions=max_resumptions,
         )
         return self._report
 

@@ -70,9 +70,15 @@ class GraphBuilder:
         self,
         max_cycles: Optional[int] = None,
         backend: Optional[str] = None,
+        max_resumptions: Optional[int] = None,
     ) -> SimulationReport:
-        """Simulate the collected graph on the chosen backend."""
-        return run_blocks(self.blocks, max_cycles=max_cycles, backend=backend)
+        """Simulate the collected graph on the chosen backend.
+
+        ``max_resumptions`` is the functional backends' explicit
+        token-operation budget (``max_cycles`` is advisory there).
+        """
+        return run_blocks(self.blocks, max_cycles=max_cycles, backend=backend,
+                          max_resumptions=max_resumptions)
 
     def __repr__(self) -> str:
         return (

@@ -107,6 +107,7 @@ class CompiledProgram:
         record: Tuple[str, ...] = (),
         max_cycles: Optional[int] = None,
         backend: Optional[str] = None,
+        max_resumptions: Optional[int] = None,
     ) -> RunResult:
         """Bind the graph over *tensors*, simulate, and assemble the result.
 
@@ -114,11 +115,15 @@ class CompiledProgram:
         plain floats for scalars); ``record`` lists ``"node.port"`` stream
         identifiers whose full token history should be captured for
         stream analyses (Figure 14); ``backend`` picks the simulation
-        engine (see :mod:`repro.sim.backends`).
+        engine (see :mod:`repro.sim.backends`).  ``max_cycles`` budgets
+        the timed backends; ``max_resumptions`` is the functional
+        backends' explicit token-operation budget (``max_cycles`` is
+        advisory there).
         """
         prepared = self._prepare_inputs(tensors)
         bound = bind(self.graph, prepared, record=record)
-        report = bound.run(max_cycles=max_cycles, backend=backend)
+        report = bound.run(max_cycles=max_cycles, backend=backend,
+                           max_resumptions=max_resumptions)
         vals_writer = bound.writers[self.info.vals_writer_node]
         if not self.info.lhs_vars:
             value = vals_writer.vals[0] if vals_writer.vals else 0.0

@@ -384,6 +384,20 @@ class _Lowerer:
 
     # -- construction (section 3.7) -----------------------------------------
     def _lower_construction(self, val: Handle, crd_final: Dict[str, Handle]) -> LoweredInfo:
+        # Dropper-insertion rule: one *value* dropper at the innermost
+        # result variable when any scalar reduction (or a post-compute
+        # union) can surface explicit zeros, then a cascade of *fiber*
+        # droppers outward over every result level that can vanish.  The
+        # paper's hand-derived graphs instead place a value dropper after
+        # *each* scalar reducer, which adds one dropper per chained
+        # scalar-reducer boundary (MTTKRP: paper 3 vs our 2).  Between
+        # two chained scalar reducers the dropper feeds nothing but the
+        # outer sum, and dropping zero-valued pairs cannot change a sum —
+        # a claim the table1 study *executes* rather than assumes
+        # (``repro.studies.table1.crd_drop_differential`` records the
+        # boundary streams, simulates the paper's extra dropper, and
+        # asserts the downstream reduction is bit-identical).  We keep
+        # the leaner rule; the differential check guards it per run.
         writer_nodes: Dict[str, str] = {}
         if self.lhs_vars and not self.matrix_covered:
             vanish = set()

@@ -22,12 +22,13 @@ from typing import Dict, Iterable, Optional, Type, Union
 from .base import DeadlockError, Engine, SimulationReport
 from .cycle import CycleEngine
 from .event import EventEngine
-from .functional import FunctionalEngine
+from .functional import FunctionalEngine, SequentialFunctionalEngine
 
 BACKENDS: Dict[str, Type[Engine]] = {
     CycleEngine.backend: CycleEngine,
     EventEngine.backend: EventEngine,
     FunctionalEngine.backend: FunctionalEngine,
+    SequentialFunctionalEngine.backend: SequentialFunctionalEngine,
 }
 
 #: environment variable consulted when no backend is given explicitly
@@ -64,9 +65,24 @@ def run_blocks(
     blocks: Iterable,
     max_cycles: Optional[int] = None,
     backend: Union[str, Type[Engine], None] = None,
+    max_resumptions: Optional[int] = None,
 ) -> SimulationReport:
-    """Convenience wrapper: build an engine and run it."""
-    return make_engine(blocks, backend=backend).run(max_cycles=max_cycles)
+    """Convenience wrapper: build an engine and run it.
+
+    ``max_resumptions`` is the functional backends' explicit
+    token-operation budget (``max_cycles`` is advisory there — see
+    :mod:`repro.sim.backends.functional`); the timed backends budget in
+    cycles and reject a resumption budget.
+    """
+    engine = make_engine(blocks, backend=backend)
+    if isinstance(engine, FunctionalEngine):
+        return engine.run(max_cycles=max_cycles, max_resumptions=max_resumptions)
+    if max_resumptions is not None:
+        raise ValueError(
+            f"max_resumptions is a functional-backend budget; the "
+            f"{engine.backend!r} backend budgets in cycles (max_cycles)"
+        )
+    return engine.run(max_cycles=max_cycles)
 
 
 __all__ = [
@@ -77,6 +93,7 @@ __all__ = [
     "Engine",
     "EventEngine",
     "FunctionalEngine",
+    "SequentialFunctionalEngine",
     "SimulationReport",
     "get_backend",
     "make_engine",

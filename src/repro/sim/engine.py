@@ -15,6 +15,7 @@ from .backends import (
     Engine,
     EventEngine,
     FunctionalEngine,
+    SequentialFunctionalEngine,
     SimulationReport,
     get_backend,
     make_engine,
@@ -29,6 +30,7 @@ __all__ = [
     "Engine",
     "EventEngine",
     "FunctionalEngine",
+    "SequentialFunctionalEngine",
     "SimulationReport",
     "get_backend",
     "make_engine",

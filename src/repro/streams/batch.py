@@ -1,0 +1,554 @@
+"""Batched token runs: the numpy-backed fast path of the data plane.
+
+A :class:`TokenBatch` encodes a contiguous slice of a SAM stream as two
+parallel structures:
+
+* ``data`` — a 1-D numpy array (int64 for coordinate/reference streams,
+  float64 for value streams) holding the *data* tokens in arrival order;
+* ``ctrl_pos`` / ``ctrl_code`` — int64 arrays placing each *control*
+  token in the stream: the control token ``ctrl_code[i]`` arrives after
+  the first ``ctrl_pos[i]`` data tokens.  Codes ``>= 0`` are stop levels
+  (``Stop(code)``); the negative codes below encode ``D``, ``N`` and the
+  repeater's ``R`` signal.
+
+Consecutive control tokens share a position and keep their array order,
+so any token sequence round-trips exactly.  Batches are *immutable* once
+built — consumers advance private cursors, never touch the arrays —
+which lets a fanout hand the same arrays to several consumers.
+
+Blocks process whole ``data`` segments between control tokens with numpy
+instead of resuming a generator once per token; see
+:meth:`~repro.blocks.base.Block.drain_batch` for the block-side protocol
+and :mod:`repro.sim.backends.functional` for the engine that prefers it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .token import DONE, EMPTY, Stop, is_stop
+
+#: control codes (ctrl_code entries); stop tokens use their level (>= 0)
+CODE_DONE = -1
+CODE_EMPTY = -2
+CODE_REPEAT = -3
+
+#: the repeater's ``R`` signal (imported here to avoid a blocks dependency)
+_REPEAT_TOKEN = "R"
+
+#: sentinel distinct from every token (None is not a token either, but an
+#: explicit sentinel keeps that invariant visible at call sites)
+NO_TOKEN = object()
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+
+class UnbatchableTokens(TypeError):
+    """A stream carries tokens the numpy plane cannot represent.
+
+    Raised when batching tuples (skip hints) or other structured
+    payloads; the queue the tokens came from is left intact, so the
+    functional engine catches this and drops the consumer onto the
+    scalar plane (:meth:`~repro.blocks.base.Block._bail_batch`).
+    """
+
+
+def encode_token(token) -> Optional[int]:
+    """Control code for *token*, or None if it is a data token."""
+    if is_stop(token):
+        return token.level
+    if token is DONE:
+        return CODE_DONE
+    if token is EMPTY:
+        return CODE_EMPTY
+    if isinstance(token, str) and token == _REPEAT_TOKEN:
+        return CODE_REPEAT
+    return None
+
+
+def decode_code(code: int):
+    """The scalar token a control code stands for."""
+    if code >= 0:
+        return Stop(code)
+    if code == CODE_DONE:
+        return DONE
+    if code == CODE_EMPTY:
+        return EMPTY
+    if code == CODE_REPEAT:
+        return _REPEAT_TOKEN
+    raise ValueError(f"unknown control code {code}")
+
+
+class TokenBatch:
+    """A numpy-backed run of stream tokens (see module docstring).
+
+    The constructor takes pre-validated arrays; use :meth:`from_tokens`
+    to build from a scalar token sequence.  ``_d``/``_c`` are consumption
+    cursors used when a batch is popped token-by-token by a scalar
+    consumer (mixed batch/generator graphs).
+    """
+
+    __slots__ = ("data", "ctrl_pos", "ctrl_code", "_d", "_c")
+
+    def __init__(self, data: np.ndarray, ctrl_pos: np.ndarray, ctrl_code: np.ndarray):
+        self.data = data
+        self.ctrl_pos = ctrl_pos
+        self.ctrl_code = ctrl_code
+        self._d = 0
+        self._c = 0
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_tokens(cls, tokens: Iterable) -> "TokenBatch":
+        data: List = []
+        cpos: List[int] = []
+        ccode: List[int] = []
+        for token in tokens:
+            code = encode_token(token)
+            if code is None:
+                data.append(token)
+            else:
+                cpos.append(len(data))
+                ccode.append(code)
+        return cls(
+            _as_data_array(data),
+            np.asarray(cpos, dtype=np.int64),
+            np.asarray(ccode, dtype=np.int64),
+        )
+
+    def view(self) -> "TokenBatch":
+        """A fresh-cursor consumer view of the *remaining* tokens."""
+        return TokenBatch(*self.remaining_arrays())
+
+    def remaining_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(data, ctrl_pos, ctrl_code) for everything not yet consumed."""
+        if self._d == 0 and self._c == 0:
+            return self.data, self.ctrl_pos, self.ctrl_code
+        return (
+            self.data[self._d:],
+            self.ctrl_pos[self._c:] - self._d,
+            self.ctrl_code[self._c:],
+        )
+
+    # -- sizing and statistics -----------------------------------------------
+    def __len__(self) -> int:
+        """Number of *remaining* tokens (data + control)."""
+        return (len(self.data) - self._d) + (len(self.ctrl_code) - self._c)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._d >= len(self.data) and self._c >= len(self.ctrl_code)
+
+    def counts(self) -> Tuple[int, int, int, int]:
+        """(data, stop, done, empty) counts over the *full* batch.
+
+        ``R`` repeat signals count as data, matching the scalar
+        :meth:`~repro.streams.channel.Channel.push` classification.
+        """
+        code = self.ctrl_code
+        n_stop = int((code >= 0).sum())
+        n_done = int((code == CODE_DONE).sum())
+        n_empty = int((code == CODE_EMPTY).sum())
+        n_data = len(self.data) + (len(code) - n_stop - n_done - n_empty)
+        return n_data, n_stop, n_done, n_empty
+
+    @property
+    def ends_done(self) -> bool:
+        return len(self.ctrl_code) > 0 and self.ctrl_code[-1] == CODE_DONE
+
+    def split_done(self) -> Tuple["TokenBatch", Optional["TokenBatch"]]:
+        """Split the remaining tokens at the first ``D``.
+
+        Returns ``(head, tail)`` where *head* ends with the first done
+        token (or holds everything if there is none) and *tail* is the
+        remainder (None when nothing follows the done token).
+        """
+        data, cpos, ccode = self.remaining_arrays()
+        hits = np.flatnonzero(ccode == CODE_DONE)
+        if hits.size == 0:
+            return TokenBatch(data, cpos, ccode), None
+        i = int(hits[0])
+        pos = int(cpos[i])
+        head = TokenBatch(data[:pos], cpos[: i + 1], ccode[: i + 1])
+        tail = TokenBatch(data[pos:], cpos[i + 1:] - pos, ccode[i + 1:])
+        return head, (tail if not tail.exhausted else None)
+
+    # -- scalar consumption (mixed graphs) -----------------------------------
+    def peek_front(self):
+        d, c = self._d, self._c
+        if c < len(self.ctrl_code) and self.ctrl_pos[c] <= d:
+            return decode_code(int(self.ctrl_code[c]))
+        if d < len(self.data):
+            return self.data[d].item()
+        return NO_TOKEN
+
+    def pop_front(self):
+        d, c = self._d, self._c
+        if c < len(self.ctrl_code) and self.ctrl_pos[c] <= d:
+            self._c = c + 1
+            return decode_code(int(self.ctrl_code[c]))
+        if d < len(self.data):
+            self._d = d + 1
+            return self.data[d].item()
+        raise IndexError("pop from an exhausted TokenBatch")
+
+    # -- expansion -----------------------------------------------------------
+    def tokens(self) -> List:
+        """Remaining tokens as scalars (test/recording convenience)."""
+        data, cpos, ccode = self.remaining_arrays()
+        out: List = []
+        d = 0
+        data_list = data.tolist()
+        for pos, code in zip(cpos.tolist(), ccode.tolist()):
+            while d < pos:
+                out.append(data_list[d])
+                d += 1
+            out.append(decode_code(code))
+        out.extend(data_list[d:])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBatch(data={len(self.data) - self._d}, "
+            f"ctrl={len(self.ctrl_code) - self._c})"
+        )
+
+
+def _as_data_array(values: List) -> np.ndarray:
+    if not values:
+        return _EMPTY_F64
+    try:
+        arr = np.asarray(values)
+    except ValueError as exc:  # ragged tuples and the like
+        raise UnbatchableTokens(f"cannot batch data tokens: {exc}") from exc
+    if arr.ndim != 1 or arr.dtype.kind not in "if":
+        # Tuples (skip hints) and other structured payloads stay on the
+        # scalar plane — callers catch this and fall back.
+        raise UnbatchableTokens(
+            f"cannot batch data tokens of shape {arr.shape} dtype {arr.dtype}"
+        )
+    if arr.dtype.kind == "i":
+        return arr.astype(np.int64, copy=False)
+    return arr.astype(np.float64, copy=False)
+
+
+def data_only_batch(data: np.ndarray) -> TokenBatch:
+    """A batch of pure data tokens (no control tokens at all).
+
+    Used by stateful blocks bailing off the batched plane to hand a
+    carried-but-unprocessed data run back to its channel.
+    """
+    return TokenBatch(np.asarray(data), _EMPTY_I64, _EMPTY_I64)
+
+
+def concat_batches(batches: List[TokenBatch]) -> TokenBatch:
+    """Concatenate the remaining contents of *batches* into one batch."""
+    if len(batches) == 1:
+        return batches[0].view()
+    datas, cposs, ccodes = [], [], []
+    offset = 0
+    for batch in batches:
+        data, cpos, ccode = batch.remaining_arrays()
+        datas.append(data)
+        cposs.append(cpos + offset)
+        ccodes.append(ccode)
+        offset += len(data)
+    return TokenBatch(
+        _concat_data(datas),
+        np.concatenate(cposs) if cposs else _EMPTY_I64,
+        np.concatenate(ccodes) if ccodes else _EMPTY_I64,
+    )
+
+
+def _concat_data(parts: List[np.ndarray]) -> np.ndarray:
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        return _EMPTY_F64
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+class BatchReader:
+    """Block-side input cursor over a channel carrying batches.
+
+    A reader *takes* whatever the channel holds (scalar tokens are
+    coalesced into batches by the channel) and serves it as data runs and
+    control tokens, holding leftovers between ``drain_batch`` calls.
+    :meth:`requeue` pushes the unconsumed remainder back onto the front
+    of the channel so a block can bail out to its scalar drain path.
+    """
+
+    __slots__ = ("channel", "held")
+
+    def __init__(self, channel):
+        self.channel = channel
+        self.held: List[TokenBatch] = []
+
+    # -- window management ---------------------------------------------------
+    def pull(self) -> None:
+        """Move everything currently queued on the channel into the window."""
+        batch = self.channel.take_batch()
+        if batch is not None and not batch.exhausted:
+            self.held.append(batch)
+
+    def requeue(self) -> None:
+        """Return the unconsumed window to the channel (front, stats-free)."""
+        while self.held:
+            batch = self.held.pop()
+            if not batch.exhausted:
+                self.channel.requeue_front(batch)
+
+    def _trim(self) -> None:
+        while self.held and self.held[0].exhausted:
+            self.held.pop(0)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self.held)
+
+    # -- scalar access -------------------------------------------------------
+    def peek(self):
+        self._trim()
+        for batch in self.held:
+            token = batch.peek_front()
+            if token is not NO_TOKEN:
+                return token
+        return NO_TOKEN
+
+    def pop(self):
+        self._trim()
+        for batch in self.held:
+            if not batch.exhausted:
+                return batch.pop_front()
+        raise IndexError("pop from an empty BatchReader")
+
+    # -- run access ----------------------------------------------------------
+    def front_ctrl(self) -> Optional[int]:
+        """The control code at the front, or None (data or empty window)."""
+        self._trim()
+        for batch in self.held:
+            if not batch.exhausted:
+                d, c = batch._d, batch._c
+                if c < len(batch.ctrl_code) and batch.ctrl_pos[c] <= d:
+                    return int(batch.ctrl_code[c])
+                return None
+        return None
+
+    def pop_run(self) -> np.ndarray:
+        """Pop the maximal data run at the front (may span held batches).
+
+        Returns an empty array when the front is a control token or the
+        window is empty.
+        """
+        parts: List[np.ndarray] = []
+        self._trim()
+        for batch in self.held:
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            stop_at = int(batch.ctrl_pos[c]) if c < len(batch.ctrl_code) else len(batch.data)
+            if stop_at > d:
+                parts.append(batch.data[d:stop_at])
+                batch._d = stop_at
+            if c < len(batch.ctrl_code):
+                break  # a control token interrupts the run
+        self._trim()
+        return _concat_data(parts)
+
+    def run_length(self) -> int:
+        """Length of the data run at the front without consuming it."""
+        total = 0
+        for batch in self.held:
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            stop_at = int(batch.ctrl_pos[c]) if c < len(batch.ctrl_code) else len(batch.data)
+            total += stop_at - d
+            if c < len(batch.ctrl_code):
+                break
+        return total
+
+    def pop_run_upto(self, limit: int) -> np.ndarray:
+        """Pop at most *limit* tokens of the data run at the front."""
+        parts: List[np.ndarray] = []
+        need = limit
+        self._trim()
+        for batch in self.held:
+            if need <= 0:
+                break
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            stop_at = int(batch.ctrl_pos[c]) if c < len(batch.ctrl_code) else len(batch.data)
+            take = min(stop_at - d, need)
+            if take > 0:
+                parts.append(batch.data[d:d + take])
+                batch._d = d + take
+                need -= take
+            if batch._d < stop_at or c < len(batch.ctrl_code):
+                break
+        self._trim()
+        return _concat_data(parts)
+
+    def take_window(self) -> Optional[TokenBatch]:
+        """Consume and return the whole held window as one batch."""
+        self._trim()
+        if not self.held:
+            return None
+        window = concat_batches(self.held)
+        self.held = []
+        return window
+
+    def has_ctrl(self) -> bool:
+        """True when any control token remains in the window."""
+        for batch in self.held:
+            if batch._c < len(batch.ctrl_code):
+                return True
+        return False
+
+    def next_ctrl_code(self) -> Optional[int]:
+        """Code of the first control token in the window (None if none).
+
+        This is the control token that terminates the front data run,
+        however long that run is.
+        """
+        for batch in self.held:
+            if batch._c < len(batch.ctrl_code):
+                return int(batch.ctrl_code[batch._c])
+        return None
+
+    def pop_repeat_run(self) -> int:
+        """Pop consecutive ``R`` codes at the front; returns how many."""
+        count = 0
+        self._trim()
+        for batch in self.held:
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            code, pos = batch.ctrl_code, batch.ctrl_pos
+            n = len(code)
+            # Only control tokens at the current data cursor qualify.
+            while c < n and pos[c] <= d and code[c] == CODE_REPEAT:
+                c += 1
+                count += 1
+            batch._c = c
+            if c < n and pos[c] <= d:
+                break  # a non-repeat control token ends the run
+            if d < len(batch.data):
+                break  # a data token ends the run
+        self._trim()
+        return count
+
+    def densify_empty(self, zero) -> None:
+        """Rewrite ``N`` control tokens in the window as data *zero*.
+
+        Used by value-stream consumers (ALUs, reducers, droppers) for
+        which the empty token reads as an explicit zero.
+        """
+        for i, batch in enumerate(self.held):
+            data, cpos, ccode = batch.remaining_arrays()
+            empty = ccode == CODE_EMPTY
+            if not empty.any():
+                continue
+            new_data = np.insert(
+                np.asarray(data, dtype=np.float64), cpos[empty], zero
+            )
+            keep = ~empty
+            # Each kept control token shifts right by the number of
+            # empties that came before it in the control array.
+            shift = np.cumsum(empty) - empty
+            self.held[i] = TokenBatch(
+                new_data, (cpos + shift)[keep], ccode[keep]
+            )
+
+
+class BatchBuilder:
+    """Accumulates output tokens and flushes them as one batch per drain.
+
+    All appends are positional: data arrays extend the data run, control
+    codes land after whatever data has been appended so far.
+    """
+
+    __slots__ = ("channel", "_data", "_n", "_cpos", "_ccode")
+
+    def __init__(self, channel):
+        self.channel = channel
+        self._data: List[np.ndarray] = []
+        self._n = 0
+        self._cpos: List[np.ndarray] = []
+        self._ccode: List[np.ndarray] = []
+
+    def data(self, arr: np.ndarray) -> None:
+        if len(arr):
+            self._data.append(arr)
+            self._n += len(arr)
+
+    def scalar(self, value) -> None:
+        self._data.append(np.asarray([value]))
+        self._n += 1
+
+    def ctrl(self, code: int, count: int = 1) -> None:
+        self._cpos.append(np.full(count, self._n, dtype=np.int64))
+        self._ccode.append(np.full(count, code, dtype=np.int64))
+
+    def token(self, token) -> None:
+        code = encode_token(token)
+        if code is None:
+            self.scalar(token)
+        else:
+            self.ctrl(code)
+
+    def data_with_ctrl(self, arr: np.ndarray, cpos: np.ndarray, ccode: np.ndarray) -> None:
+        """Append a data run with control tokens at relative positions."""
+        if len(cpos):
+            self._cpos.append(np.asarray(cpos, dtype=np.int64) + self._n)
+            self._ccode.append(np.asarray(ccode, dtype=np.int64))
+        self.data(arr)
+
+    def batch(self, batch: TokenBatch) -> None:
+        """Append the remaining contents of a TokenBatch."""
+        data, cpos, ccode = batch.remaining_arrays()
+        self.data_with_ctrl(data, cpos, ccode)
+
+    @property
+    def pending(self) -> int:
+        return self._n + sum(len(c) for c in self._ccode)
+
+    def flush(self) -> int:
+        """Push everything accumulated as one TokenBatch; returns token count."""
+        count = self.pending
+        if count == 0:
+            return 0
+        batch = TokenBatch(
+            _concat_data(self._data),
+            np.concatenate(self._cpos) if self._cpos else _EMPTY_I64,
+            np.concatenate(self._ccode) if self._ccode else _EMPTY_I64,
+        )
+        self._data, self._cpos, self._ccode = [], [], []
+        self._n = 0
+        self.channel.push_batch(batch)
+        return count
+
+
+def sequential_segment_sums(data: np.ndarray, starts: np.ndarray,
+                            lens: np.ndarray) -> np.ndarray:
+    """Per-segment left-to-right sums, bit-identical to a scalar loop.
+
+    Segment *i* covers ``data[starts[i] : starts[i] + lens[i]]``.  Each
+    sum runs through Python's ``sum(..., 0.0)`` over one amortised
+    ``tolist()`` so it reproduces the generators' ``acc = 0.0; acc += v``
+    accumulator exactly — numpy's vectorised reductions (``np.sum``,
+    ``np.add.reduceat``) use pairwise summation, whose rounding order
+    differs from the sequential loop for longer segments.
+    """
+    if len(starts) == 0:
+        return _EMPTY_F64
+    data = np.asarray(data, dtype=np.float64)
+    out = np.empty(len(starts))
+    values = data.tolist()
+    for i, (start, length) in enumerate(zip(starts.tolist(), lens.tolist())):
+        out[i] = sum(values[start:start + length], 0.0) if length else 0.0
+    return out

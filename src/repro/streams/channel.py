@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+from .batch import TokenBatch, concat_batches
 from .stream import Stream
 from .token import DONE, EMPTY, Stop, is_data, is_done, is_empty, is_stop
 
@@ -92,13 +93,22 @@ class Channel:
             self.push(token)
 
     def pop(self):
-        token = self.queue.popleft()
+        head = self.queue[0]
+        if head.__class__ is TokenBatch:
+            token = head.pop_front()
+            if head.exhausted:
+                self.queue.popleft()
+        else:
+            token = self.queue.popleft()
         if self._pop_waiters:
             self._fire(self._pop_waiters)
         return token
 
     def peek(self):
-        return self.queue[0]
+        head = self.queue[0]
+        if head.__class__ is TokenBatch:
+            return head.peek_front()
+        return head
 
     def empty(self) -> bool:
         return not self.queue
@@ -107,7 +117,69 @@ class Channel:
         return self.capacity is not None and len(self.queue) >= self.capacity
 
     def __len__(self) -> int:
-        return len(self.queue)
+        """Queued token count (a batch counts as its remaining tokens)."""
+        if not any(item.__class__ is TokenBatch for item in self.queue):
+            return len(self.queue)
+        return sum(
+            len(item) if item.__class__ is TokenBatch else 1 for item in self.queue
+        )
+
+    # -- batched fast path ---------------------------------------------------
+    def push_batch(self, batch: TokenBatch) -> None:
+        """Push a whole token batch as one queue element.
+
+        Only meaningful on unbounded channels (batched producers check
+        :meth:`~repro.blocks.base.Block._can_batch` first).  The pushed
+        object is re-wrapped in a fresh-cursor view so one batch can fan
+        out to several channels safely.
+        """
+        if batch.exhausted:
+            return
+        batch = batch.view()
+        self.queue.append(batch)
+        n_data, n_stop, n_done, n_empty = batch.counts()
+        self.pushed_data += n_data
+        self.pushed_stop += n_stop
+        self.pushed_done += n_done
+        self.pushed_empty += n_empty
+        if self.record:
+            self.history.extend(batch.tokens())
+        if self._push_waiters:
+            self._fire(self._push_waiters)
+
+    def take_batch(self) -> Optional[TokenBatch]:
+        """Pop *everything* queued as one TokenBatch (None when empty).
+
+        Scalar tokens interleaved with batches are coalesced; the result
+        preserves arrival order exactly.
+        """
+        if not self.queue:
+            return None
+        parts = []
+        scalars: list = []
+        for item in self.queue:
+            if item.__class__ is TokenBatch:
+                if scalars:
+                    parts.append(TokenBatch.from_tokens(scalars))
+                    scalars = []
+                parts.append(item)
+            else:
+                scalars.append(item)
+        if scalars:
+            parts.append(TokenBatch.from_tokens(scalars))
+        self.queue.clear()
+        if self._pop_waiters:
+            self._fire(self._pop_waiters)
+        return concat_batches(parts)
+
+    def requeue_front(self, batch: TokenBatch) -> None:
+        """Put an (already counted) batch back at the front of the queue.
+
+        Used by blocks bailing out of a batched drain: the tokens were
+        pushed (and counted) once already, so no statistics are touched.
+        """
+        if not batch.exhausted:
+            self.queue.appendleft(batch)
 
     # -- event-driven scheduling ---------------------------------------------
     # Simulation backends that sleep stalled blocks (repro.sim.backends.event)
@@ -137,8 +209,17 @@ class Channel:
         }
 
     def drain(self) -> list:
-        """Pop and return every queued token (used by sinks and tests)."""
-        out = list(self.queue)
+        """Pop and return every queued token (used by sinks and tests).
+
+        Batched queue elements are expanded back into scalar tokens so
+        callers see the logical stream regardless of the data plane.
+        """
+        out: list = []
+        for item in self.queue:
+            if item.__class__ is TokenBatch:
+                out.extend(item.tokens())
+            else:
+                out.append(item)
         self.queue.clear()
         if out and self._pop_waiters:
             self._fire(self._pop_waiters)

@@ -190,6 +190,119 @@ class TestMtxReader:
         assert (matrix != back).nnz == 0
 
 
+class TestMtxWriterRoundTrip:
+    """write_mtx preserves field and symmetry through read→write→read."""
+
+    @pytest.mark.parametrize("suffix", ["mtx", "mtx.gz"])
+    def test_pattern_field_round_trip(self, suffix, tmp_path):
+        first = tmp_path / f"p1.{suffix}"
+        first_text = (
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 1\n3 2\n"
+        )
+        if suffix.endswith(".gz"):
+            with gzip.open(first, "wt") as handle:
+                handle.write(first_text)
+        else:
+            first.write_text(first_text)
+        coo = read_mtx(str(first))
+        assert coo.field == "pattern"
+        second = write_mtx(str(tmp_path / f"p2.{suffix}"), coo)
+        raw = (gzip.open(second, "rt") if suffix.endswith(".gz") else open(second)).readline()
+        assert raw.split()[3] == "pattern"
+        back = read_mtx(second)
+        assert back.field == "pattern"
+        assert np.array_equal(back.coords, coo.coords)
+        assert np.array_equal(back.values, coo.values)
+
+    @pytest.mark.parametrize("suffix", ["mtx", "mtx.gz"])
+    def test_integer_field_round_trip(self, suffix, tmp_path):
+        first = tmp_path / "i1.mtx"
+        first.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 3 3\n1 1 4\n2 2 -7\n2 3 9\n"
+        )
+        coo = read_mtx(str(first))
+        assert coo.field == "integer"
+        second = write_mtx(str(tmp_path / f"i2.{suffix}"), coo)
+        text = (gzip.open(second, "rt") if suffix.endswith(".gz") else open(second)).read()
+        assert "integer" in text.splitlines()[0]
+        assert "-7" in text and "." not in text.split("\n", 2)[2]
+        back = read_mtx(second)
+        assert back.field == "integer"
+        assert np.array_equal(back.values, coo.values)
+
+    def test_integer_field_rejects_fractions(self, tmp_path):
+        coo = CooTensor((2, 2), np.array([[0, 1]]), np.array([0.5]))
+        with pytest.raises(ValueError, match="integer"):
+            write_mtx(str(tmp_path / "x.mtx"), coo, field="integer")
+
+    def test_pattern_field_rejects_real_values(self, tmp_path):
+        # Pattern files store structure only: writing one from data with
+        # non-unit values would silently lose them on the round trip.
+        coo = CooTensor((2, 2), np.array([[0, 1], [1, 0]]), np.array([2.5, 7.0]))
+        with pytest.raises(ValueError, match="pattern"):
+            write_mtx(str(tmp_path / "x.mtx"), coo, field="pattern")
+
+    def test_integer_dtype_inferred_from_numpy(self, tmp_path):
+        dense = np.array([[0, 2], [3, 0]], dtype=np.int32)
+        path = write_mtx(str(tmp_path / "d.mtx"), dense)
+        assert "integer" in open(path).readline()
+        assert read_mtx(path).field == "integer"
+
+    @pytest.mark.parametrize("suffix", ["mtx", "mtx.gz"])
+    def test_symmetric_round_trip(self, suffix, tmp_path):
+        first = tmp_path / "s1.mtx"
+        first.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 2.5\n3 1 -1.25\n3 2 4.0\n"
+        )
+        coo = read_mtx(str(first))  # reader expands to general form
+        assert coo.nnz == 5
+        second = write_mtx(
+            str(tmp_path / f"s2.{suffix}"), coo, symmetry="symmetric"
+        )
+        text = (gzip.open(second, "rt") if suffix.endswith(".gz") else open(second)).read()
+        assert "symmetric" in text.splitlines()[0]
+        assert text.splitlines()[1].split()[2] == "3"  # lower triangle only
+        back = read_mtx(second)
+        a = sorted(map(tuple, np.column_stack([coo.coords, coo.values]).tolist()))
+        b = sorted(map(tuple, np.column_stack([back.coords, back.values]).tolist()))
+        assert a == b
+
+    def test_skew_symmetric_round_trip(self, tmp_path):
+        first = tmp_path / "k1.mtx"
+        first.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "3 3 2\n2 1 1.5\n3 2 -2.0\n"
+        )
+        coo = read_mtx(str(first))
+        second = write_mtx(str(tmp_path / "k2.mtx"), coo, symmetry="skew-symmetric")
+        assert "skew-symmetric" in open(second).readline()
+        back = read_mtx(second)
+        a = sorted(map(tuple, np.column_stack([coo.coords, coo.values]).tolist()))
+        b = sorted(map(tuple, np.column_stack([back.coords, back.values]).tolist()))
+        assert a == b
+
+    def test_asymmetric_matrix_rejected_for_symmetric_write(self, tmp_path):
+        dense = np.array([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(ValueError, match="not symmetric"):
+            write_mtx(str(tmp_path / "x.mtx"), dense, symmetry="symmetric")
+
+    def test_unknown_field_and_symmetry_rejected(self, tmp_path):
+        dense = np.eye(2)
+        with pytest.raises(ValueError, match="field"):
+            write_mtx(str(tmp_path / "x.mtx"), dense, field="complex")
+        with pytest.raises(ValueError, match="symmetry"):
+            write_mtx(str(tmp_path / "x.mtx"), dense, symmetry="hermitian")
+
+    def test_gz_write_read_through_load_tensor(self, tmp_path):
+        rng = np.random.default_rng(9)
+        dense = (rng.random((6, 5)) < 0.4) * rng.random((6, 5))
+        path = write_mtx(str(tmp_path / "z.mtx.gz"), dense)
+        tensor = load_tensor(path)
+        assert np.allclose(tensor.to_numpy(), dense)
+
+
 class TestTnsReader:
     def test_order3_with_comments(self, tmp_path):
         path = tmp_path / "t.tns"

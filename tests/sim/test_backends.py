@@ -33,7 +33,7 @@ VEC_C = urandom_vector(400, 60, seed=14)
 
 class TestRegistry:
     def test_registry_names(self):
-        assert set(BACKENDS) == {"cycle", "event", "functional"}
+        assert set(BACKENDS) == {"cycle", "event", "functional", "functional-seq"}
 
     def test_resolve_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
@@ -246,8 +246,79 @@ class TestMaxCycles:
         with pytest.raises(RuntimeError):
             run_blocks(build(), max_cycles=len(tokens) - 1, backend=backend)
 
-    def test_functional_budget(self):
+    def test_functional_max_cycles_is_advisory(self):
+        # The functional backend models no cycles, so a cycle budget
+        # neither rejects nor admits a run there: a budget that would
+        # starve the timed backends must still complete (the old
+        # ``max_cycles * n_blocks`` scaling could reject runs the timed
+        # backends accept at the same budget, and vice versa).
         src = Channel("s")
         blocks = [StreamFeeder(list(range(100)) + [DONE], src), Sink(src)]
-        with pytest.raises(RuntimeError):
-            FunctionalEngine(blocks).run(max_cycles=3)
+        report = FunctionalEngine(blocks).run(max_cycles=3)
+        assert report.cycles == 0
+        assert blocks[1].tokens[-1] is DONE
+
+    @pytest.mark.parametrize("backend", ["functional", "functional-seq"])
+    def test_functional_max_resumptions_exact(self, backend):
+        tokens = list(range(50)) + [DONE]
+
+        def build():
+            src = Channel("s")
+            return [StreamFeeder(tokens, src), Sink(src)]
+
+        exact = run_blocks(build(), backend=backend).resumptions
+        assert exact > 0
+        # An exact token-operation budget passes; one less raises.
+        report = run_blocks(build(), backend=backend, max_resumptions=exact)
+        assert report.resumptions == exact
+        with pytest.raises(RuntimeError, match="max_resumptions"):
+            run_blocks(build(), backend=backend, max_resumptions=exact - 1)
+
+    def test_cross_backend_exact_budget_parity(self):
+        # At the same max_cycles budget, the functional backend must
+        # accept every run the timed backends accept (it never pretends
+        # to know a cycle count it does not model).
+        tokens = [1, 2, 3, Stop(0), DONE]
+
+        def build():
+            src = Channel("s")
+            return [StreamFeeder(tokens, src), Sink(src)]
+
+        exact = run_blocks(build(), backend="cycle").cycles
+        for backend in ("cycle", "event"):
+            assert run_blocks(build(), max_cycles=exact, backend=backend).cycles == exact
+            with pytest.raises(RuntimeError):
+                run_blocks(build(), max_cycles=exact - 1, backend=backend)
+        for backend in ("functional", "functional-seq"):
+            for budget in (exact, exact - 1):
+                report = run_blocks(build(), max_cycles=budget, backend=backend)
+                assert report.cycles == 0
+
+    def test_timed_backends_reject_resumption_budget(self):
+        src = Channel("s")
+        blocks = [StreamFeeder([1, DONE], src), Sink(src)]
+        with pytest.raises(ValueError, match="max_resumptions"):
+            run_blocks(blocks, backend="cycle", max_resumptions=10)
+
+    def test_resumption_budget_reaches_compiled_programs(self):
+        # The functional termination budget must be reachable from the
+        # main kernel/study API, not just run_blocks.
+        import numpy as np
+
+        from repro.lang import compile_expression
+
+        program = compile_expression("x(i) = B(i,j) * c(j)")
+        B, c = np.eye(4), np.ones(4)
+        exact = program.run(
+            {"B": B, "c": c}, backend="functional"
+        ).report.resumptions
+        assert (
+            program.run(
+                {"B": B, "c": c}, backend="functional", max_resumptions=exact
+            ).report.resumptions
+            == exact
+        )
+        with pytest.raises(RuntimeError, match="max_resumptions"):
+            program.run(
+                {"B": B, "c": c}, backend="functional", max_resumptions=exact - 1
+            )

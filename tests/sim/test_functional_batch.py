@@ -1,0 +1,238 @@
+"""Differential tests: batched vs generator functional data plane.
+
+The batched token fast path (``drain_batch`` + ``TokenBatch``) must be
+**bit-identical** to the scalar/generator plane (``functional-seq``, the
+differential oracle) for every kernel, including degenerate operands and
+real ``.mtx`` inputs resolved through the dataset registry.  Comparisons
+use exact equality — float results must match to the last bit, which is
+why the batched reducers go out of their way to accumulate in the same
+order as the generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetRegistry
+from repro.data.synthetic import random_sparse_matrix, urandom_vector
+from repro.formats import FiberTensor
+from repro.kernels import (
+    gamma_spmm,
+    outerspace_spmm,
+    run_spmm,
+    sddmm_fused_coiter,
+    sddmm_fused_locate,
+    sddmm_unfused,
+    spmv_locate,
+    spmv_scatter,
+    vecmul,
+)
+from repro.lang import compile_expression
+
+B = random_sparse_matrix(20, 24, 0.2, seed=1)
+C = random_sparse_matrix(24, 18, 0.2, seed=2)
+VEC = urandom_vector(24, 10, seed=3)
+VB = urandom_vector(200, 40, seed=4)
+VC = urandom_vector(200, 40, seed=5)
+D1 = np.asarray(random_sparse_matrix(20, 6, 0.5, seed=6))
+D2 = np.asarray(random_sparse_matrix(24, 6, 0.5, seed=7))
+
+
+def both(fn, extract):
+    """Run *fn* under the oracle and the batched plane; return outputs."""
+    return extract(fn("functional-seq")), extract(fn("functional"))
+
+
+class TestKernelBitIdentity:
+    """All six kernels, batched plane == generator oracle exactly."""
+
+    def test_spmv_locate(self):
+        seq, bat = both(
+            lambda be: spmv_locate(B, VEC, backend=be),
+            lambda r: (list(r[0]), list(r[1])),
+        )
+        assert seq == bat
+
+    def test_spmv_scatter(self):
+        seq, bat = both(
+            lambda be: spmv_scatter(B, VEC, backend=be), lambda r: r[0].tolist()
+        )
+        assert seq == bat
+
+    @pytest.mark.parametrize("order", ["ikj", "ijk", "kij"])
+    def test_spmm_orders(self, order):
+        seq, bat = both(
+            lambda be: run_spmm(B, C, order=order, backend=be),
+            lambda r: r.output.to_numpy().tolist(),
+        )
+        assert seq == bat
+
+    def test_gamma(self):
+        seq, bat = both(
+            lambda be: gamma_spmm(B, C, backend=be), lambda r: r.output.tolist()
+        )
+        assert seq == bat
+
+    def test_outerspace(self):
+        seq, bat = both(
+            lambda be: outerspace_spmm(B, C, backend=be),
+            lambda r: r.output.tolist(),
+        )
+        assert seq == bat
+
+    @pytest.mark.parametrize(
+        "variant", [sddmm_unfused, sddmm_fused_coiter, sddmm_fused_locate]
+    )
+    def test_sddmm(self, variant):
+        seq, bat = both(
+            lambda be: variant(np.asarray(B), D1, D2, backend=be),
+            lambda r: r.output.tolist(),
+        )
+        assert seq == bat
+
+    @pytest.mark.parametrize(
+        "config", ["dense", "crd", "crd_skip", "crd_split", "bv", "bv_split"]
+    )
+    def test_elementwise(self, config):
+        seq, bat = both(
+            lambda be: vecmul(config, VB, VC, split=50, backend=be),
+            lambda r: (r.coords, r.values),
+        )
+        assert seq == bat
+
+
+class TestDegenerateOperands:
+    """Empty fibers, all-zero operands, 0-row/0-col shapes."""
+
+    @pytest.mark.parametrize("shape", [(0, 5), (5, 0), (0, 0)])
+    def test_zero_dimension_spmv(self, shape):
+        dense = np.zeros(shape)
+        c = np.ones(shape[1])
+        seq, bat = both(
+            lambda be: spmv_locate(dense, c, backend=be),
+            lambda r: (list(r[0]), list(r[1])),
+        )
+        assert seq == bat == ([], [])
+
+    def test_all_zero_matrix(self):
+        dense = np.zeros((6, 7))
+        program = compile_expression("x(i) = B(i,j) * c(j)")
+
+        def run(backend):
+            return program.run(
+                {"B": dense, "c": np.ones(7)}, backend=backend
+            ).to_numpy().tolist()
+
+        assert run("functional-seq") == run("functional") == [0.0] * 6
+
+    def test_empty_fibers_between_rows(self):
+        dense = np.zeros((8, 8))
+        dense[0, 3] = 1.5
+        dense[6, 1] = -2.0  # rows 1..5 have empty fibers
+        seq, bat = both(
+            lambda be: spmv_locate(dense, np.ones(8), backend=be),
+            lambda r: (list(r[0]), list(r[1])),
+        )
+        assert seq == bat
+
+    def test_all_zero_spmm(self):
+        seq, bat = both(
+            lambda be: run_spmm(np.zeros((4, 5)), np.zeros((5, 3)), backend=be),
+            lambda r: r.output.to_numpy().tolist(),
+        )
+        assert seq == bat
+
+    def test_cancelling_addition(self):
+        # Union + adder where explicit values cancel to exact zeros.
+        program = compile_expression("X(i,j) = B(i,j) + C(i,j)")
+        b = np.array([[1.0, -2.0], [0.0, 3.0]])
+        c = np.array([[-1.0, 2.0], [4.0, 0.0]])
+
+        def run(backend):
+            return program.run({"B": b, "C": c}, backend=backend).to_numpy().tolist()
+
+        assert run("functional-seq") == run("functional")
+
+
+class TestRealMatrixViaRegistry:
+    def test_registry_mtx_spmv_bit_identical(self, tmp_path):
+        registry = DatasetRegistry(data_dir=str(tmp_path))
+        path = registry.materialize("G32")  # writes the stand-in .mtx
+        assert registry.source("G32") == f"file:{path}"
+        tensor = registry.load_tensor("G32")
+        c = urandom_vector(tensor.shape[1], tensor.shape[1] // 2, seed=9)
+        seq, bat = both(
+            lambda be: spmv_locate(tensor, c, backend=be),
+            lambda r: (list(r[0]), list(r[1])),
+        )
+        assert seq == bat
+        reference = registry.load_matrix("G32") @ c
+        nonzero = np.flatnonzero(reference)
+        assert np.allclose(
+            np.asarray(seq[1])[np.isin(seq[0], nonzero)],
+            reference[np.asarray(seq[0])[np.isin(seq[0], nonzero)]],
+        )
+
+    def test_torso2_scale_dataset_registered(self):
+        registry = DatasetRegistry(data_dir="/nonexistent")
+        spec = registry.spec("torso2")
+        assert spec.nnz >= 1_000_000
+
+
+class TestUnbatchableTokens:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [(0, 5), (1, 7)],  # uniform tuples would silently become 2-D
+            [(0, 5), (1, 2, 3)],  # ragged tuples raise from np.asarray
+        ],
+    )
+    def test_tuple_streams_fall_back_to_scalar_plane(self, payload):
+        # Skip-hint style tuple tokens cannot ride the numpy plane; the
+        # feeder AND any batched consumer must drop to the scalar drain
+        # without corrupting the stream.
+        from repro.blocks.base import Fanout, Sink, StreamFeeder
+        from repro.sim.backends import run_blocks
+        from repro.streams import Channel, DONE
+
+        tokens = payload + [DONE]
+        for backend in ("functional", "functional-seq"):
+            src, a, b = Channel("s"), Channel("a"), Channel("b")
+            blocks = [
+                StreamFeeder(tokens, src),
+                Fanout(src, [a, b]),
+                Sink(a, name="sa"),
+                Sink(b, name="sb"),
+            ]
+            run_blocks(blocks, backend=backend)
+            assert blocks[2].tokens == tokens
+            assert blocks[3].tokens == tokens
+
+
+class TestMixedPlaneGraphs:
+    def test_generator_only_blocks_fall_back(self):
+        # OuterSPACE uses LinkedListLevelWriter / MatrixReducer, which have
+        # no batched drain: the engine must mix planes inside one graph.
+        from repro.blocks.writer import LinkedListLevelWriter
+
+        assert LinkedListLevelWriter.drain_batch is None
+        seq, bat = both(
+            lambda be: outerspace_spmm(B, C, backend=be),
+            lambda r: r.output.tolist(),
+        )
+        assert seq == bat
+
+    def test_token_counts_identical_across_planes(self):
+        # Figure 14-style channel statistics must not depend on the plane.
+        program = compile_expression("x(i) = B(i,j) * c(j)")
+        dense = np.asarray(B)
+
+        def counts(backend):
+            result = program.run(
+                {"B": dense, "c": VEC}, backend=backend
+            )
+            return {
+                name: channel.token_counts()
+                for name, channel in result.bound.channels.items()
+            }
+
+        assert counts("functional-seq") == counts("functional")

@@ -1,0 +1,241 @@
+"""TokenBatch / batched-channel unit tests (the numpy data plane)."""
+
+import numpy as np
+import pytest
+
+from repro.streams import Channel, DONE, EMPTY, Stop, TokenBatch
+from repro.streams.batch import (
+    BatchBuilder,
+    BatchReader,
+    CODE_DONE,
+    CODE_EMPTY,
+    CODE_REPEAT,
+    NO_TOKEN,
+    concat_batches,
+    decode_code,
+    encode_token,
+    sequential_segment_sums,
+)
+
+MIXED = [3, 7, EMPTY, Stop(0), 2.5, "R", Stop(1), Stop(0), DONE]
+
+
+class TestTokenBatch:
+    def test_round_trip_preserves_every_token(self):
+        batch = TokenBatch.from_tokens(MIXED)
+        assert batch.tokens() == MIXED
+        assert len(batch) == len(MIXED)
+
+    def test_scalar_pop_matches_order(self):
+        batch = TokenBatch.from_tokens(MIXED)
+        popped = [batch.pop_front() for _ in range(len(MIXED))]
+        assert popped == MIXED
+        assert batch.exhausted
+        with pytest.raises(IndexError):
+            batch.pop_front()
+
+    def test_counts_classify_like_channel_push(self):
+        batch = TokenBatch.from_tokens(MIXED)
+        scalar = Channel("s")
+        for token in MIXED:
+            scalar.push(token)
+        batched = Channel("b")
+        batched.push_batch(batch)
+        assert scalar.token_counts() == batched.token_counts()
+
+    def test_consecutive_controls_keep_order(self):
+        tokens = [Stop(0), Stop(1), DONE]
+        assert TokenBatch.from_tokens(tokens).tokens() == tokens
+
+    def test_view_shares_arrays_not_cursors(self):
+        batch = TokenBatch.from_tokens([1, 2, Stop(0)])
+        view = batch.view()
+        batch.pop_front()
+        assert view.tokens() == [1, 2, Stop(0)]
+
+    def test_split_done(self):
+        batch = TokenBatch.from_tokens([1, DONE, 9, Stop(0)])
+        head, tail = batch.split_done()
+        assert head.tokens() == [1, DONE]
+        assert tail.tokens() == [9, Stop(0)]
+        head, tail = TokenBatch.from_tokens([1, Stop(0)]).split_done()
+        assert head.tokens() == [1, Stop(0)] and tail is None
+
+    def test_codes(self):
+        assert encode_token(Stop(3)) == 3
+        assert encode_token(DONE) == CODE_DONE
+        assert encode_token(EMPTY) == CODE_EMPTY
+        assert encode_token("R") == CODE_REPEAT
+        assert encode_token(5) is None and encode_token(1.5) is None
+        for code in (0, 4, CODE_DONE, CODE_EMPTY, CODE_REPEAT):
+            assert encode_token(decode_code(code)) == code
+
+
+class TestChannelBatching:
+    def test_scalar_consumer_splits_batches(self):
+        channel = Channel("c")
+        channel.push_batch(TokenBatch.from_tokens(MIXED))
+        assert len(channel) == len(MIXED)
+        popped = []
+        while not channel.empty():
+            assert channel.peek() == (
+                channel.peek()
+            )  # peek is stable and non-consuming
+            popped.append(channel.pop())
+        assert popped == MIXED
+
+    def test_take_batch_coalesces_scalars_and_batches(self):
+        channel = Channel("c")
+        channel.push(1)
+        channel.push_batch(TokenBatch.from_tokens([2, Stop(0)]))
+        channel.push(DONE)
+        window = channel.take_batch()
+        assert window.tokens() == [1, 2, Stop(0), DONE]
+        assert channel.empty()
+        assert channel.take_batch() is None
+
+    def test_drain_expands_batches(self):
+        channel = Channel("c")
+        channel.push_batch(TokenBatch.from_tokens([1, Stop(0)]))
+        channel.push(2)
+        assert channel.drain() == [1, Stop(0), 2]
+
+    def test_record_history_expands_batches(self):
+        channel = Channel("c", record=True)
+        channel.push_batch(TokenBatch.from_tokens(MIXED))
+        assert channel.history == MIXED
+
+    def test_requeue_front_is_stat_free(self):
+        channel = Channel("c")
+        channel.push_batch(TokenBatch.from_tokens([1, 2, DONE]))
+        before = channel.token_counts()
+        window = channel.take_batch()
+        channel.requeue_front(window)
+        assert channel.token_counts() == before
+        assert channel.drain() == [1, 2, DONE]
+
+    def test_push_waiters_fire_on_push_batch(self):
+        channel = Channel("c")
+        fired = []
+        channel.add_push_waiter(lambda: fired.append(True))
+        channel.push_batch(TokenBatch.from_tokens([1]))
+        assert fired == [True]
+
+
+class TestBatchReader:
+    def test_runs_and_ctrl(self):
+        channel = Channel("c")
+        channel.push_batch(TokenBatch.from_tokens([1, 2, 3, Stop(0), 4, DONE]))
+        reader = BatchReader(channel)
+        reader.pull()
+        assert reader.front_ctrl() is None
+        assert reader.run_length() == 3
+        assert reader.pop_run().tolist() == [1, 2, 3]
+        assert reader.front_ctrl() == 0
+        assert reader.pop() == Stop(0)
+        assert reader.pop_run_upto(5).tolist() == [4]
+        assert reader.peek() is DONE
+
+    def test_run_spans_batches(self):
+        channel = Channel("c")
+        channel.push_batch(TokenBatch.from_tokens([1, 2]))
+        channel.push_batch(TokenBatch.from_tokens([3, Stop(0)]))
+        reader = BatchReader(channel)
+        reader.pull()
+        assert reader.pop_run().tolist() == [1, 2, 3]
+        assert reader.pop() == Stop(0)
+
+    def test_densify_empty(self):
+        channel = Channel("c")
+        channel.push_batch(
+            TokenBatch.from_tokens([EMPTY, 1.0, EMPTY, Stop(0), EMPTY, DONE])
+        )
+        reader = BatchReader(channel)
+        reader.pull()
+        reader.densify_empty(0.0)
+        assert reader.pop_run().tolist() == [0.0, 1.0, 0.0]
+        assert reader.pop() == Stop(0)
+        assert reader.pop_run().tolist() == [0.0]
+        assert reader.pop() is DONE
+
+    def test_pop_repeat_run(self):
+        channel = Channel("c", kind="repsig")
+        channel.push_batch(
+            TokenBatch.from_tokens(["R", "R", Stop(0), "R", Stop(1), DONE])
+        )
+        reader = BatchReader(channel)
+        reader.pull()
+        assert reader.pop_repeat_run() == 2
+        assert reader.pop() == Stop(0)
+        assert reader.pop_repeat_run() == 1
+        assert reader.pop() == Stop(1)
+        assert reader.pop_repeat_run() == 0
+
+    def test_requeue_restores_remainder(self):
+        channel = Channel("c")
+        channel.push_batch(TokenBatch.from_tokens([1, 2, Stop(0), DONE]))
+        reader = BatchReader(channel)
+        reader.pull()
+        reader.pop()
+        reader.requeue()
+        assert channel.drain() == [2, Stop(0), DONE]
+
+    def test_peek_empty(self):
+        reader = BatchReader(Channel("c"))
+        reader.pull()
+        assert reader.peek() is NO_TOKEN
+
+
+class TestBatchBuilder:
+    def test_interleaved_build(self):
+        channel = Channel("c")
+        builder = BatchBuilder(channel)
+        builder.data(np.array([1, 2]))
+        builder.ctrl(0)
+        builder.scalar(9)
+        builder.token(DONE)
+        assert builder.flush() == 5
+        assert channel.drain() == [1, 2, Stop(0), 9, DONE]
+
+    def test_data_with_ctrl_positions(self):
+        channel = Channel("c")
+        builder = BatchBuilder(channel)
+        builder.data_with_ctrl(
+            np.array([5, 6, 7]), np.array([1, 3]), np.array([0, 1])
+        )
+        builder.flush()
+        assert channel.drain() == [5, Stop(0), 6, 7, Stop(1)]
+
+    def test_empty_flush_is_noop(self):
+        channel = Channel("c")
+        assert BatchBuilder(channel).flush() == 0
+        assert channel.empty()
+
+
+class TestSequentialSegmentSums:
+    def test_bit_identical_to_scalar_loop(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0.1, 1.0, 200)
+        starts = np.array([0, 3, 3, 50, 199], dtype=np.int64)
+        lens = np.array([3, 0, 47, 149, 1], dtype=np.int64)
+        sums = sequential_segment_sums(data, starts, lens)
+        for k, (start, length) in enumerate(zip(starts, lens)):
+            acc = 0.0
+            for v in data[start:start + length]:
+                acc += v
+            assert sums[k] == acc
+
+    def test_empty_inputs(self):
+        assert sequential_segment_sums(
+            np.empty(0), np.empty(0, np.int64), np.empty(0, np.int64)
+        ).size == 0
+        out = sequential_segment_sums(
+            np.empty(0), np.zeros(2, np.int64), np.zeros(2, np.int64)
+        )
+        assert out.tolist() == [0.0, 0.0]
+
+
+def test_concat_batches_offsets_ctrl_positions():
+    a = TokenBatch.from_tokens([1, Stop(0)])
+    b = TokenBatch.from_tokens([2, DONE])
+    assert concat_batches([a, b]).tokens() == [1, Stop(0), 2, DONE]
