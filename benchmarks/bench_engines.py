@@ -1,15 +1,20 @@
 """Wall-clock comparison of the simulation backends, emitting JSON.
 
-Times CycleEngine vs EventEngine vs FunctionalEngine on fig13-sized
-workloads (size-2000 element-wise vector multiplies) plus one SpM*SpM
-graph, isolating engine execution (graph binding and tensor construction
-happen outside the timed region; every engine gets a freshly bound
-graph).  EventEngine cycle counts are asserted identical to the
-reference engine; FunctionalEngine is outputs-only.
+Two sections:
+
+* **bound-graph workloads** — fig13-sized element-wise multiplies plus
+  SpM*SpM graphs, timed under every backend (cycle, event, timed-batch,
+  functional).  The timed backends' cycle counts are asserted identical
+  to the reference engine; functional is outputs-only.
+* **timed scaling** — iterate-locate SpMV at 1e4 and 1e5 nnz under the
+  three timed backends.  This is the epoch-batching headline: the
+  ``timed-batch`` backend must beat ``event`` by >= 5x wall-clock at
+  1e5 nnz (asserted, so CI gates on it) while reproducing the reference
+  cycle count bit for bit.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engines.py [--rounds 3] [-o out.json]
+    PYTHONPATH=src python benchmarks/bench_engines.py [--rounds 3] [-o BENCH_engines.json]
 """
 
 from __future__ import annotations
@@ -25,9 +30,16 @@ from repro.data.synthetic import random_sparse_matrix, urandom_vector
 from repro.formats import FiberTensor
 from repro.graph.bind import bind
 from repro.kernels.spmm import spmm_program
+from repro.kernels.spmv import spmv_locate
 from repro.lang import compile_expression
 
-ENGINES = ("cycle", "event", "functional")
+ENGINES = ("cycle", "event", "timed-batch", "functional")
+#: backends that model time (and must agree with the reference exactly)
+TIMED_ENGINES = ("cycle", "event", "timed-batch")
+#: nnz sizes for the timed-scaling section
+SCALING_SIZES = (10_000, 100_000)
+#: required timed-batch speedup over event at the largest scaling size
+SCALING_GATE = 5.0
 
 
 def _vecmul_case(name: str, size: int, nnz: int, dense: bool):
@@ -72,7 +84,19 @@ def build_cases():
     ]
 
 
-def run_bench(rounds: int = 3) -> dict:
+def _scaling_operand(nnz: int):
+    size = max(4, nnz // 4)
+    rng = np.random.default_rng(7)
+    rows = rng.integers(0, size, nnz)
+    cols = rng.integers(0, size, nnz)
+    vals = rng.random(nnz) + 0.5
+    tensor = FiberTensor.from_coords(
+        (size, size), np.stack([rows, cols], axis=1), vals, name="B"
+    )
+    return tensor, rng.random(size)
+
+
+def run_bound_graphs(rounds: int) -> list:
     results = []
     for name, graph, tensors in build_cases():
         entry = {"workload": name, "engines": {}}
@@ -90,28 +114,79 @@ def run_bench(rounds: int = 3) -> dict:
                 "seconds": best,
                 "cycles": report.cycles,
             }
-        if cycles_by_engine["event"] != cycles_by_engine["cycle"]:
-            raise AssertionError(
-                f"{name}: EventEngine cycles {cycles_by_engine['event']} != "
-                f"CycleEngine cycles {cycles_by_engine['cycle']}"
-            )
+        for engine in ("event", "timed-batch"):
+            if cycles_by_engine[engine] != cycles_by_engine["cycle"]:
+                raise AssertionError(
+                    f"{name}: {engine} cycles {cycles_by_engine[engine]} != "
+                    f"cycle reference {cycles_by_engine['cycle']}"
+                )
         base = entry["engines"]["cycle"]["seconds"]
         for engine in ENGINES:
             entry["engines"][engine]["speedup_vs_cycle"] = (
                 base / entry["engines"][engine]["seconds"]
             )
         results.append(entry)
-    best_functional = max(
-        e["engines"]["functional"]["speedup_vs_cycle"] for e in results
-    )
+    return results
+
+
+def run_timed_scaling(rounds: int) -> list:
+    results = []
+    for nnz in SCALING_SIZES:
+        tensor, vec = _scaling_operand(nnz)
+        entry = {"workload": f"spmv_locate_{nnz}", "nnz": nnz, "engines": {}}
+        cycles_by_engine = {}
+        for engine in TIMED_ENGINES:
+            best = None
+            for _ in range(rounds):
+                start = time.perf_counter()
+                _, _, cycles = spmv_locate(tensor, vec, backend=engine)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            cycles_by_engine[engine] = cycles
+            entry["engines"][engine] = {"seconds": best, "cycles": cycles}
+        for engine in ("event", "timed-batch"):
+            if cycles_by_engine[engine] != cycles_by_engine["cycle"]:
+                raise AssertionError(
+                    f"spmv_locate nnz={nnz}: {engine} cycles "
+                    f"{cycles_by_engine[engine]} != reference "
+                    f"{cycles_by_engine['cycle']}"
+                )
+        entry["timed_batch_speedup_vs_event"] = (
+            entry["engines"]["event"]["seconds"]
+            / entry["engines"]["timed-batch"]["seconds"]
+        )
+        results.append(entry)
+    gate_entry = results[-1]
+    if gate_entry["timed_batch_speedup_vs_event"] < SCALING_GATE:
+        raise AssertionError(
+            f"timed-batch must be >= {SCALING_GATE}x faster than event on "
+            f"spmv_locate at {SCALING_SIZES[-1]} nnz, measured "
+            f"{gate_entry['timed_batch_speedup_vs_event']:.2f}x"
+        )
+    return results
+
+
+def run_bench(rounds: int = 3) -> dict:
+    workloads = run_bound_graphs(rounds)
+    scaling = run_timed_scaling(rounds)
     return {
         "rounds": rounds,
-        "workloads": results,
+        "workloads": workloads,
+        "timed_scaling": scaling,
         "summary": {
-            "best_functional_speedup": best_functional,
-            "best_event_speedup": max(
-                e["engines"]["event"]["speedup_vs_cycle"] for e in results
+            "best_functional_speedup": max(
+                e["engines"]["functional"]["speedup_vs_cycle"] for e in workloads
             ),
+            "best_event_speedup": max(
+                e["engines"]["event"]["speedup_vs_cycle"] for e in workloads
+            ),
+            "best_timed_batch_speedup": max(
+                e["engines"]["timed-batch"]["speedup_vs_cycle"] for e in workloads
+            ),
+            "timed_batch_speedup_vs_event_at_scale": scaling[-1][
+                "timed_batch_speedup_vs_event"
+            ],
+            "scaling_gate": SCALING_GATE,
         },
     }
 

@@ -20,7 +20,7 @@ import numpy as np
 from ..streams.batch import CODE_DONE, CODE_EMPTY
 from ..streams.channel import Channel
 from ..streams.token import is_data, is_done, is_empty
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 
 class ArrayLoad(Block):
@@ -121,6 +121,28 @@ class ArrayLoad(Block):
                 return True, steps
             else:
                 out.ctrl(ctrl)
+
+    timing = TimingDescriptor()
+
+    def timed_capable(self) -> bool:
+        arr = np.asarray(self.memory)
+        return arr.ndim == 1 and arr.dtype.kind in "if"
+
+    def drain_timed(self) -> bool:
+        """Timed drain: rate-1 single-cycle memory, whole windows gathered."""
+        if self.finished:
+            return False
+        mem = getattr(self, "_mem_array", None)
+        if mem is None:
+            mem = self._mem_array = np.asarray(self.memory)
+
+        def gather(refs):
+            self.loads += len(refs)
+            return mem[refs.astype(np.int64, copy=False)]
+
+        return self._t_unary_window(
+            self.in_ref, self._tbuilder(self.out_data), gather, self.empty_value
+        )
 
 
 class ArrayStore(Block):

@@ -11,15 +11,62 @@ single-cycle memories.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..streams.batch import BatchBuilder, BatchReader, TokenBatch, concat_batches
+import numpy as np
+
+from ..streams.batch import (
+    BatchBuilder,
+    BatchReader,
+    TokenBatch,
+    concat_batches,
+)
 from ..streams.channel import Channel
+from ..streams.timing import (
+    TimedBuilder,
+    TimedReader,
+    merge_stamps,
+    rate1_schedule,
+    split_done_stamped,
+    token_order_indices,
+)
 from ..streams.token import DONE, is_data, is_done, is_stop
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 class BlockError(RuntimeError):
     """Raised when a block observes a protocol violation on its streams."""
+
+
+@dataclass(frozen=True)
+class TimingDescriptor:
+    """Declarative per-block timing for the timed-batch backend.
+
+    The paper's cycle model makes every primitive a fully pipelined
+    rate-1 machine; this descriptor makes that timing *data* instead of
+    implicit generator control flow, so an engine can advance a block
+    across an entire control-free token segment analytically:
+
+    * ``ii`` — initiation interval: cycles between successive token
+      events (generator ``yield True``\\ s).  The epoch advance rule is
+      ``c[k] = max(c[k-1] + ii, arrival[k])``.
+    * ``latency`` — cycles between an event and the push of its output
+      tokens (0: pushed within the event cycle, the reference model's
+      single-cycle memory assumption).
+    * ``ctrl_cycles`` — busy cycles charged per control token handled
+      (stop/done/empty bookkeeping events).
+
+    Every stock primitive is ``TimingDescriptor()`` — rate 1, zero
+    latency, one cycle per control token — matching the generators they
+    replace; the fields exist so experimental blocks can declare other
+    shapes without a new engine.
+    """
+
+    ii: int = 1
+    latency: int = 0
+    ctrl_cycles: int = 1
 
 
 class Block:
@@ -43,6 +90,28 @@ class Block:
     #: requeues its held input and flips :attr:`_batch_ok`.
     drain_batch = None
 
+    #: timed segment hook for the timed-batch backend: a method
+    #: ``drain_timed(self) -> bool`` that consumes stamped batches from
+    #: its inputs, pushes stamped batches, and advances
+    #: busy/stall/clock through :meth:`_t_advance` / :meth:`_t_event`,
+    #: reproducing the generator's cycle schedule exactly.  ``None``
+    #: means the block runs on the scalar timed path (the engine steps
+    #: its generator cycle by cycle).
+    drain_timed = None
+
+    #: declarative timing (see :class:`TimingDescriptor`); ``None`` on
+    #: blocks without a timed segment hook
+    timing: Optional[TimingDescriptor] = None
+
+    #: credit-aware endpoints for finite-capacity channels on the timed
+    #: plane: a credit *producer* gates its push schedule on the
+    #: channel's recorded pop cycles, a credit *consumer* records its
+    #: pop cycles via :meth:`Channel.record_pops`.  A finite channel
+    #: whose endpoints are not both credit-aware drops both to the
+    #: scalar timed path, where back-pressure is exact by construction.
+    timed_credit_producer = False
+    timed_credit_consumer = False
+
     def __init__(self, name: str = ""):
         self.name = name or type(self).__name__
         self.inputs: Dict[str, Channel] = {}
@@ -54,6 +123,15 @@ class Block:
         #: False once a batched drain bailed out; the engine then sticks
         #: to the scalar path for the rest of the run
         self._batch_ok = True
+        #: False once a timed-batch drain bailed out (per-block fallback
+        #: to the scalar timed path, mirroring ``_batch_ok``)
+        self._timed_ok = True
+        #: timed-plane local clock: the next cycle this block could act in
+        self._tclock = 1
+        #: arrival constraint carried from tokens popped without their own
+        #: event (a generator pop between two yields): applied to the next
+        #: event's arrival by ``_t_event``/``_t_advance``
+        self._t_carry = 0
         #: (channel, "data"|"space") while stalled in _get/_peek/_put, else
         #: None.  Event-driven backends read this after a stalled step to
         #: learn which channel must receive a push (data) or a pop (space)
@@ -193,6 +271,160 @@ class Block:
         self._batch_ok = False
         return self.drain()
 
+    # -- timed-batch helpers -----------------------------------------------
+    def timed_capable(self) -> bool:
+        """Whether this block's timed hook can run on this instance.
+
+        Subclasses refine this for instance-level constraints the hook
+        cannot express (level formats without array interfaces, wired
+        skip channels, unsupported arities).  Channel-level constraints
+        (finite capacities, unbatchable queue contents) are checked by
+        the engine.
+        """
+        return True
+
+    def _treader(self, channel: Channel) -> TimedReader:
+        """Cached stamped input reader for *channel* (refilled)."""
+        try:
+            readers = self._timed_readers
+        except AttributeError:
+            readers = self._timed_readers = {}
+        reader = readers.get(channel)
+        if reader is None:
+            reader = readers[channel] = TimedReader(channel)
+        reader.pull()
+        return reader
+
+    def _tbuilder(self, channel: Channel) -> TimedBuilder:
+        """Cached stamped output builder for *channel*."""
+        try:
+            builders = self._timed_builders
+        except AttributeError:
+            builders = self._timed_builders = {}
+        builder = builders.get(channel)
+        if builder is None:
+            builder = builders[channel] = TimedBuilder(channel)
+        return builder
+
+    def _t_defer(self, stamp: int) -> None:
+        """Carry the arrival of a token popped without its own event."""
+        if stamp > self._t_carry:
+            self._t_carry = stamp
+
+    def _t_event(self, arrival: int = 0) -> int:
+        """Account one busy event gated by *arrival*; returns its cycle."""
+        carry = self._t_carry
+        if carry:
+            if carry > arrival:
+                arrival = carry
+            self._t_carry = 0
+        clock = self._tclock
+        c = arrival if arrival > clock else clock
+        self.busy_cycles += 1
+        self.stall_cycles += c - clock
+        self._tclock = c + self.timing.ii
+        return c
+
+    def _t_advance(self, arrivals: np.ndarray) -> np.ndarray:
+        """Account a run of busy events gated by *arrivals* (epoch rule).
+
+        Vectorised ``_t_event``: ``c[k] = max(c[k-1] + ii, arrivals[k])``
+        via one running max; stalls are the gaps of the covered span.
+        """
+        n = len(arrivals)
+        if n == 0:
+            return _EMPTY_I64
+        carry = self._t_carry
+        if carry:
+            arrivals = np.asarray(arrivals, dtype=np.int64).copy()
+            if carry > arrivals[0]:
+                arrivals[0] = carry
+            self._t_carry = 0
+        ii = self.timing.ii
+        c = rate1_schedule(arrivals, self._tclock, ii)
+        end = int(c[-1]) + ii
+        self.busy_cycles += n
+        self.stall_cycles += (end - self._tclock) - ii * n
+        self._tclock = end
+        return c
+
+    def _t_unary_window(self, channel, out, data_fn, empty_value) -> bool:
+        """Whole-window epoch advance for uniform rate-1 unary maps.
+
+        Every input token is one event; data runs map through *data_fn*
+        (one vectorized call for the whole window), ``N`` tokens become
+        the data value *empty_value* at their stream position, stops and
+        done pass through.  This is the shape of ArrayLoad/ScalarALU/Exp
+        — without it, streams fragmented by per-fiber stops would pay a
+        Python iteration per fiber.
+        """
+        from ..streams.batch import CODE_EMPTY
+
+        reader = self._treader(channel)
+        window = reader.take_window()
+        if window is None:
+            self._wait = (channel, "data")
+            return False
+        head, sd, sc, tail = split_done_stamped(*window)
+        merged, di, ci = merge_stamps(head, sd, sc)
+        if len(merged) == 0:
+            self._wait = (channel, "data")
+            return False
+        c = self._t_advance(merged)
+        data, cpos, ccode = head.remaining_arrays()
+        vals = data_fn(data)
+        cd, cc = c[di], c[ci]
+        empty = ccode == CODE_EMPTY
+        if empty.any():
+            vals = np.insert(np.asarray(vals, dtype=np.float64),
+                             cpos[empty], empty_value)
+            cd = np.insert(cd, cpos[empty], cc[empty])
+            keep = ~empty
+            shift = np.cumsum(empty) - empty
+            cpos = (cpos + shift)[keep]
+            ccode = ccode[keep]
+            cc = cc[keep]
+        out.data_with_ctrl(vals, cpos, ccode, cd, cc)
+        out.flush()
+        if head.ends_done:
+            if tail is not None:
+                channel.timed_requeue_front(*tail)
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (channel, "data")
+        return True
+
+    def _timed_bail_safe(self) -> bool:
+        """Whether the scalar timed path can take over right now.
+
+        Unlike the functional plane, timed processing already charged
+        busy/stall cycles for everything consumed, so a bail is only
+        safe when no consumed-but-unemitted state is pending (carried
+        arrivals included).  Stateful blocks override with their own
+        cleanliness checks.
+        """
+        return self._t_carry == 0
+
+    def _bail_timed(self) -> bool:
+        """Opt out of the timed-batch plane for the rest of the run.
+
+        Requeues every stamped reader window (stamps intact, so the
+        engine materialises them for the generator at the right cycles)
+        and flips :attr:`_timed_ok`; the engine then steps this block's
+        generator from local cycle :attr:`_tclock` onward.
+        """
+        if not self._timed_bail_safe():
+            raise BlockError(
+                f"{self.name}: cannot leave the timed-batch plane "
+                f"mid-stream (unbatchable tokens arrived after stateful "
+                f"timed processing)"
+            )
+        for reader in getattr(self, "_timed_readers", {}).values():
+            reader.requeue()
+        self._timed_ok = False
+        return False
+
     # -- generator helpers -------------------------------------------------
     def _get(self, channel: Channel):
         """Pop the next token, yielding stall cycles while the input is empty."""
@@ -277,6 +509,65 @@ class StreamFeeder(Block):
         self._wait = None
         return bool(self.tokens), len(self.tokens)
 
+    timing = TimingDescriptor()
+    timed_credit_producer = True
+
+    def drain_timed(self) -> bool:
+        """Timed drain: one token per cycle, credit-limited on finite FIFOs.
+
+        The generator pushes one token then yields once per cycle;
+        with a finite output the push of global token *g* waits for slot
+        ``g - capacity`` to free (``_put`` back-pressure), which the
+        channel's recorded pop stamps reproduce exactly.
+        """
+        if self.finished:
+            return False
+        out = self.out
+        pos = getattr(self, "_tfeed_pos", 0)
+        tokens = self.tokens
+        n = len(tokens)
+        if pos >= n:
+            self.finished = True
+            self._wait = None
+            return False
+        cap = out.capacity
+        if cap is None:
+            avail = n - pos
+            arrivals = np.zeros(avail, dtype=np.int64)
+        else:
+            state = out.timed
+            avail = min(n - pos, cap + len(state.pop_stamps) - pos)
+            if avail <= 0:
+                self._wait = (out, "space")
+                return False
+            # Push g waits for the pop that freed slot g - cap (credits).
+            arrivals = np.zeros(avail, dtype=np.int64)
+            first_credited = max(pos, cap)
+            if first_credited < pos + avail:
+                arrivals[first_credited - pos:] = np.asarray(
+                    state.pop_stamps[first_credited - cap:pos + avail - cap],
+                    dtype=np.int64,
+                )
+        chunk = tokens[pos:pos + avail]
+        try:
+            batch = TokenBatch.from_tokens(chunk)
+        except (TypeError, ValueError):
+            # Hand the unplayed suffix to the generator (already-pushed
+            # tokens keep their accounted cycles).
+            self.tokens = list(tokens[pos:])
+            return self._bail_timed()
+        c = self._t_advance(arrivals)
+        self._tfeed_pos = pos + avail
+        data, cpos, _ = batch.remaining_arrays()
+        di, ci = token_order_indices(cpos, len(data))
+        out.push_batch_timed(batch, c[di], c[ci])
+        if self._tfeed_pos >= n:
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (out, "space")
+        return True
+
 
 class RootFeeder(StreamFeeder):
     """Plays the ``D, 0`` root reference stream that starts tensor iteration."""
@@ -350,6 +641,34 @@ class Fanout(Block):
         self._wait = (self.in_, "data")
         return steps > 0, steps
 
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: copy one token per cycle to every output."""
+        if self.finished:
+            return False
+        reader = self._treader(self.in_)
+        window = reader.take_window()
+        if window is None:
+            self._wait = (self.in_, "data")
+            return False
+        head, sd, sc, tail = split_done_stamped(*window)
+        merged, di, ci = merge_stamps(head, sd, sc)
+        if len(merged) == 0:
+            self._wait = (self.in_, "data")
+            return False
+        c = self._t_advance(merged)
+        for channel in self.outs:
+            channel.push_batch_timed(head, c[di], c[ci])
+        if head.ends_done:
+            if tail is not None:
+                self.in_.timed_requeue_front(*tail)
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (self.in_, "data")
+        return True
+
 
 class Sink(Block):
     """Consumes a stream (one token per cycle) and records it."""
@@ -405,6 +724,41 @@ class Sink(Block):
             return True, steps
         self._wait = (self.in_, "data")
         return steps > 0, steps
+
+    timing = TimingDescriptor()
+    timed_credit_consumer = True
+
+    def drain_timed(self) -> bool:
+        """Timed drain: consume one token per cycle, recording pops.
+
+        On finite-capacity inputs the pop cycles are reported back to the
+        channel's credit log so a batched producer reproduces ``_put``
+        back-pressure exactly.
+        """
+        if self.finished:
+            return False
+        reader = self._treader(self.in_)
+        window = reader.take_window()
+        if window is None:
+            self._wait = (self.in_, "data")
+            return False
+        head, sd, sc, tail = split_done_stamped(*window)
+        merged, _, _ = merge_stamps(head, sd, sc)
+        if len(merged) == 0:
+            self._wait = (self.in_, "data")
+            return False
+        c = self._t_advance(merged)
+        self.tokens.extend(head.tokens())
+        if self.in_.capacity is not None:
+            self.in_.record_pops(c + self.in_.timed.delta_pop)
+        if head.ends_done:
+            if tail is not None:
+                self.in_.timed_requeue_front(*tail)
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (self.in_, "data")
+        return True
 
 
 def expect_data(token, block: Block, what: str = "data token"):

@@ -19,8 +19,9 @@ import numpy as np
 
 from ..streams.batch import CODE_DONE, CODE_EMPTY, decode_code
 from ..streams.channel import Channel
+from ..streams.timing import merge_stamps
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 OPERATORS = {
     "add": operator.add,
@@ -278,6 +279,123 @@ class ALU(Block):
                     )
             steps += 1
 
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: one output per cycle, gated by both operands.
+
+        Each output event's cycle is ``max(prev + 1, arrival(a),
+        arrival(b))`` — the generator pops both operands before its
+        single yield.  Phantom zeros are consumed without an event; their
+        arrival carries into the next event's gate.
+        """
+        if self.finished:
+            return False
+        rd_a = self._treader(self.in_a)
+        rd_b = self._treader(self.in_b)
+        rd_a.densify_empty(0.0)
+        rd_b.densify_empty(0.0)
+        out = self._tbuilder(self.out)
+        fn = self._fn
+        progressed = False
+
+        def park(channel):
+            out.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        # Whole-window fast path: identical control structure reduces the
+        # window to one vectorized op and one epoch advance.
+        wa = rd_a.take_window()
+        wb = rd_b.take_window()
+        if wa is not None and wb is not None:
+            da, pa, ca = wa[0].remaining_arrays()
+            db, pb, cb = wb[0].remaining_arrays()
+            if (
+                len(da) == len(db)
+                and np.array_equal(pa, pb)
+                and np.array_equal(ca, cb)
+                and (len(ca) == 0 or (ca[:-1] >= 0).all())
+                and (len(ca) == 0 or ca[-1] >= CODE_DONE)
+            ):
+                merged_a, di, ci = merge_stamps(wa[0], wa[1], wa[2])
+                merged_b, _, _ = merge_stamps(wb[0], wb[1], wb[2])
+                c = self._t_advance(np.maximum(merged_a, merged_b))
+                out.data_with_ctrl(fn(da, db), pa, ca, c[di], c[ci])
+                if wa[0].ends_done:
+                    out.flush()
+                    self.finished = True
+                    self._wait = None
+                    return True
+                progressed = True
+                return park(self.in_a)
+            rd_a.put_back(wa)
+            rd_b.put_back(wb)
+        else:
+            if wa is not None:
+                rd_a.put_back(wa)
+            if wb is not None:
+                rd_b.put_back(wb)
+
+        while True:
+            ca = rd_a.front_ctrl()
+            cb = rd_b.front_ctrl()
+            la = rd_a.run_length() if ca is None else 0
+            lb = rd_b.run_length() if cb is None else 0
+            if ca is None and la == 0:
+                return park(self.in_a)
+            if cb is None and lb == 0:
+                return park(self.in_b)
+            if ca is None and cb is None:
+                m = min(la, lb)
+                a, sa = rd_a.pop_run_upto(m)
+                b, sb = rd_b.pop_run_upto(m)
+                c = self._t_advance(np.maximum(sa, sb))
+                out.data(fn(a, b), c)
+                progressed = True
+                continue
+            if ca is not None and cb is not None:
+                _, s_a = rd_a.pop()
+                _, s_b = rd_b.pop()
+                cyc = self._t_event(max(s_a, s_b))
+                progressed = True
+                if ca == CODE_DONE and cb == CODE_DONE:
+                    out.ctrl(CODE_DONE, cyc)
+                    out.flush()
+                    self.finished = True
+                    self._wait = None
+                    return True
+                if ca >= 0 and cb >= 0:
+                    if ca != cb:
+                        raise BlockError(
+                            f"{self.name}: misaligned stops "
+                            f"{decode_code(ca)!r} vs {decode_code(cb)!r}"
+                        )
+                    out.ctrl(ca, cyc)
+                    continue
+                raise BlockError(
+                    f"{self.name}: misaligned value streams "
+                    f"({decode_code(ca)!r} vs {decode_code(cb)!r})"
+                )
+            # Phantom-zero realignment (see _drain_phantoms): popped with
+            # no event of its own; its arrival gates the next event.
+            if ca is None:
+                v, s = rd_a.pop()
+                other = decode_code(cb)
+                if v != 0.0:
+                    raise BlockError(
+                        f"{self.name}: misaligned value streams ({v!r} vs {other!r})"
+                    )
+            else:
+                v, s = rd_b.pop()
+                other = decode_code(ca)
+                if v != 0.0:
+                    raise BlockError(
+                        f"{self.name}: misaligned value streams ({other!r} vs {v!r})"
+                    )
+            self._t_defer(s)
+            progressed = True
+
 
 class ScalarALU(Block):
     """One-input ALU with a folded constant (e.g. ``alpha * v``)."""
@@ -362,6 +480,20 @@ class ScalarALU(Block):
             else:
                 out.ctrl(ctrl)
 
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: uniform rate-1 unary map (one token, one cycle)."""
+        if self.finished:
+            return False
+        fn, const = self._fn, self.constant
+        return self._t_unary_window(
+            self.in_a,
+            self._tbuilder(self.out),
+            lambda run: fn(run, const),
+            fn(0.0, const),
+        )
+
 
 class Exp(Block):
     """Pass-through unary map block (utility for custom element-wise ops)."""
@@ -436,3 +568,17 @@ class Exp(Block):
                 return True, steps
             else:
                 out.ctrl(ctrl)
+
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: rate-1 unary map; *fn* applied per element."""
+        if self.finished:
+            return False
+        fn = self._fn
+        return self._t_unary_window(
+            self.in_a,
+            self._tbuilder(self.out),
+            lambda run: np.asarray([fn(v) for v in run.tolist()]),
+            fn(0.0),
+        )

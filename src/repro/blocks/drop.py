@@ -26,8 +26,9 @@ import numpy as np
 
 from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN, TokenBatch
 from ..streams.channel import Channel
+from ..streams.timing import _concat_i64
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 
 class CoordDropper(Block):
@@ -216,6 +217,169 @@ class CoordDropper(Block):
                 if self._cd_held is not None:
                     out_inner.ctrl(self._cd_held.level)
                 out_inner.batch(fiber)
+                self._cd_held = Stop(closing)
+            else:
+                self.dropped += 1
+                self._cd_held = self._merge_held(
+                    self._cd_held, Stop(closing), dropped=True
+                )
+            if closing >= 1:
+                self._cd_fold = closing
+
+    timing = TimingDescriptor()
+
+    def _timed_bail_safe(self) -> bool:
+        return (
+            super()._timed_bail_safe()
+            and self._cd_held is None
+            and self._cd_fold is None
+        )
+
+    @staticmethod
+    def _pop_fiber_timed(reader):
+        """Stamped :meth:`_pop_fiber`: also returns the body token stamps
+        (in stream order, the gather-cycle gates) and the closing stamp.
+        Returns None without consuming when no complete fiber is held."""
+        ready = False
+        for batch, _, _ in reader.held:
+            _, _, ccode = batch.remaining_arrays()
+            if np.any(ccode != CODE_EMPTY):
+                ready = True
+                break
+        if not ready:
+            return None
+        datas: List[np.ndarray] = []
+        cpos: List[int] = []
+        ccode_out: List[int] = []
+        ev_stamps: List[np.ndarray] = []
+        n = 0
+        while True:
+            run, s_run = reader.pop_run()
+            if len(run):
+                datas.append(run)
+                ev_stamps.append(s_run)
+                n += len(run)
+            code = reader.front_ctrl()
+            _, s_ctrl = reader.pop()
+            if code == CODE_EMPTY:
+                cpos.append(n)
+                ccode_out.append(CODE_EMPTY)
+                ev_stamps.append(np.asarray([s_ctrl], dtype=np.int64))
+                continue
+            fiber = TokenBatch(
+                np.concatenate(datas) if datas else np.empty(0, dtype=np.int64),
+                np.asarray(cpos, dtype=np.int64),
+                np.asarray(ccode_out, dtype=np.int64),
+            )
+            return fiber, _concat_i64(ev_stamps), code, s_ctrl
+
+    def drain_timed(self) -> bool:
+        """Timed drain: gather one cycle per inner body token, then emit
+        (or drop) the whole fiber in one burst cycle at the closing stop.
+        """
+        if self.finished:
+            return False
+        rd_out = self._treader(self.in_outer_crd)
+        rd_in = self._treader(self.in_inner)
+        out_outer = self._tbuilder(self.out_outer_crd)
+        out_inner = self._tbuilder(self.out_inner)
+        progressed = False
+
+        def park(channel):
+            out_outer.flush()
+            out_inner.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            if self._cd_fold is not None:
+                nxt, s_n = rd_out.peek()
+                if nxt is NO_TOKEN:
+                    return park(self.in_outer_crd)
+                fold = self._cd_fold
+                if not (is_stop(nxt) and nxt.level == fold - 1):
+                    raise BlockError(
+                        f"{self.name}: inner stop {Stop(fold)!r} expects outer "
+                        f"stop S{fold - 1}, got {nxt!r}"
+                    )
+                rd_out.pop()
+                cyc = self._t_event(s_n)
+                out_outer.ctrl(nxt.level, cyc)
+                self._cd_fold = None
+                progressed = True
+                continue
+            outer, s_o = rd_out.peek()
+            if outer is NO_TOKEN:
+                return park(self.in_outer_crd)
+            if is_done(outer):
+                inner, s_i = rd_in.peek()
+                if inner is NO_TOKEN:
+                    return park(self.in_inner)
+                rd_out.pop()
+                rd_in.pop()
+                cyc = self._t_event(max(s_o, s_i))
+                progressed = True
+                if not is_done(inner):
+                    raise BlockError(
+                        f"{self.name}: inner stream out of sync at D, got {inner!r}"
+                    )
+                if self._cd_held is not None:
+                    out_inner.ctrl(self._cd_held.level, cyc)
+                    self._cd_held = None
+                out_outer.ctrl(CODE_DONE, cyc)
+                out_inner.ctrl(CODE_DONE, cyc)
+                out_outer.flush()
+                out_inner.flush()
+                self.finished = True
+                self._wait = None
+                return True
+            if is_stop(outer):
+                inner, s_i = rd_in.peek()
+                if inner is NO_TOKEN:
+                    return park(self.in_inner)
+                rd_out.pop()
+                rd_in.pop()
+                cyc = self._t_event(max(s_o, s_i))
+                progressed = True
+                if not (is_stop(inner) and inner.level == outer.level + 1):
+                    raise BlockError(
+                        f"{self.name}: outer stop {outer!r} expects inner stop "
+                        f"S{outer.level + 1}, got {inner!r}"
+                    )
+                self._cd_held = (
+                    Stop(max(self._cd_held.level, inner.level))
+                    if self._cd_held is not None
+                    else inner
+                )
+                out_outer.ctrl(outer.level, cyc)
+                continue
+            # Outer coordinate: it owns the next complete inner fiber.
+            popped = self._pop_fiber_timed(rd_in)
+            if popped is None:
+                return park(self.in_inner)
+            fiber, ev_stamps, closing, s_close = popped
+            if closing == CODE_DONE:
+                raise BlockError(f"{self.name}: inner stream ended mid-fiber")
+            rd_out.pop()
+            # Gather cycles: one per body token, the first also gated by
+            # the outer coordinate's pop (no yield between those pops).
+            if len(ev_stamps):
+                arrivals = ev_stamps.copy()
+                if s_o > arrivals[0]:
+                    arrivals[0] = s_o
+                self._t_advance(arrivals)
+            else:
+                self._t_defer(s_o)
+            cyc = self._t_event(s_close)  # the emit/drop decision cycle
+            progressed = True
+            if self._effectual_batch(fiber):
+                out_outer.token(outer, cyc)
+                if self._cd_held is not None:
+                    out_inner.ctrl(self._cd_held.level, cyc)
+                data, cpos, ccode = fiber.remaining_arrays()
+                stamps = np.full(len(data), cyc, dtype=np.int64)
+                cstamps = np.full(len(ccode), cyc, dtype=np.int64)
+                out_inner.data_with_ctrl(data, cpos, ccode, stamps, cstamps)
                 self._cd_held = Stop(closing)
             else:
                 self.dropped += 1
@@ -431,6 +595,101 @@ class ValueDropper(Block):
                 out_c.ctrl(crd.level)
                 out_v.ctrl(val.level)
                 self._vd_crd = NO_TOKEN
+                continue
+            raise BlockError(f"{self.name}: misaligned streams ({crd!r} vs {val!r})")
+
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: one event per (crd, val) pair and per phantom.
+
+        Unlike the reducers, this generator yields once per phantom zero
+        drained at a boundary, so phantoms are events, not carries.
+        """
+        if self.finished:
+            return False
+        rd_c = self._treader(self.in_crd)
+        rd_v = self._treader(self.in_val)
+        rd_v.densify_empty(0.0)
+        out_c = self._tbuilder(self.out_crd)
+        out_v = self._tbuilder(self.out_val)
+        progressed = False
+
+        def park(channel):
+            out_c.flush()
+            out_v.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            cc = rd_c.front_ctrl()
+            if cc is None:
+                lc = rd_c.run_length()
+                if lc == 0:
+                    return park(self.in_crd)
+                cv = rd_v.front_ctrl()
+                if cv is None:
+                    lv = rd_v.run_length()
+                    if lv == 0:
+                        return park(self.in_val)
+                    m = min(lc, lv)
+                    crds, s_c = rd_c.pop_run_upto(m)
+                    vals, s_v = rd_v.pop_run_upto(m)
+                    c = self._t_advance(np.maximum(s_c, s_v))
+                    progressed = True
+                    keep = np.asarray(vals) != 0
+                    dropped = m - int(keep.sum())
+                    if dropped:
+                        self.dropped += dropped
+                    out_c.data(crds[keep], c[keep])
+                    out_v.data(vals[keep], c[keep])
+                    continue
+                # A data coordinate against a control value token.
+                val_front, _ = rd_v.peek()
+                raise BlockError(
+                    f"{self.name}: value stream ran out mid-fiber ({val_front!r})"
+                )
+            # Boundary (stop or done): phantom zeros drain one per cycle.
+            # The boundary coordinate was popped before the first phantom
+            # (no yield between), so its arrival gates that event.
+            _, s_peek = rd_c.peek()
+            self._t_defer(s_peek)
+            while True:
+                cv = rd_v.front_ctrl()
+                if cv is None:
+                    lv = rd_v.run_length()
+                    if lv == 0:
+                        return park(self.in_val)
+                    vals, s_v = rd_v.pop_run_upto(lv)
+                    bad = np.flatnonzero(np.asarray(vals) != 0)
+                    if len(bad):
+                        raise BlockError(
+                            f"{self.name}: non-zero value "
+                            f"{vals[bad[0]]!r} has no coordinate"
+                        )
+                    self._t_advance(s_v)
+                    progressed = True
+                    continue
+                break
+            crd, s_c = rd_c.pop()
+            val, s_v = rd_v.pop()
+            cyc = self._t_event(max(s_c, s_v))
+            progressed = True
+            if is_done(crd) and is_done(val):
+                out_c.ctrl(CODE_DONE, cyc)
+                out_v.ctrl(CODE_DONE, cyc)
+                out_c.flush()
+                out_v.flush()
+                self.finished = True
+                self._wait = None
+                return True
+            if is_stop(crd) and is_stop(val):
+                if crd.level != val.level:
+                    raise BlockError(
+                        f"{self.name}: misaligned stops {crd!r}/{val!r}"
+                    )
+                out_c.ctrl(crd.level, cyc)
+                out_v.ctrl(val.level, cyc)
                 continue
             raise BlockError(f"{self.name}: misaligned streams ({crd!r} vs {val!r})")
 

@@ -27,13 +27,27 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..streams.batch import CODE_DONE, decode_code
+from ..streams.batch import CODE_DONE, CODE_EMPTY, decode_code
 from ..streams.channel import Channel
 from ..streams.token import DONE, EMPTY, Stop, is_data, is_done, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 #: sentinel for "no token held" in the batched intersecter drain
 _NO_TOKEN = object()
+
+
+def _match_empty_dtype(a: np.ndarray, b: np.ndarray):
+    """Give an empty operand the other side's dtype.
+
+    Empty data runs decode as float64 (no tokens to infer from); merging
+    one against an integer coordinate fiber must not promote the result
+    to float, or the merged coordinates change type.
+    """
+    if len(a) == 0 and len(b) != 0:
+        a = a.astype(b.dtype, copy=False)
+    elif len(b) == 0 and len(a) != 0:
+        b = b.astype(a.dtype, copy=False)
+    return a, b
 
 
 @dataclass
@@ -115,6 +129,108 @@ class _Merger(Block):
         levels = {crd.level for crd, _ in tokens}
         if len(levels) != 1:
             raise BlockError(f"{self.name}: misaligned stops {[t[0] for t in tokens]}")
+
+    def _raise_misaligned_codes(self, code_a: int, code_b: int):
+        """Shared protocol error for mismatched fiber-chunk terminators."""
+        raise BlockError(
+            f"{self.name}: misaligned "
+            + (
+                f"stops [{decode_code(code_a)!r}, {decode_code(code_b)!r}]"
+                if code_a >= 0 and code_b >= 0
+                else f"control tokens "
+                f"[{decode_code(code_a)!r}, {decode_code(code_b)!r}]"
+            )
+        )
+
+    # -- batched fiber chunks ------------------------------------------------
+    # Both batched mergers work fiber by fiber: a *chunk* is one side's
+    # complete fiber — a data run on the coordinate stream, the aligned
+    # runs on every reference stream, and the shared terminating control
+    # code.  Reference runs may trail extra zeros (phantom values from
+    # zero-policy reducers in fully-empty regions, riding value streams
+    # wired to reference ports); they are validated *before* anything is
+    # consumed so a dirty chunk can still bail to the scalar path with
+    # the window intact.
+    def _chunk_status(self, index: int, rd_c, rd_refs):
+        """('stall', channel) | ('dirty', None) | ('ok', (code, m))."""
+        side = self.sides[index]
+        code_c = rd_c.next_ctrl_code()
+        if code_c is None:
+            return "stall", side.crd
+        if code_c < CODE_DONE:
+            return "dirty", None  # empty/repeat codes: scalar territory
+        m = rd_c.run_length()
+        for channel, rd_r in zip(side.refs, rd_refs):
+            code_r = rd_r.next_ctrl_code()
+            if code_r is None:
+                return "stall", channel
+            if code_r != code_c:
+                return "dirty", None
+            vals = rd_r.run_values()
+            if len(vals) < m:
+                return "dirty", None
+            if len(vals) > m and np.any(np.asarray(vals[m:]) != 0):
+                return "dirty", None  # a non-zero value is not a phantom
+        return "ok", (code_c, m)
+
+    def _pop_chunk_timed(self, rd_c, rd_refs, m: int):
+        """Consume one stamped fiber chunk from a side's timed readers.
+
+        Returns ``(crds, refs, arrivals, close)``: per-element arrival is
+        the max over the coordinate and reference stamps (a side's tuple
+        pops together); *close* is the boundary tuple's arrival, phantom
+        zeros included (they are drained inside the boundary cycle).
+        """
+        crds, s_c = rd_c.pop_run()
+        _, close = rd_c.pop()
+        arrivals = np.asarray(s_c, dtype=np.int64)
+        refs = []
+        for rd_r in rd_refs:
+            run, s_r = rd_r.pop_run()
+            if len(run) > m and len(s_r):
+                close = max(close, int(s_r[-1]))
+            if m:
+                arrivals = np.maximum(arrivals, s_r[:m])
+            _, s_rc = rd_r.pop()
+            close = max(close, s_rc)
+            refs.append(run[:m])
+        return crds, refs, arrivals, close
+
+    def _merge_events(self, crds_a, arr_a, close_a, crds_b, arr_b, close_b):
+        """Cycle schedule of one fiber-pair merge (2-ary m-finger).
+
+        Both mergers run one comparison event per distinct coordinate of
+        the two fibers plus one boundary event; event *k+1* is gated by
+        the arrival of whatever event *k*'s consumption pulled in next
+        (the generator refills consumed fingers right after its yield).
+        Returns ``(values, present_a, present_b, idx_a, idx_b, cycles)``
+        where ``idx_*`` are each side's searchsorted positions of
+        *values*, ``cycles[:-1]`` the comparison events and
+        ``cycles[-1]`` the boundary event.
+        """
+        crds_a, crds_b = _match_empty_dtype(crds_a, crds_b)
+        values = np.union1d(crds_a, crds_b)
+        m = len(values)
+        ia = np.searchsorted(crds_a, values)
+        present_a = np.zeros(m, dtype=bool)
+        valid = ia < len(crds_a)
+        present_a[valid] = crds_a[ia[valid]] == values[valid]
+        ib = np.searchsorted(crds_b, values)
+        present_b = np.zeros(m, dtype=bool)
+        valid = ib < len(crds_b)
+        present_b[valid] = crds_b[ib[valid]] == values[valid]
+        arrivals = np.zeros(m + 1, dtype=np.int64)
+        head_a = int(arr_a[0]) if len(arr_a) else close_a
+        head_b = int(arr_b[0]) if len(arr_b) else close_b
+        arrivals[0] = max(head_a, head_b)
+        if m:
+            succ_a = np.append(arr_a[1:], close_a)
+            gate_a = np.where(present_a, succ_a[np.cumsum(present_a) - 1], 0)
+            succ_b = np.append(arr_b[1:], close_b)
+            gate_b = np.where(present_b, succ_b[np.cumsum(present_b) - 1], 0)
+            np.maximum(arrivals[1:], np.maximum(gate_a, gate_b), out=arrivals[1:])
+        cycles = self._t_advance(arrivals)
+        return values, present_a, present_b, ia, ib, cycles
 
 
 class Intersect(_Merger):
@@ -222,104 +338,167 @@ class Intersect(_Merger):
     def drain_batch(self):
         """Batched drain: per-fiber sorted-set intersection with numpy.
 
-        Handles the two-sided, one-reference-each shape (the common
-        compiled form).  Each iteration needs one complete fiber chunk —
-        a data run plus its terminating control token — from both sides;
-        SAM's merge protocol keeps the two sides' control structures
-        identical, so fibers pair one-to-one and each pair intersects
-        with ``np.intersect1d`` (fiber coordinates are sorted and
-        unique).  Anything off-protocol (phantom zeros riding reference
-        ports, ragged crd/ref alignment, empty tokens) requeues the
+        Handles every two-sided shape, with any number of reference
+        streams per side (multi-ref sides chain mergers).  Each
+        iteration needs one complete fiber chunk — a data run plus its
+        terminating control token — from both sides; SAM's merge
+        protocol keeps the two sides' control structures identical, so
+        fibers pair one-to-one and each pair intersects with
+        ``np.intersect1d`` (fiber coordinates are sorted and unique).
+        Trailing phantom zeros on reference-port value streams are
+        validated and dropped; anything else off-protocol (ragged
+        crd/ref alignment, empty tokens, higher arities) requeues the
         window and falls back to the scalar drain permanently.
         """
         if self.finished:
             return False, 0
-        if self.arity != 2 or len(self.sides[0].refs) != 1 or len(self.sides[1].refs) != 1:
+        if self.arity != 2:
             return self._bail_batch()
-        readers = []
-        for side in self.sides:
-            readers.append(
-                (self._breader(side.crd), self._breader(side.refs[0]))
-            )
+        readers = [
+            (self._breader(side.crd), [self._breader(ch) for ch in side.refs])
+            for side in self.sides
+        ]
         out_crd = self._bbuilder(self.out_crd)
-        out_a = self._bbuilder(self.out_refs[0][0])
-        out_b = self._bbuilder(self.out_refs[1][0])
+        out_groups = [
+            [self._bbuilder(ch) for ch in group] for group in self.out_refs
+        ]
+        builders = [out_crd] + [b for group in out_groups for b in group]
         steps = 0
 
         def park(channel):
             nonlocal steps
-            for builder in (out_crd, out_a, out_b):
+            for builder in builders:
                 steps += builder.flush()
             self._wait = (channel, "data")
             return steps > 0, steps
 
         while True:
-            chunks = []
-            stall = None
-            clean = True
-            for i, (rd_c, rd_r) in enumerate(readers):
-                code_c = rd_c.next_ctrl_code()
-                if code_c is None:
-                    stall = self.sides[i].crd
-                    break
-                code_r = rd_r.next_ctrl_code()
-                if code_r is None:
-                    stall = self.sides[i].refs[0]
-                    break
-                if (
-                    code_c != code_r
-                    or code_c < CODE_DONE  # empty/repeat: scalar territory
-                    or rd_c.run_length() != rd_r.run_length()
-                ):
-                    clean = False
-                    break
-                chunks.append((rd_c, rd_r, code_c))
-            if stall is not None:
-                return park(stall)
-            if not clean:
-                for builder in (out_crd, out_a, out_b):
-                    builder.flush()
-                return self._bail_batch()
-            (rd_ca, rd_ra, code_a), (rd_cb, rd_rb, code_b) = chunks
-            crds_a = rd_ca.pop_run()
-            refs_a = rd_ra.pop_run()
-            crds_b = rd_cb.pop_run()
-            refs_b = rd_rb.pop_run()
-            rd_ca.pop()
-            rd_ra.pop()
-            rd_cb.pop()
-            rd_rb.pop()
-            steps += 2 * (len(crds_a) + len(crds_b)) + 4
-            if len(crds_a) and len(crds_b):
+            infos = []
+            for i, (rd_c, rd_refs) in enumerate(readers):
+                status, payload = self._chunk_status(i, rd_c, rd_refs)
+                if status == "stall":
+                    return park(payload)
+                if status == "dirty":
+                    for builder in builders:
+                        builder.flush()
+                    return self._bail_batch()
+                infos.append(payload)
+            (code_a, ma), (code_b, mb) = infos
+            crds = []
+            refs = []
+            for (rd_c, rd_refs), (_, m) in zip(readers, infos):
+                crds.append(rd_c.pop_run())
+                rd_c.pop()
+                side_refs = []
+                for rd_r in rd_refs:
+                    run = rd_r.pop_run()
+                    steps += len(run) + 1
+                    side_refs.append(run[:m])
+                    rd_r.pop()
+                refs.append(side_refs)
+                steps += m + 1
+            if ma and mb:
                 common, ia, ib = np.intersect1d(
-                    crds_a, crds_b, assume_unique=True, return_indices=True
+                    crds[0], crds[1], assume_unique=True, return_indices=True
                 )
                 if len(common):
                     out_crd.data(common)
-                    out_a.data(refs_a[ia])
-                    out_b.data(refs_b[ib])
+                    for builder, run in zip(out_groups[0], refs[0]):
+                        builder.data(run[ia])
+                    for builder, run in zip(out_groups[1], refs[1]):
+                        builder.data(run[ib])
             if code_a == CODE_DONE and code_b == CODE_DONE:
-                out_crd.ctrl(CODE_DONE)
-                out_a.ctrl(CODE_DONE)
-                out_b.ctrl(CODE_DONE)
-                for builder in (out_crd, out_a, out_b):
+                for builder in builders:
+                    builder.ctrl(CODE_DONE)
+                for builder in builders:
                     steps += builder.flush()
                 self.finished = True
                 self._wait = None
                 return True, steps
             if code_a != code_b:
-                raise BlockError(
-                    f"{self.name}: misaligned "
-                    + (
-                        f"stops [{decode_code(code_a)!r}, {decode_code(code_b)!r}]"
-                        if code_a >= 0 and code_b >= 0
-                        else f"control tokens "
-                        f"[{decode_code(code_a)!r}, {decode_code(code_b)!r}]"
-                    )
-                )
-            out_crd.ctrl(code_a)
-            out_a.ctrl(code_a)
-            out_b.ctrl(code_a)
+                self._raise_misaligned_codes(code_a, code_b)
+            for builder in builders:
+                builder.ctrl(code_a)
+            self._side_fibers[0] += 1
+            self._side_fibers[1] += 1
+
+    timing = TimingDescriptor()
+
+    def timed_capable(self) -> bool:
+        # Skip hints feed a timing side channel the batched merge does
+        # not model; graphs that wire them run the scalar timed path on
+        # both the merger and its scanners.
+        return self.arity == 2 and all(side.skip is None for side in self.sides)
+
+    def drain_timed(self) -> bool:
+        """Timed drain: per-fiber merge with one epoch advance per fiber.
+
+        One comparison event per distinct coordinate plus one boundary
+        event — exactly the generator's two-finger schedule — computed
+        by :meth:`_Merger._merge_events`.
+        """
+        if self.finished:
+            return False
+        readers = [
+            (self._treader(side.crd), [self._treader(ch) for ch in side.refs])
+            for side in self.sides
+        ]
+        out_crd = self._tbuilder(self.out_crd)
+        out_groups = [
+            [self._tbuilder(ch) for ch in group] for group in self.out_refs
+        ]
+        builders = [out_crd] + [b for group in out_groups for b in group]
+        progressed = False
+
+        def park(channel):
+            for builder in builders:
+                builder.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            infos = []
+            for i, (rd_c, rd_refs) in enumerate(readers):
+                status, payload = self._chunk_status(i, rd_c, rd_refs)
+                if status == "stall":
+                    return park(payload)
+                if status == "dirty":
+                    for builder in builders:
+                        builder.flush()
+                    return self._bail_timed()
+                infos.append(payload)
+            (code_a, ma), (code_b, mb) = infos
+            crds_a, refs_a, arr_a, close_a = self._pop_chunk_timed(
+                readers[0][0], readers[0][1], ma
+            )
+            crds_b, refs_b, arr_b, close_b = self._pop_chunk_timed(
+                readers[1][0], readers[1][1], mb
+            )
+            values, pa, pb, ia, ib, c = self._merge_events(
+                crds_a, arr_a, close_a, crds_b, arr_b, close_b
+            )
+            progressed = True
+            match = pa & pb
+            if match.any():
+                stamps = c[:-1][match]
+                out_crd.data(values[match], stamps)
+                for builder, run in zip(out_groups[0], refs_a):
+                    builder.data(run[ia[match]], stamps)
+                for builder, run in zip(out_groups[1], refs_b):
+                    builder.data(run[ib[match]], stamps)
+            boundary = int(c[-1])
+            if code_a == CODE_DONE and code_b == CODE_DONE:
+                for builder in builders:
+                    builder.ctrl(CODE_DONE, boundary)
+                for builder in builders:
+                    builder.flush()
+                self.finished = True
+                self._wait = None
+                return True
+            if code_a != code_b:
+                self._raise_misaligned_codes(code_a, code_b)
+            for builder in builders:
+                builder.ctrl(code_a, boundary)
             self._side_fibers[0] += 1
             self._side_fibers[1] += 1
 
@@ -426,6 +605,168 @@ class Union(_Merger):
     """M-ary unioner (Definition 3.3, Figure 5)."""
 
     primitive = "union"
+
+    def drain_batch(self):
+        """Batched drain: per-fiber sorted-set union with numpy.
+
+        Two-sided unions (any reference count per side) merge fiber by
+        fiber: the output coordinates are ``np.union1d`` of the pair,
+        present sides contribute their references, absent sides get
+        ``N`` tokens at the matching positions (Figure 5).  Trailing
+        phantom zeros on reference-port value streams — the post-compute
+        union shape elementwise-add graphs build — are validated and
+        dropped.  Anything else off-protocol, or an arity above two,
+        requeues the window and falls back to the scalar drain.
+        """
+        if self.finished:
+            return False, 0
+        if self.arity != 2:
+            return self._bail_batch()
+        readers = [
+            (self._breader(side.crd), [self._breader(ch) for ch in side.refs])
+            for side in self.sides
+        ]
+        out_crd = self._bbuilder(self.out_crd)
+        out_groups = [
+            [self._bbuilder(ch) for ch in group] for group in self.out_refs
+        ]
+        builders = [out_crd] + [b for group in out_groups for b in group]
+        steps = 0
+
+        def park(channel):
+            nonlocal steps
+            for builder in builders:
+                steps += builder.flush()
+            self._wait = (channel, "data")
+            return steps > 0, steps
+
+        while True:
+            infos = []
+            for i, (rd_c, rd_refs) in enumerate(readers):
+                status, payload = self._chunk_status(i, rd_c, rd_refs)
+                if status == "stall":
+                    return park(payload)
+                if status == "dirty":
+                    for builder in builders:
+                        builder.flush()
+                    return self._bail_batch()
+                infos.append(payload)
+            (code_a, ma), (code_b, mb) = infos
+            crds = []
+            refs = []
+            for (rd_c, rd_refs), (_, m) in zip(readers, infos):
+                crds.append(rd_c.pop_run())
+                rd_c.pop()
+                side_refs = []
+                for rd_r in rd_refs:
+                    run = rd_r.pop_run()
+                    steps += len(run) + 1
+                    side_refs.append(run[:m])
+                    rd_r.pop()
+                refs.append(side_refs)
+                steps += m + 1
+            values = np.union1d(*_match_empty_dtype(crds[0], crds[1]))
+            if len(values):
+                out_crd.data(values)
+                for side_crds, side_refs, group in zip(crds, refs, out_groups):
+                    idx = np.searchsorted(side_crds, values)
+                    present = np.zeros(len(values), dtype=bool)
+                    valid = idx < len(side_crds)
+                    present[valid] = side_crds[idx[valid]] == values[valid]
+                    absent_pos = (np.cumsum(present) - present)[~present]
+                    empties = np.full(len(absent_pos), CODE_EMPTY, dtype=np.int64)
+                    for builder, run in zip(group, side_refs):
+                        builder.data_with_ctrl(
+                            run[idx[present]], absent_pos, empties
+                        )
+            if code_a == CODE_DONE and code_b == CODE_DONE:
+                for builder in builders:
+                    builder.ctrl(CODE_DONE)
+                for builder in builders:
+                    steps += builder.flush()
+                self.finished = True
+                self._wait = None
+                return True, steps
+            if code_a != code_b:
+                self._raise_misaligned_codes(code_a, code_b)
+            for builder in builders:
+                builder.ctrl(code_a)
+
+    timing = TimingDescriptor()
+
+    def timed_capable(self) -> bool:
+        return self.arity == 2 and all(side.skip is None for side in self.sides)
+
+    def drain_timed(self) -> bool:
+        """Timed drain: one event per union coordinate plus the boundary."""
+        if self.finished:
+            return False
+        readers = [
+            (self._treader(side.crd), [self._treader(ch) for ch in side.refs])
+            for side in self.sides
+        ]
+        out_crd = self._tbuilder(self.out_crd)
+        out_groups = [
+            [self._tbuilder(ch) for ch in group] for group in self.out_refs
+        ]
+        builders = [out_crd] + [b for group in out_groups for b in group]
+        progressed = False
+
+        def park(channel):
+            for builder in builders:
+                builder.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            infos = []
+            for i, (rd_c, rd_refs) in enumerate(readers):
+                status, payload = self._chunk_status(i, rd_c, rd_refs)
+                if status == "stall":
+                    return park(payload)
+                if status == "dirty":
+                    for builder in builders:
+                        builder.flush()
+                    return self._bail_timed()
+                infos.append(payload)
+            (code_a, ma), (code_b, mb) = infos
+            crds_a, refs_a, arr_a, close_a = self._pop_chunk_timed(
+                readers[0][0], readers[0][1], ma
+            )
+            crds_b, refs_b, arr_b, close_b = self._pop_chunk_timed(
+                readers[1][0], readers[1][1], mb
+            )
+            values, pa, pb, ia, ib, c = self._merge_events(
+                crds_a, arr_a, close_a, crds_b, arr_b, close_b
+            )
+            progressed = True
+            if len(values):
+                stamps = c[:-1]
+                out_crd.data(values, stamps)
+                for present, idx, side_refs, group in (
+                    (pa, ia, refs_a, out_groups[0]),
+                    (pb, ib, refs_b, out_groups[1]),
+                ):
+                    absent_pos = (np.cumsum(present) - present)[~present]
+                    empties = np.full(len(absent_pos), CODE_EMPTY, dtype=np.int64)
+                    for builder, run in zip(group, side_refs):
+                        builder.data_with_ctrl(
+                            run[idx[present]], absent_pos, empties,
+                            stamps[present], stamps[~present],
+                        )
+            boundary = int(c[-1])
+            if code_a == CODE_DONE and code_b == CODE_DONE:
+                for builder in builders:
+                    builder.ctrl(CODE_DONE, boundary)
+                for builder in builders:
+                    builder.flush()
+                self.finished = True
+                self._wait = None
+                return True
+            if code_a != code_b:
+                self._raise_misaligned_codes(code_a, code_b)
+            for builder in builders:
+                builder.ctrl(code_a, boundary)
 
     def _run(self):
         tokens = yield from self._pop_all()

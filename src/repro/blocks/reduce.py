@@ -32,8 +32,9 @@ import numpy as np
 
 from ..streams.batch import CODE_DONE, decode_code, sequential_segment_sums
 from ..streams.channel import Channel
+from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 EMPTY_POLICIES = ("zero", "drop")
 
@@ -83,14 +84,38 @@ class ScalarReducer(Block):
         self._batch_ok = False
         return self.drain()
 
-    def drain_batch(self):
-        """Batched drain: all region sums in one pass over the window.
+    def _region_sums(self, data, cpos, ccode):
+        """Region aggregation shared by the batched and timed planes.
 
         Region boundaries are the window's control tokens; sums go
         through :func:`sequential_segment_sums`, which accumulates in
         the exact order of the generator's running ``acc`` so results
-        are bit-identical to the scalar plane.
+        are bit-identical to the scalar plane.  Consumes the carried
+        open-region state; returns ``(sums, emit, elevated, pref)`` —
+        per-boundary sums, the emission mask for the empty policy, the
+        level-elevated boundaries, and the emitted-prefix counts.
         """
+        starts = np.concatenate([np.zeros(1, dtype=np.int64), cpos[:-1]])
+        lens = cpos - starts
+        sums = sequential_segment_sums(data[: int(cpos[-1])], starts, lens)
+        saw = lens > 0
+        if self._acc_parts:
+            region0 = np.concatenate(self._acc_parts + [data[: int(cpos[0])]])
+            sums[0] = sequential_segment_sums(
+                region0, np.zeros(1, dtype=np.int64),
+                np.asarray([len(region0)], dtype=np.int64),
+            )[0]
+            saw[0] = True
+            self._acc_parts = []
+        saw[0] |= self._acc_saw
+        self._acc_saw = False
+        stops = ccode >= 0
+        emit = stops if self.empty_policy == "zero" else (stops & saw)
+        elevated = stops & (ccode >= 1)
+        return sums, emit, elevated, np.cumsum(emit)
+
+    def drain_batch(self):
+        """Batched drain: all region sums in one pass over the window."""
         if self.finished:
             return False, 0
         reader = self._breader(self.in_val)
@@ -111,24 +136,7 @@ class ScalarReducer(Block):
                 self._acc_saw = True
             self._wait = (self.in_val, "data")
             return steps > 0, steps
-        starts = np.concatenate([np.zeros(1, dtype=np.int64), cpos[:-1]])
-        lens = cpos - starts
-        sums = sequential_segment_sums(data[: int(cpos[-1])], starts, lens)
-        saw = lens > 0
-        if self._acc_parts:
-            region0 = np.concatenate(self._acc_parts + [data[: int(cpos[0])]])
-            sums[0] = sequential_segment_sums(
-                region0, np.zeros(1, dtype=np.int64),
-                np.asarray([len(region0)], dtype=np.int64),
-            )[0]
-            saw[0] = True
-            self._acc_parts = []
-        saw[0] |= self._acc_saw
-        self._acc_saw = False
-        stops = ccode >= 0
-        emit = stops if self.empty_policy == "zero" else (stops & saw)
-        elevated = stops & (ccode >= 1)
-        pref = np.cumsum(emit)
+        sums, emit, elevated, pref = self._region_sums(data, cpos, ccode)
         out.data_with_ctrl(sums[emit], pref[elevated], ccode[elevated] - 1)
         if head.ends_done:
             # A trailing unterminated accumulation would be a protocol
@@ -147,6 +155,67 @@ class ScalarReducer(Block):
         steps += out.flush()
         self._wait = (self.in_val, "data")
         return steps > 0, steps
+
+    timing = TimingDescriptor()
+
+    def _timed_bail_safe(self) -> bool:
+        return super()._timed_bail_safe() and not (
+            self._acc_parts or self._acc_saw
+        )
+
+    def drain_timed(self) -> bool:
+        """Timed drain: uniform rate 1 — every input token is one event.
+
+        Region sums are pushed within their closing stop's event cycle
+        (the generator accumulates one value per cycle and emits at the
+        boundary cycle), so the whole window is one epoch advance plus
+        the batched segment sums.
+        """
+        if self.finished:
+            return False
+        reader = self._treader(self.in_val)
+        reader.densify_empty(0.0)
+        out = self._tbuilder(self.out_val)
+        window = reader.take_window()
+        if window is None:
+            self._wait = (self.in_val, "data")
+            return False
+        head, sd, sc, tail = split_done_stamped(*window)
+        data, cpos, ccode = head.remaining_arrays()
+        data = np.asarray(data, dtype=np.float64)
+        merged, di, ci = merge_stamps(head, sd, sc)
+        if len(merged) == 0:
+            self._wait = (self.in_val, "data")
+            return False
+        c = self._t_advance(merged)
+        cctrl = c[ci]
+        if len(ccode) == 0:
+            # No region boundary in the window yet: carry and wait.
+            if len(data):
+                self._acc_parts.append(data)
+                self._acc_saw = True
+            self._wait = (self.in_val, "data")
+            return True
+        sums, emit, elevated, pref = self._region_sums(data, cpos, ccode)
+        out.data_with_ctrl(
+            sums[emit], pref[elevated], ccode[elevated] - 1,
+            cctrl[emit], cctrl[elevated],
+        )
+        if head.ends_done:
+            out.ctrl(CODE_DONE, int(cctrl[-1]))
+            out.flush()
+            if tail is not None:
+                self.in_val.timed_requeue_front(*tail)
+            self.finished = True
+            self._wait = None
+            return True
+        rest = data[int(cpos[-1]):]
+        if len(rest):
+            self._acc_parts.append(rest)
+            self._acc_saw = True
+        out.flush()
+        self._wait = (self.in_val, "data")
+        return True
 
     def _run(self):
         acc = 0.0
@@ -229,17 +298,31 @@ class VectorReducer(Block):
         self._batch_ok = False
         return self.drain()
 
+    def _dedup_workspace(self):
+        """Flush the open region: unique sorted coords with summed values.
+
+        ``np.add.at`` is unbuffered (strictly in index order), so
+        duplicate coordinates accumulate in exact arrival order — the
+        invariant both fast planes need for bit-identical sums.
+        Consumes the workspace; returns ``(uniq, sums)`` or None.
+        """
+        if not self._region_crds:
+            return None
+        crds = np.concatenate(self._region_crds).astype(np.int64, copy=False)
+        vals = np.concatenate(self._region_vals).astype(np.float64, copy=False)
+        uniq, inverse = np.unique(crds, return_inverse=True)
+        sums = np.zeros(len(uniq))
+        np.add.at(sums, inverse, vals)
+        self._region_crds = []
+        self._region_vals = []
+        return uniq, sums
+
     def _flush_batch(self, out_crd, out_val, stop_level: int) -> None:
-        if self._region_crds:
-            crds = np.concatenate(self._region_crds).astype(np.int64, copy=False)
-            vals = np.concatenate(self._region_vals).astype(np.float64, copy=False)
-            uniq, inverse = np.unique(crds, return_inverse=True)
-            sums = np.zeros(len(uniq))
-            np.add.at(sums, inverse, vals)  # unbuffered: arrival order
+        flushed = self._dedup_workspace()
+        if flushed is not None:
+            uniq, sums = flushed
             out_crd.data(uniq)
             out_val.data(sums + 0.0)
-            self._region_crds = []
-            self._region_vals = []
         out_crd.ctrl(stop_level)
         out_val.ctrl(stop_level)
         self._emitted_since_flush = True
@@ -325,6 +408,119 @@ class VectorReducer(Block):
                 if cc < self.flush_level:
                     continue  # same region continues; absorb the boundary
                 self._flush_batch(out_c, out_v, cc - self.flush_level)
+                continue
+            raise BlockError(
+                f"{self.name}: misaligned inputs "
+                f"({decode_code(cc)!r} vs {decode_code(cv)!r})"
+            )
+
+    timing = TimingDescriptor()
+
+    def _timed_bail_safe(self) -> bool:
+        return super()._timed_bail_safe() and not self._region_crds
+
+    def _flush_timed(self, out_c, out_v, stop_level: int, arrival: int) -> None:
+        """Flush the workspace: one event per unique coordinate + the stop.
+
+        The first flush event is gated by the boundary pair's arrival
+        (the generator pops the boundary, then streams the workspace one
+        pair per cycle, then the stop pair in its own cycle).
+        """
+        flushed = self._dedup_workspace()
+        n_out = 0 if flushed is None else len(flushed[0])
+        arrivals = np.zeros(n_out + 1, dtype=np.int64)
+        arrivals[0] = arrival
+        c = self._t_advance(arrivals)
+        if n_out:
+            uniq, sums = flushed
+            out_c.data(uniq, c[:n_out])
+            out_v.data(sums + 0.0, c[:n_out])
+        out_c.ctrl(stop_level, int(c[n_out]))
+        out_v.ctrl(stop_level, int(c[n_out]))
+        self._emitted_since_flush = True
+
+    def drain_timed(self) -> bool:
+        """Timed drain: accumulate aligned runs rate 1, flush at boundaries."""
+        if self.finished:
+            return False
+        rd_c = self._treader(self.in_crd)
+        rd_v = self._treader(self.in_val)
+        rd_v.densify_empty(0.0)
+        out_c = self._tbuilder(self.out_crd)
+        out_v = self._tbuilder(self.out_val)
+        progressed = False
+
+        def park(channel):
+            out_c.flush()
+            out_v.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            cc = rd_c.front_ctrl()
+            cv = rd_v.front_ctrl()
+            lc = rd_c.run_length() if cc is None else 0
+            lv = rd_v.run_length() if cv is None else 0
+            if cc is None and lc == 0:
+                return park(self.in_crd)
+            if cc is None and cv is None:
+                if lv == 0:
+                    return park(self.in_val)
+                m = min(lc, lv)
+                crds, s_c = rd_c.pop_run_upto(m)
+                vals, s_v = rd_v.pop_run_upto(m)
+                self._region_crds.append(crds)
+                self._region_vals.append(np.asarray(vals, dtype=np.float64))
+                self._t_advance(np.maximum(s_c, s_v))
+                progressed = True
+                continue
+            if cc is not None and cv is None:
+                # Phantom zeros (regions with no coordinates at all):
+                # consumed inside the boundary's cycle, no events.
+                if lv == 0:
+                    return park(self.in_val)
+                vals, s_v = rd_v.pop_run_upto(lv)
+                bad = np.flatnonzero(np.asarray(vals) != 0.0)
+                if len(bad):
+                    raise BlockError(
+                        f"{self.name}: non-zero value {vals[bad[0]]!r} without a "
+                        f"coordinate"
+                    )
+                self._t_defer(int(s_v[-1]))
+                progressed = True
+                continue
+            if cc is None:
+                raise BlockError(
+                    f"{self.name}: misaligned inputs "
+                    f"({rd_c.peek()[0]!r} vs {rd_v.peek()[0]!r})"
+                )
+            _, s_c = rd_c.pop()
+            _, s_v = rd_v.pop()
+            arrival = max(s_c, s_v)
+            progressed = True
+            if cc == CODE_DONE and cv == CODE_DONE:
+                if self._region_crds or not self._emitted_since_flush:
+                    self._flush_timed(out_c, out_v, 0, arrival)
+                    cyc = self._t_event(0)
+                else:
+                    cyc = self._t_event(arrival)
+                out_c.ctrl(CODE_DONE, cyc)
+                out_v.ctrl(CODE_DONE, cyc)
+                out_c.flush()
+                out_v.flush()
+                self.finished = True
+                self._wait = None
+                return True
+            if cc >= 0 and cv >= 0:
+                if cc != cv:
+                    raise BlockError(
+                        f"{self.name}: misaligned stops "
+                        f"{decode_code(cc)!r}/{decode_code(cv)!r}"
+                    )
+                if cc < self.flush_level:
+                    self._t_event(arrival)  # absorb the boundary: one cycle
+                    continue
+                self._flush_timed(out_c, out_v, cc - self.flush_level, arrival)
                 continue
             raise BlockError(
                 f"{self.name}: misaligned inputs "

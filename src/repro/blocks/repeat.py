@@ -36,8 +36,9 @@ from ..streams.batch import (
     TokenBatch,
 )
 from ..streams.channel import Channel
+from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 #: the repeat token emitted by RepeatSigGen for every coordinate
 REPEAT = "R"
@@ -101,6 +102,45 @@ class RepeatSigGen(Block):
             return True, steps
         self._wait = (self.in_crd, "data")
         return steps > 0, steps
+
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: uniform rate-1 map onto a pure-control batch."""
+        if self.finished:
+            return False
+        reader = self._treader(self.in_crd)
+        window = reader.take_window()
+        if window is None:
+            self._wait = (self.in_crd, "data")
+            return False
+        head, sd, sc, tail = split_done_stamped(*window)
+        data, cpos, ccode = head.remaining_arrays()
+        merged, di, ci = merge_stamps(head, sd, sc)
+        total = len(merged)
+        if total == 0:
+            self._wait = (self.in_crd, "data")
+            return False
+        c = self._t_advance(merged)
+        codes = np.full(total, CODE_REPEAT, dtype=np.int64)
+        codes[cpos + np.arange(len(ccode), dtype=np.int64)] = ccode
+        self.out_repsig.push_batch_timed(
+            TokenBatch(
+                np.empty(0, dtype=np.int64),
+                np.zeros(total, dtype=np.int64),
+                codes,
+            ),
+            np.empty(0, dtype=np.int64),
+            c,
+        )
+        if head.ends_done:
+            if tail is not None:
+                self.in_crd.timed_requeue_front(*tail)
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (self.in_crd, "data")
+        return True
 
 
 class Repeater(Block):
@@ -233,6 +273,108 @@ class Repeater(Block):
             rd_sig.pop()
             steps += 1
             out.ctrl(signal.level)
+            if signal.level >= 1:
+                self._rep_fold = signal.level
+            self._rep_ref = NO_TOKEN
+
+    timing = TimingDescriptor()
+
+    def _timed_bail_safe(self) -> bool:
+        return (
+            super()._timed_bail_safe()
+            and self._rep_ref is NO_TOKEN
+            and self._rep_fold is None
+        )
+
+    def drain_timed(self) -> bool:
+        """Timed drain: one event per emitted token; reference pops and
+        fold pops happen between yields, so they carry into the next
+        event's gate instead of owning a cycle."""
+        if self.finished:
+            return False
+        rd_ref = self._treader(self.in_ref)
+        rd_sig = self._treader(self.in_repsig)
+        out = self._tbuilder(self.out_ref)
+        progressed = False
+
+        def park(channel):
+            out.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            if self._rep_fold is not None:
+                token, s = rd_ref.peek()
+                if token is NO_TOKEN:
+                    return park(self.in_ref)
+                if not (is_stop(token) and token.level == self._rep_fold - 1):
+                    raise BlockError(
+                        f"{self.name}: driver stop S{self._rep_fold} expects "
+                        f"reference stop S{self._rep_fold - 1}, got {token!r}"
+                    )
+                rd_ref.pop()
+                self._t_defer(s)
+                self._rep_fold = None
+                progressed = True
+                continue
+            if self._rep_ref is NO_TOKEN:
+                token, s = rd_ref.peek()
+                if token is NO_TOKEN:
+                    return park(self.in_ref)
+                if is_data(token) or is_empty(token):
+                    rd_ref.pop()
+                    self._t_defer(s)
+                    self._rep_ref = token
+                    progressed = True
+                    continue
+                # Stop or done on the reference stream: the driver must
+                # carry the matching (elevated or done) token.
+                signal, s_sig = rd_sig.peek()
+                if signal is NO_TOKEN:
+                    return park(self.in_repsig)
+                rd_ref.pop()
+                rd_sig.pop()
+                cyc = self._t_event(max(s, s_sig))
+                progressed = True
+                if is_done(token):
+                    if not is_done(signal):
+                        raise BlockError(
+                            f"{self.name}: driver stream out of sync at D "
+                            f"({signal!r})"
+                        )
+                    out.ctrl(CODE_DONE, cyc)
+                    out.flush()
+                    self.finished = True
+                    self._wait = None
+                    return True
+                if not (is_stop(signal) and signal.level == token.level + 1):
+                    raise BlockError(
+                        f"{self.name}: reference stop {token!r} expects driver "
+                        f"stop S{token.level + 1}, got {signal!r}"
+                    )
+                out.ctrl(signal.level, cyc)
+                continue
+            # A reference is pending: replay it once per R of the fiber.
+            repeats, s_r = rd_sig.pop_repeat_run()
+            if repeats:
+                c = self._t_advance(s_r)
+                if is_empty(self._rep_ref):
+                    out.ctrl_run(CODE_EMPTY, c)
+                else:
+                    out.data(np.full(repeats, self._rep_ref), c)
+                progressed = True
+                continue
+            signal, s_sig = rd_sig.peek()
+            if signal is NO_TOKEN:
+                return park(self.in_repsig)
+            if not is_stop(signal):
+                raise BlockError(
+                    f"{self.name}: driver stream ended mid-fiber ({signal!r})"
+                )
+            rd_sig.pop()
+            cyc = self._t_event(s_sig)
+            progressed = True
+            out.ctrl(signal.level, cyc)
             if signal.level >= 1:
                 self._rep_fold = signal.level
             self._rep_ref = NO_TOKEN

@@ -34,7 +34,7 @@ from ..formats.level import Level
 from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 
 class LevelScanner(Block):
@@ -263,6 +263,115 @@ class LevelScanner(Block):
             # level up to preserve the hierarchy.
             out_crd.ctrl(ctrl + 1)
             out_ref.ctrl(ctrl + 1)
+            self._fiber_index += 1
+
+    timing = TimingDescriptor()
+
+    def timed_capable(self) -> bool:
+        # Skip hints are consumed by *polling* mid-scan, which ties the
+        # scanner's schedule to the intersecter's — scalar timed path.
+        return self.in_skip is None and hasattr(self.level, "fiber_arrays")
+
+    def drain_timed(self) -> bool:
+        """Timed drain: whole fibers as one epoch advance each run.
+
+        The generator emits one (crd, ref) pair per cycle while a fiber
+        streams and one closing-stop cycle per fiber gated by the *next*
+        input token (the ``_peek``); within a run of data refs all those
+        gates are known, so an entire run costs one vectorized schedule.
+        """
+        if self.finished:
+            return False
+        level = self.level
+        reader = self._treader(self.in_ref)
+        out_crd = self._tbuilder(self.out_crd)
+        out_ref = self._tbuilder(self.out_ref)
+        progressed = False
+
+        def park():
+            out_crd.flush()
+            out_ref.flush()
+            self._wait = (self.in_ref, "data")
+            return progressed
+
+        while True:
+            if self._after_fiber:
+                # The closing stop's level (and cycle) depend on the next
+                # input token: S(n+1) consumes a stop, S0 just peeks.
+                token, stamp = reader.peek()
+                if token is NO_TOKEN:
+                    return park()
+                if is_stop(token):
+                    reader.pop()
+                    level_code = token.level + 1
+                else:
+                    level_code = 0
+                cyc = self._t_event(stamp)
+                out_crd.ctrl(level_code, cyc)
+                out_ref.ctrl(level_code, cyc)
+                self._fiber_index += 1
+                self._after_fiber = False
+                progressed = True
+                continue
+            ctrl = reader.front_ctrl()
+            if ctrl is None:
+                refs, stamps = reader.pop_run()
+                n = len(refs)
+                if n == 0:
+                    return park()
+                crds, children, lens = level.fiber_arrays(refs)
+                lens = np.asarray(lens, dtype=np.int64)
+                # Events per ref: its pair emissions plus — for every ref
+                # but the last — the closing stop (the last ref's stop
+                # waits for a token outside this run).
+                ev_per_ref = lens.copy()
+                if n > 1:
+                    ev_per_ref[: n - 1] += 1
+                total = int(ev_per_ref.sum())
+                starts = np.concatenate(
+                    [np.zeros(1, dtype=np.int64), np.cumsum(ev_per_ref)[:-1]]
+                )
+                arrivals = np.zeros(total, dtype=np.int64)
+                has_fiber = lens > 0
+                arrivals[starts[has_fiber]] = stamps[has_fiber]
+                stop_idx = (starts + lens)[: n - 1]
+                if n > 1:
+                    np.maximum.at(arrivals, stop_idx, stamps[1:])
+                c = self._t_advance(arrivals)
+                emit_mask = np.ones(total, dtype=bool)
+                emit_mask[stop_idx] = False
+                breaks = np.cumsum(lens[:-1])
+                zeros = np.zeros(len(breaks), dtype=np.int64)
+                out_crd.data_with_ctrl(crds, breaks, zeros, c[emit_mask], c[stop_idx])
+                out_ref.data_with_ctrl(
+                    children, breaks, zeros, c[emit_mask], c[stop_idx]
+                )
+                self._fiber_index += n - 1
+                self._after_fiber = True
+                self._t_defer(int(stamps[-1]))
+                progressed = True
+                continue
+            _, stamp = reader.pop()
+            progressed = True
+            if ctrl == CODE_DONE:
+                cyc = self._t_event(stamp)
+                out_crd.ctrl(CODE_DONE, cyc)
+                out_ref.ctrl(CODE_DONE, cyc)
+                out_crd.flush()
+                out_ref.flush()
+                self.finished = True
+                self._wait = None
+                return True
+            if ctrl == CODE_EMPTY:
+                # An empty reference scans as an empty fiber: no emission
+                # event; the closing stop is gated by this token too.
+                self._t_defer(stamp)
+                self._after_fiber = True
+                continue
+            # Stray stop: one pass-through event, one level up.
+            cyc = self._t_event(stamp)
+            out_crd.ctrl(ctrl + 1, cyc)
+            out_ref.ctrl(ctrl + 1, cyc)
             self._fiber_index += 1
 
 

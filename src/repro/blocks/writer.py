@@ -22,8 +22,28 @@ from ..formats.dense import DenseLevel
 from ..formats.linkedlist import LinkedListLevel
 from ..formats.tensor import FiberTensor
 from ..streams.channel import Channel
+from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
+
+
+def _sink_window_timed(block, channel, reader):
+    """Shared uniform rate-1 sink advance for the level writers.
+
+    Every input token costs one cycle and produces no output; returns
+    the consumed ``(head, tail)`` stamped window or None when starved.
+    """
+    window = reader.take_window()
+    if window is None:
+        block._wait = (channel, "data")
+        return None
+    head, sd, sc, tail = split_done_stamped(*window)
+    merged, _, _ = merge_stamps(head, sd, sc)
+    if len(merged) == 0:
+        block._wait = (channel, "data")
+        return None
+    block._t_advance(merged)
+    return head, tail
 
 
 class CompressedLevelWriter(Block):
@@ -107,6 +127,32 @@ class CompressedLevelWriter(Block):
         self._wait = (self.in_crd, "data")
         return steps > 0, steps
 
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        if self.finished:
+            return False
+        reader = self._treader(self.in_crd)
+        consumed = _sink_window_timed(self, self.in_crd, reader)
+        if consumed is None:
+            return False
+        head, tail = consumed
+        data, cpos, ccode = head.remaining_arrays()
+        base = len(self.crd)
+        self.crd.extend(data.tolist())
+        self.seg.extend((base + cpos[ccode >= 0]).tolist())
+        if head.ends_done:
+            if tail is not None:
+                self.in_crd.timed_requeue_front(*tail)
+            if self.seg[-1] != len(self.crd):  # unterminated trailing fiber
+                self.seg.append(len(self.crd))
+            self._level = CompressedLevel(self.seg, self.crd)
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (self.in_crd, "data")
+        return True
+
     @property
     def level(self) -> CompressedLevel:
         if self._level is None:
@@ -158,6 +204,28 @@ class UncompressedLevelWriter(Block):
             return True, steps
         self._wait = (self.in_crd, "data")
         return steps > 0, steps
+
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        if self.finished:
+            return False
+        reader = self._treader(self.in_crd)
+        consumed = _sink_window_timed(self, self.in_crd, reader)
+        if consumed is None:
+            return False
+        head, tail = consumed
+        _, _, ccode = head.remaining_arrays()
+        self._fibers += int((ccode >= 0).sum())
+        if head.ends_done:
+            if tail is not None:
+                self.in_crd.timed_requeue_front(*tail)
+            self._level = DenseLevel(self.size, num_fibers=max(1, self._fibers))
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (self.in_crd, "data")
+        return True
 
     @property
     def level(self) -> DenseLevel:
@@ -227,6 +295,28 @@ class ValsWriter(Block):
             return True, steps
         self._wait = (self.in_val, "data")
         return steps > 0, steps
+
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        if self.finished:
+            return False
+        reader = self._treader(self.in_val)
+        reader.densify_empty(0.0)
+        consumed = _sink_window_timed(self, self.in_val, reader)
+        if consumed is None:
+            return False
+        head, tail = consumed
+        data, _, _ = head.remaining_arrays()
+        self.vals.extend(np.asarray(data, dtype=np.float64).tolist())
+        if head.ends_done:
+            if tail is not None:
+                self.in_val.timed_requeue_front(*tail)
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (self.in_val, "data")
+        return True
 
 
 class ScatterValsWriter(Block):
@@ -317,6 +407,64 @@ class ScatterValsWriter(Block):
             rd_r.pop()
             rd_v.pop()
             steps += 2
+
+    timing = TimingDescriptor()
+
+    def _bail_timed(self):
+        # Sync the private accumulator back into the public list before
+        # the scalar timed path resumes mutating it directly.
+        acc = getattr(self, "_vals_array", None)
+        if acc is not None:
+            self.vals[:] = acc.tolist()
+            self._vals_array = None
+        return super()._bail_timed()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: one event per (ref, val) pair, scatter-added."""
+        if self.finished:
+            return False
+        acc = getattr(self, "_vals_array", None)
+        if acc is None:
+            acc = self._vals_array = np.asarray(self.vals, dtype=np.float64)
+        rd_r = self._treader(self.in_ref)
+        rd_v = self._treader(self.in_val)
+        rd_v.densify_empty(0.0)
+        progressed = False
+
+        def park(channel):
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            cr = rd_r.front_ctrl()
+            cv = rd_v.front_ctrl()
+            lr = rd_r.run_length() if cr is None else 0
+            lv = rd_v.run_length() if cv is None else 0
+            if cr is None and lr == 0:
+                return park(self.in_ref)
+            if cv is None and lv == 0:
+                return park(self.in_val)
+            if cr is None and cv is None:
+                m = min(lr, lv)
+                refs, s_r = rd_r.pop_run_upto(m)
+                vals, s_v = rd_v.pop_run_upto(m)
+                np.add.at(
+                    acc,
+                    refs.astype(np.int64, copy=False),
+                    np.asarray(vals, dtype=np.float64),
+                )
+                self._t_advance(np.maximum(s_r, s_v))
+                progressed = True
+                continue
+            _, s_r = rd_r.pop()
+            _, s_v = rd_v.pop()
+            self._t_event(max(s_r, s_v))
+            progressed = True
+            if cr == CODE_DONE and cv == CODE_DONE:
+                self.vals[:] = acc.tolist()
+                self.finished = True
+                self._wait = None
+                return True
 
 
 class LinkedListLevelWriter(Block):

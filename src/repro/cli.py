@@ -17,8 +17,8 @@ Usage::
     python -m repro sweep table2 fig11 --jobs 4 --out artifacts/
     python -m repro report table2            # render from cached results
 
-``--engine`` selects the simulation backend (cycle, event, functional,
-functional-seq)
+``--engine`` selects the simulation backend (cycle, event, timed-batch,
+functional, functional-seq)
 for every study that runs block-level simulations; see
 :mod:`repro.sim.backends`.  ``sweep``/``report`` are the harness entry
 points (see EXPERIMENTS.md): points fan out across ``--jobs`` worker
@@ -273,7 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("cycle", "event", "functional", "functional-seq"),
+        choices=("cycle", "event", "timed-batch", "functional", "functional-seq"),
         default=None,
         help="simulation backend (default: cycle, or $REPRO_ENGINE)",
     )

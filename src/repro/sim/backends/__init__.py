@@ -6,6 +6,9 @@ The registry maps backend names to engine classes:
 ``"cycle"``             Reference model; steps every block every cycle.
 ``"event"``             Event-driven; identical cycles/stats, much
                         faster on stall-heavy graphs.
+``"timed-batch"``       Epoch-batched timing on the TokenBatch plane;
+                        identical cycles/stats/token counts, fastest
+                        timed backend on large workloads.
 ``"functional"``        Outputs only (``cycles == 0``); fastest.
 ======================  ==============================================
 
@@ -23,10 +26,12 @@ from .base import DeadlockError, Engine, SimulationReport
 from .cycle import CycleEngine
 from .event import EventEngine
 from .functional import FunctionalEngine, SequentialFunctionalEngine
+from .timed_batch import TimedBatchEngine
 
 BACKENDS: Dict[str, Type[Engine]] = {
     CycleEngine.backend: CycleEngine,
     EventEngine.backend: EventEngine,
+    TimedBatchEngine.backend: TimedBatchEngine,
     FunctionalEngine.backend: FunctionalEngine,
     SequentialFunctionalEngine.backend: SequentialFunctionalEngine,
 }
@@ -95,6 +100,7 @@ __all__ = [
     "FunctionalEngine",
     "SequentialFunctionalEngine",
     "SimulationReport",
+    "TimedBatchEngine",
     "get_backend",
     "make_engine",
     "resolve_backend",

@@ -59,6 +59,26 @@ class TokenBreakdown:
                    empty=data["empty"], idle=data.get("idle", 0))
 
 
+def graph_token_counts(blocks) -> Dict[str, Dict[str, int]]:
+    """Per-channel token counts for every channel wired to *blocks*.
+
+    Keys are ``"producer.port"`` (falling back to the channel name for
+    externally-fed channels).  This is the whole-graph token breakdown
+    the backend-equivalence suite asserts bit-identical across the
+    cycle, event and timed-batch engines: every engine must push every
+    logical token exactly once, whatever plane it moves on.
+    """
+    seen = {}
+    for block in blocks:
+        for port, channel in block.outputs.items():
+            seen[id(channel)] = (f"{block.name}.{port}", channel)
+    for block in blocks:
+        for channel in block.inputs.values():
+            if id(channel) not in seen:
+                seen[id(channel)] = (channel.name, channel)
+    return {name: channel.token_counts() for name, channel in seen.values()}
+
+
 def channel_breakdown(channel: Channel, total_cycles: int = 0) -> TokenBreakdown:
     """Token breakdown for a channel; idle = cycles with no token pushed."""
     counts = channel.token_counts()

@@ -371,6 +371,25 @@ class BatchReader:
                 break
         return total
 
+    def run_values(self) -> np.ndarray:
+        """The data run at the front *without* consuming it.
+
+        Lets mergers validate trailing phantom zeros before committing to
+        a batched fiber chunk (a dirty run bails to the scalar path with
+        the window intact).
+        """
+        parts: List[np.ndarray] = []
+        for batch in self.held:
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            stop_at = int(batch.ctrl_pos[c]) if c < len(batch.ctrl_code) else len(batch.data)
+            if stop_at > d:
+                parts.append(batch.data[d:stop_at])
+            if c < len(batch.ctrl_code):
+                break
+        return _concat_data(parts)
+
     def pop_run_upto(self, limit: int) -> np.ndarray:
         """Pop at most *limit* tokens of the data run at the front."""
         parts: List[np.ndarray] = []

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+import numpy as np
+
 from .batch import TokenBatch, concat_batches
 from .stream import Stream
 from .token import DONE, EMPTY, Stop, is_data, is_done, is_empty, is_stop
@@ -37,6 +39,7 @@ class Channel:
         "record",
         "_push_waiters",
         "_pop_waiters",
+        "timed",
     )
 
     def __init__(
@@ -58,12 +61,20 @@ class Channel:
         self.history: list = []
         self._push_waiters: list = []
         self._pop_waiters: list = []
+        #: timed-plane state (stamped pending queue + credit accounting);
+        #: attached by the timed-batch backend via :meth:`init_timed`
+        self.timed: Optional["TimedChannelState"] = None
 
     # -- queue protocol ------------------------------------------------------
     def push(self, token) -> None:
         if self.capacity is not None and len(self.queue) >= self.capacity:
             raise OverflowError(f"channel {self.name!r} is full")
         self.queue.append(token)
+        if self.timed is not None:
+            # Track direct pushes so the timed materialiser keeps its
+            # stamped backlog ordered before them (they are always newer
+            # than anything still pending).
+            self.timed.direct += 1
         if self.record:
             self.history.append(token)
         # Classification fast path: the overwhelming majority of tokens are
@@ -168,6 +179,8 @@ class Channel:
         if scalars:
             parts.append(TokenBatch.from_tokens(scalars))
         self.queue.clear()
+        if self.timed is not None:
+            self.timed.direct = 0
         if self._pop_waiters:
             self._fire(self._pop_waiters)
         return concat_batches(parts)
@@ -230,3 +243,154 @@ class Channel:
         if not self.record:
             raise RuntimeError(f"channel {self.name!r} was not recording")
         return Stream(list(self.history), kind=self.kind)
+
+    # -- timed (stamped) plane -----------------------------------------------
+    # The timed-batch backend moves whole stamped batches through channels.
+    # Stamped tokens live in ``self.timed.pending`` (not ``queue``) until a
+    # timed consumer pulls them or, for scalar consumers, until the engine
+    # materialises every token whose visible cycle has been reached.  Token
+    # statistics are counted once, at push time, exactly as on the other
+    # planes; requeues and materialisation never touch them.
+    def init_timed(self, delta: int = 0, delta_pop: int = 0) -> "TimedChannelState":
+        """Attach (or reset) timed-plane state; see TimedChannelState."""
+        self.timed = TimedChannelState(delta, delta_pop)
+        return self.timed
+
+    def push_batch_timed(self, batch, sdata, sctrl) -> None:
+        """Push a stamped batch onto the timed pending queue.
+
+        Stamps are *push* cycles; the channel stores consumer-visible
+        cycles (push + the producer/consumer ordering delta) so readers
+        and the materialiser never re-derive visibility.  Statistics are
+        counted here, exactly like :meth:`push_batch`.
+        """
+        if batch.exhausted:
+            return
+        # Fresh-cursor view so one batch (with stamps for its remaining
+        # tokens) can fan out to several channels safely.
+        batch = batch.view()
+        state = self.timed
+        if state.delta:
+            sdata = sdata + state.delta
+            sctrl = sctrl + state.delta
+        n_data, n_stop, n_done, n_empty = batch.counts()
+        self.pushed_data += n_data
+        self.pushed_stop += n_stop
+        self.pushed_done += n_done
+        self.pushed_empty += n_empty
+        if self.record:
+            self.history.extend(batch.tokens())
+        state.pending.append((batch, sdata, sctrl))
+
+    def timed_take(self) -> list:
+        """Hand the whole stamped pending queue to a timed reader."""
+        state = self.timed
+        if not state.pending:
+            return []
+        taken = list(state.pending)
+        state.pending.clear()
+        return taken
+
+    def timed_requeue_front(self, batch, sdata, sctrl) -> None:
+        """Put an (already counted) stamped batch back at the front."""
+        if not batch.exhausted:
+            self.timed.pending.appendleft((batch, sdata, sctrl))
+
+    def materialize_timed(self, limit: Optional[int] = None) -> bool:
+        """Move pending tokens visible by cycle *limit* into the queue.
+
+        ``None`` flushes everything (end of run).  Tokens enter the queue
+        as TokenBatch elements ahead of any directly-pushed tokens that
+        arrived after the timed plane stopped being used, preserving
+        stream order.  Returns True when anything materialised.
+        """
+        from .timing import stamp_split_at
+
+        state = self.timed
+        if state is None or not state.pending:
+            return False
+        moved = []
+        while state.pending:
+            batch, sdata, sctrl = state.pending[0]
+            if limit is None:
+                moved.append(batch)
+                state.pending.popleft()
+                continue
+            head, tail = stamp_split_at(batch, sdata, sctrl, limit)
+            if head is None:
+                break
+            moved.append(head[0])
+            state.pending.popleft()
+            if tail is not None:
+                state.pending.appendleft(tail)
+                break
+        if not moved:
+            return False
+        # Queue layout: [earlier materialised tokens][direct pushes].
+        # Direct pushes (a producer that left the timed plane) are newer
+        # than anything still pending, so the moved prefix lands between.
+        tail = []
+        if state.direct:
+            for _ in range(min(state.direct, len(self.queue))):
+                tail.append(self.queue.pop())
+        for batch in moved:
+            if not batch.exhausted:
+                self.queue.append(batch)
+        while tail:
+            self.queue.append(tail.pop())
+        if self._push_waiters:
+            self._fire(self._push_waiters)
+        return True
+
+    def timed_pending_min_stamp(self) -> Optional[int]:
+        """Earliest visible cycle still waiting in the pending queue."""
+        state = self.timed
+        if state is None or not state.pending:
+            return None
+        batch, sdata, sctrl = state.pending[0]
+        d, c = batch._d, batch._c
+        best = None
+        if d < len(sdata):
+            best = int(sdata[d])
+        if c < len(sctrl):
+            sc = int(sctrl[c])
+            best = sc if best is None else min(best, sc)
+        return best
+
+    def record_pops(self, stamps) -> None:
+        """Record consumer pop cycles (credit accounting, finite FIFOs).
+
+        ``stamps`` are producer-visible cycles: the cycle from which the
+        producer can observe each freed slot.  The timed producer's epoch
+        advance turns these into per-push release times, so batch-level
+        back-pressure reproduces the scalar ``_put`` stall pattern
+        exactly.
+        """
+        self.timed.pop_stamps.extend(int(s) for s in np.asarray(stamps).ravel())
+
+
+class TimedChannelState:
+    """Timed-plane bookkeeping the timed-batch backend hangs off a channel.
+
+    * ``pending`` — stamped batches not yet visible/consumed:
+      ``(TokenBatch, sdata, sctrl)`` with consumer-visible cycle stamps;
+    * ``delta`` / ``delta_pop`` — intra-cycle visibility: a push (pop) by
+      block *j* during cycle *s* is visible to the peer *i* in the same
+      cycle iff *i* steps after *j* in the engine's block order, else at
+      ``s + 1``;
+    * ``pop_stamps`` — occupancy log for finite-capacity channels: the
+      producer-visible cycle each queue slot was freed, letting a batched
+      producer compute exact credit-limited push schedules;
+    * ``direct`` — queue elements at the tail that were pushed directly
+      (scalar plane) rather than materialised from the stamped pending
+      queue, so the materialiser keeps its backlog ordered before them.
+    """
+
+    __slots__ = ("delta", "delta_pop", "direct", "pending", "pop_stamps")
+
+    def __init__(self, delta: int = 0, delta_pop: int = 0):
+        self.delta = delta
+        self.delta_pop = delta_pop
+        self.pending: Deque = deque()
+        self.pop_stamps: list = []
+        self.direct = 0

@@ -1,0 +1,458 @@
+"""Stamped token runs: the timing layer of the batched data plane.
+
+The timed-batch backend (:mod:`repro.sim.backends.timed_batch`) moves the
+same :class:`~repro.streams.batch.TokenBatch` runs as the functional
+backend, but every token additionally carries a *cycle stamp*: the
+simulated cycle at which the token becomes visible to its consumer.
+Stamps ride next to the batch as two int64 arrays mirroring the batch
+layout — ``sdata[i]`` stamps ``data[i]``, ``sctrl[i]`` stamps the control
+token ``ctrl_code[i]`` — and are non-decreasing in stream order (a block
+pushes in its own cycle order).
+
+Three pieces live here:
+
+* :func:`rate1_schedule` — the epoch advance rule.  A block whose
+  descriptor declares initiation interval ``ii`` services one *event*
+  (one generator ``yield True``) every ``ii`` cycles, gated by token
+  arrivals: ``c[k] = max(c[k-1] + ii, arrivals[k])``.  The recurrence is
+  a max-plus scan, computed with one ``np.maximum.accumulate`` instead
+  of a per-token Python loop — this is what lets a timed block cross an
+  entire control-free segment in one step.
+* :class:`TimedReader` / :class:`TimedBuilder` — stamped mirrors of
+  :class:`~repro.streams.batch.BatchReader` / ``BatchBuilder``: readers
+  serve data runs *with* their arrival stamps, builders accumulate
+  output tokens with the cycle each was pushed.
+* :func:`merge_stamps` / :func:`split_done_stamped` — token-order
+  plumbing shared by the block hooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .batch import (
+    CODE_DONE,
+    CODE_EMPTY,
+    CODE_REPEAT,
+    NO_TOKEN,
+    TokenBatch,
+    _concat_data,
+)
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def rate1_schedule(arrivals: np.ndarray, clock: int, ii: int = 1) -> np.ndarray:
+    """Busy cycles for a run of events gated by *arrivals*.
+
+    ``c[k] = max(c[k-1] + ii, arrivals[k])`` with ``c[-1] + ii = clock``.
+    An arrival of 0 means "no input constraint" (cycles start at 1).
+    """
+    n = len(arrivals)
+    if n == 0:
+        return _EMPTY_I64
+    idx = np.arange(n, dtype=np.int64) * ii
+    base = np.maximum(np.asarray(arrivals, dtype=np.int64) - idx, clock)
+    return np.maximum.accumulate(base) + idx
+
+
+def token_order_indices(cpos: np.ndarray, ndata: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stream-order index of every data and control token of a batch.
+
+    Control token *i* arrives after ``cpos[i]`` data tokens (consecutive
+    controls keep their array order), so its stream index is
+    ``cpos[i] + i``; data token *k* is shifted right by the controls
+    before it.  Returns ``(data_indices, ctrl_indices)``.
+    """
+    cpos = np.asarray(cpos, dtype=np.int64)
+    ci = cpos + np.arange(len(cpos), dtype=np.int64)
+    di = np.arange(ndata, dtype=np.int64) + np.searchsorted(
+        cpos, np.arange(ndata, dtype=np.int64), side="right"
+    )
+    return di, ci
+
+
+def merge_stamps(
+    batch: TokenBatch, sdata: np.ndarray, sctrl: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Token-order stamp array plus the (data, ctrl) stream indices."""
+    data, cpos, _ = batch.remaining_arrays()
+    di, ci = token_order_indices(cpos, len(data))
+    merged = np.empty(len(di) + len(ci), dtype=np.int64)
+    merged[di] = sdata
+    merged[ci] = sctrl
+    return merged, di, ci
+
+
+def split_done_stamped(
+    batch: TokenBatch, sdata: np.ndarray, sctrl: np.ndarray
+) -> Tuple[
+    TokenBatch, np.ndarray, np.ndarray,
+    Optional[Tuple[TokenBatch, np.ndarray, np.ndarray]],
+]:
+    """Stamped :meth:`TokenBatch.split_done`: ``(head, sd, sc, tail?)``."""
+    data, cpos, ccode = batch.remaining_arrays()
+    hits = np.flatnonzero(ccode == CODE_DONE)
+    if hits.size == 0:
+        return TokenBatch(data, cpos, ccode), sdata, sctrl, None
+    i = int(hits[0])
+    pos = int(cpos[i])
+    head = TokenBatch(data[:pos], cpos[: i + 1], ccode[: i + 1])
+    tail = TokenBatch(data[pos:], cpos[i + 1:] - pos, ccode[i + 1:])
+    tail_entry = None
+    if not tail.exhausted:
+        tail_entry = (tail, sdata[pos:], sctrl[i + 1:])
+    return head, sdata[:pos], sctrl[: i + 1], tail_entry
+
+
+def stamp_split_at(
+    batch: TokenBatch, sdata: np.ndarray, sctrl: np.ndarray, limit: int
+) -> Tuple[
+    Optional[Tuple[TokenBatch, np.ndarray, np.ndarray]],
+    Optional[Tuple[TokenBatch, np.ndarray, np.ndarray]],
+]:
+    """Split a stamped batch into (stamp <= limit, stamp > limit) parts.
+
+    Stamps are non-decreasing in stream order, so the split is a clean
+    stream prefix.  Returns ``(head_entry, tail_entry)`` with ``None``
+    for empty sides.
+    """
+    data, cpos, ccode = batch.remaining_arrays()
+    d_cut = int(np.searchsorted(sdata, limit, side="right"))
+    c_cut = int(np.searchsorted(sctrl, limit, side="right"))
+    if d_cut == len(data) and c_cut == len(ccode):
+        return (batch, sdata, sctrl), None
+    if d_cut == 0 and c_cut == 0:
+        return None, (batch, sdata, sctrl)
+    head = (
+        TokenBatch(data[:d_cut], cpos[:c_cut], ccode[:c_cut]),
+        sdata[:d_cut],
+        sctrl[:c_cut],
+    )
+    tail = (
+        TokenBatch(data[d_cut:], cpos[c_cut:] - d_cut, ccode[c_cut:]),
+        sdata[d_cut:],
+        sctrl[c_cut:],
+    )
+    return head, tail
+
+
+class TimedReader:
+    """Block-side stamped input cursor (the timed mirror of BatchReader).
+
+    Holds ``(batch, sdata, sctrl)`` triples pulled from the channel's
+    timed pending queue.  The batch's own ``_d``/``_c`` cursors index
+    into the stamp arrays, so consumption stays aligned by construction.
+    """
+
+    __slots__ = ("channel", "held")
+
+    def __init__(self, channel):
+        self.channel = channel
+        self.held: List[Tuple[TokenBatch, np.ndarray, np.ndarray]] = []
+
+    # -- window management ---------------------------------------------------
+    def pull(self) -> None:
+        taken = self.channel.timed_take()
+        if taken:
+            self.held.extend(taken)
+
+    def requeue(self) -> None:
+        """Return the unconsumed window to the channel front, stamps intact."""
+        while self.held:
+            batch, sdata, sctrl = self.held.pop()
+            if not batch.exhausted:
+                self.channel.timed_requeue_front(
+                    batch.view(), sdata[batch._d:], sctrl[batch._c:]
+                )
+
+    def _trim(self) -> None:
+        while self.held and self.held[0][0].exhausted:
+            self.held.pop(0)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b, _, _ in self.held)
+
+    # -- scalar access -------------------------------------------------------
+    def peek(self):
+        """Front ``(token, stamp)`` or ``(NO_TOKEN, 0)``."""
+        self._trim()
+        for batch, sdata, sctrl in self.held:
+            token = batch.peek_front()
+            if token is not NO_TOKEN:
+                d, c = batch._d, batch._c
+                if c < len(batch.ctrl_code) and batch.ctrl_pos[c] <= d:
+                    return token, int(sctrl[c])
+                return token, int(sdata[d])
+        return NO_TOKEN, 0
+
+    def pop(self):
+        """Pop the front token: ``(token, stamp)``."""
+        self._trim()
+        for batch, sdata, sctrl in self.held:
+            if not batch.exhausted:
+                d, c = batch._d, batch._c
+                if c < len(batch.ctrl_code) and batch.ctrl_pos[c] <= d:
+                    stamp = int(sctrl[c])
+                else:
+                    stamp = int(sdata[d])
+                return batch.pop_front(), stamp
+        raise IndexError("pop from an empty TimedReader")
+
+    def front_ctrl(self) -> Optional[int]:
+        self._trim()
+        for batch, _, _ in self.held:
+            if not batch.exhausted:
+                d, c = batch._d, batch._c
+                if c < len(batch.ctrl_code) and batch.ctrl_pos[c] <= d:
+                    return int(batch.ctrl_code[c])
+                return None
+        return None
+
+    def next_ctrl_code(self) -> Optional[int]:
+        for batch, _, _ in self.held:
+            if batch._c < len(batch.ctrl_code):
+                return int(batch.ctrl_code[batch._c])
+        return None
+
+    # -- run access ----------------------------------------------------------
+    def run_length(self) -> int:
+        total = 0
+        for batch, _, _ in self.held:
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            stop_at = (
+                int(batch.ctrl_pos[c]) if c < len(batch.ctrl_code) else len(batch.data)
+            )
+            total += stop_at - d
+            if c < len(batch.ctrl_code):
+                break
+        return total
+
+    def pop_run_upto(self, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Pop at most *limit* front data tokens: ``(values, stamps)``."""
+        parts: List[np.ndarray] = []
+        stamps: List[np.ndarray] = []
+        need = limit
+        self._trim()
+        for batch, sdata, _ in self.held:
+            if need <= 0:
+                break
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            stop_at = (
+                int(batch.ctrl_pos[c]) if c < len(batch.ctrl_code) else len(batch.data)
+            )
+            take = min(stop_at - d, need)
+            if take > 0:
+                parts.append(batch.data[d:d + take])
+                stamps.append(sdata[d:d + take])
+                batch._d = d + take
+                need -= take
+            if batch._d < stop_at or c < len(batch.ctrl_code):
+                break
+        self._trim()
+        return _concat_data(parts), _concat_i64(stamps)
+
+    def pop_run(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Pop the maximal front data run: ``(values, stamps)``."""
+        return self.pop_run_upto(np.iinfo(np.int64).max)
+
+    def run_values(self) -> np.ndarray:
+        """The data run at the front without consuming it."""
+        parts: List[np.ndarray] = []
+        for batch, _, _ in self.held:
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            stop_at = (
+                int(batch.ctrl_pos[c]) if c < len(batch.ctrl_code) else len(batch.data)
+            )
+            if stop_at > d:
+                parts.append(batch.data[d:stop_at])
+            if c < len(batch.ctrl_code):
+                break
+        return _concat_data(parts)
+
+    def pop_repeat_run(self) -> Tuple[int, np.ndarray]:
+        """Pop consecutive front ``R`` codes: ``(count, stamps)``."""
+        stamps: List[int] = []
+        self._trim()
+        for batch, _, sctrl in self.held:
+            if batch.exhausted:
+                continue
+            d, c = batch._d, batch._c
+            code, pos = batch.ctrl_code, batch.ctrl_pos
+            n = len(code)
+            while c < n and pos[c] <= d and code[c] == CODE_REPEAT:
+                stamps.append(int(sctrl[c]))
+                c += 1
+            batch._c = c
+            if c < n and pos[c] <= d:
+                break
+            if d < len(batch.data):
+                break
+        self._trim()
+        return len(stamps), np.asarray(stamps, dtype=np.int64)
+
+    def take_window(self):
+        """Consume the whole window: ``(batch, sdata, sctrl)`` or None."""
+        self._trim()
+        if not self.held:
+            return None
+        if len(self.held) == 1:
+            batch, sdata, sctrl = self.held[0]
+            entry = (batch.view(), sdata[batch._d:], sctrl[batch._c:])
+            self.held = []
+            return entry
+        datas, cposs, ccodes, sds, scs = [], [], [], [], []
+        offset = 0
+        for batch, sdata, sctrl in self.held:
+            data, cpos, ccode = batch.remaining_arrays()
+            datas.append(data)
+            cposs.append(cpos + offset)
+            ccodes.append(ccode)
+            sds.append(sdata[batch._d:])
+            scs.append(sctrl[batch._c:])
+            offset += len(data)
+        self.held = []
+        return (
+            TokenBatch(
+                _concat_data(datas),
+                np.concatenate(cposs) if cposs else _EMPTY_I64,
+                np.concatenate(ccodes) if ccodes else _EMPTY_I64,
+            ),
+            _concat_i64(sds),
+            _concat_i64(scs),
+        )
+
+    def put_back(self, entry) -> None:
+        """Return a ``take_window`` result to the front of the window."""
+        self.held.insert(0, entry)
+
+    def densify_empty(self, zero) -> None:
+        """Rewrite ``N`` control tokens as data *zero*, stamps preserved."""
+        for i, (batch, sdata, sctrl) in enumerate(self.held):
+            data, cpos, ccode = batch.remaining_arrays()
+            sdata = sdata[batch._d:]
+            sctrl = sctrl[batch._c:]
+            empty = ccode == CODE_EMPTY
+            if not empty.any():
+                continue
+            new_data = np.insert(
+                np.asarray(data, dtype=np.float64), cpos[empty], zero
+            )
+            new_sdata = np.insert(sdata, cpos[empty], sctrl[empty])
+            keep = ~empty
+            shift = np.cumsum(empty) - empty
+            self.held[i] = (
+                TokenBatch(new_data, (cpos + shift)[keep], ccode[keep]),
+                new_sdata.astype(np.int64, copy=False),
+                sctrl[keep],
+            )
+
+
+def _concat_i64(parts: List[np.ndarray]) -> np.ndarray:
+    parts = [np.asarray(p, dtype=np.int64) for p in parts if len(p)]
+    if not parts:
+        return _EMPTY_I64
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+class TimedBuilder:
+    """Accumulates stamped output tokens; flushes one stamped batch."""
+
+    __slots__ = ("channel", "_data", "_n", "_cpos", "_ccode", "_sdata", "_sctrl")
+
+    def __init__(self, channel):
+        self.channel = channel
+        self._data: List[np.ndarray] = []
+        self._n = 0
+        self._cpos: List[np.ndarray] = []
+        self._ccode: List[np.ndarray] = []
+        self._sdata: List[np.ndarray] = []
+        self._sctrl: List[np.ndarray] = []
+
+    def data(self, arr: np.ndarray, stamps: np.ndarray) -> None:
+        if len(arr):
+            self._data.append(arr)
+            self._sdata.append(np.asarray(stamps, dtype=np.int64))
+            self._n += len(arr)
+
+    def scalar(self, value, stamp: int) -> None:
+        self._data.append(np.asarray([value]))
+        self._sdata.append(np.asarray([stamp], dtype=np.int64))
+        self._n += 1
+
+    def ctrl(self, code: int, stamp: int, count: int = 1) -> None:
+        self._cpos.append(np.full(count, self._n, dtype=np.int64))
+        self._ccode.append(np.full(count, code, dtype=np.int64))
+        self._sctrl.append(np.full(count, stamp, dtype=np.int64))
+
+    def ctrl_run(self, code: int, stamps: np.ndarray) -> None:
+        count = len(stamps)
+        if count:
+            self._cpos.append(np.full(count, self._n, dtype=np.int64))
+            self._ccode.append(np.full(count, code, dtype=np.int64))
+            self._sctrl.append(np.asarray(stamps, dtype=np.int64))
+
+    def token(self, token, stamp: int) -> None:
+        from .batch import encode_token
+
+        code = encode_token(token)
+        if code is None:
+            self.scalar(token, stamp)
+        else:
+            self.ctrl(code, stamp)
+
+    def data_with_ctrl(
+        self,
+        arr: np.ndarray,
+        cpos: np.ndarray,
+        ccode: np.ndarray,
+        dstamps: np.ndarray,
+        cstamps: np.ndarray,
+    ) -> None:
+        if len(cpos):
+            self._cpos.append(np.asarray(cpos, dtype=np.int64) + self._n)
+            self._ccode.append(np.asarray(ccode, dtype=np.int64))
+            self._sctrl.append(np.asarray(cstamps, dtype=np.int64))
+        self.data(arr, dstamps)
+
+    @property
+    def pending(self) -> int:
+        return self._n + sum(len(c) for c in self._ccode)
+
+    def flush(self) -> int:
+        count = self.pending
+        if count == 0:
+            return 0
+        batch = TokenBatch(
+            _concat_data(self._data),
+            np.concatenate(self._cpos) if self._cpos else _EMPTY_I64,
+            np.concatenate(self._ccode) if self._ccode else _EMPTY_I64,
+        )
+        sdata = _concat_i64(self._sdata)
+        sctrl = _concat_i64(self._sctrl)
+        self._data, self._cpos, self._ccode = [], [], []
+        self._sdata, self._sctrl = [], []
+        self._n = 0
+        self.channel.push_batch_timed(batch, sdata, sctrl)
+        return count
+
+
+__all__ = [
+    "TimedBuilder",
+    "TimedReader",
+    "merge_stamps",
+    "rate1_schedule",
+    "split_done_stamped",
+    "stamp_split_at",
+    "token_order_indices",
+]

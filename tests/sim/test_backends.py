@@ -33,7 +33,9 @@ VEC_C = urandom_vector(400, 60, seed=14)
 
 class TestRegistry:
     def test_registry_names(self):
-        assert set(BACKENDS) == {"cycle", "event", "functional", "functional-seq"}
+        assert set(BACKENDS) == {
+            "cycle", "event", "timed-batch", "functional", "functional-seq"
+        }
 
     def test_resolve_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
@@ -186,7 +188,7 @@ class TestEventEngineDeadlock:
 class TestFiniteCapacity:
     """Producers stall (not crash) on full finite-capacity channels."""
 
-    @pytest.mark.parametrize("backend", ["cycle", "event"])
+    @pytest.mark.parametrize("backend", ["cycle", "event", "timed-batch"])
     def test_feeder_backpressure(self, backend):
         src = Channel("s", capacity=2)
         tokens = list(range(10)) + [Stop(0), DONE]
@@ -197,7 +199,7 @@ class TestFiniteCapacity:
         # beyond the pipeline-fill cycle.
         assert report.cycles == len(tokens)
 
-    @pytest.mark.parametrize("backend", ["cycle", "event", "functional"])
+    @pytest.mark.parametrize("backend", ["cycle", "event", "timed-batch", "functional"])
     def test_fanout_backpressure(self, backend):
         hub = Channel("hub")
         fast = Channel("fast")
@@ -220,8 +222,9 @@ class TestFiniteCapacity:
 
         r_c = run_blocks(build(), backend="cycle")
         r_e = run_blocks(build(), backend="event")
-        assert r_c.cycles == r_e.cycles
-        assert r_c.block_activity() == r_e.block_activity()
+        r_t = run_blocks(build(), backend="timed-batch")
+        assert r_c.cycles == r_e.cycles == r_t.cycles
+        assert r_c.block_activity() == r_e.block_activity() == r_t.block_activity()
 
     def test_overflow_still_raised_on_direct_push(self):
         chan = Channel("c", capacity=1)
@@ -231,7 +234,7 @@ class TestFiniteCapacity:
 
 
 class TestMaxCycles:
-    @pytest.mark.parametrize("backend", ["cycle", "event"])
+    @pytest.mark.parametrize("backend", ["cycle", "event", "timed-batch"])
     def test_exact_budget_passes(self, backend):
         tokens = [1, 2, 3, Stop(0), DONE]
 
@@ -285,7 +288,7 @@ class TestMaxCycles:
             return [StreamFeeder(tokens, src), Sink(src)]
 
         exact = run_blocks(build(), backend="cycle").cycles
-        for backend in ("cycle", "event"):
+        for backend in ("cycle", "event", "timed-batch"):
             assert run_blocks(build(), max_cycles=exact, backend=backend).cycles == exact
             with pytest.raises(RuntimeError):
                 run_blocks(build(), max_cycles=exact - 1, backend=backend)
@@ -294,11 +297,12 @@ class TestMaxCycles:
                 report = run_blocks(build(), max_cycles=budget, backend=backend)
                 assert report.cycles == 0
 
-    def test_timed_backends_reject_resumption_budget(self):
+    @pytest.mark.parametrize("backend", ["cycle", "event", "timed-batch"])
+    def test_timed_backends_reject_resumption_budget(self, backend):
         src = Channel("s")
         blocks = [StreamFeeder([1, DONE], src), Sink(src)]
         with pytest.raises(ValueError, match="max_resumptions"):
-            run_blocks(blocks, backend="cycle", max_resumptions=10)
+            run_blocks(blocks, backend=backend, max_resumptions=10)
 
     def test_resumption_budget_reaches_compiled_programs(self):
         # The functional termination budget must be reachable from the

@@ -1,0 +1,173 @@
+"""Seeded randomized-graph fuzz: cycle vs event vs timed-batch.
+
+Every draw builds a fresh kernel graph from random operands and runs it
+through the three timed backends; the full ``SimulationReport`` — cycle
+count, per-block busy/stall activity, per-channel token counts — and the
+computed outputs must be identical across all of them.  Seeds are fixed
+so failures reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_sparse_matrix, urandom_vector
+from repro.kernels import run_spmm, spmv_locate, spmv_scatter, vecmul
+from repro.sim import graph_token_counts, run_blocks
+
+BACKENDS = ("cycle", "event", "timed-batch")
+
+
+def _random_matrix(rng):
+    rows = int(rng.integers(1, 18))
+    cols = int(rng.integers(1, 18))
+    density = float(rng.uniform(0.0, 0.5))
+    seed = int(rng.integers(0, 2**31))
+    return np.asarray(random_sparse_matrix(rows, cols, density, seed=seed))
+
+
+def _random_vector(rng, size):
+    nnz = int(rng.integers(0, size + 1))
+    seed = int(rng.integers(0, 2**31))
+    return urandom_vector(size, nnz, seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_spmv_locate_fuzz(seed):
+    rng = np.random.default_rng(1000 + seed)
+    B = _random_matrix(rng)
+    c = _random_vector(rng, B.shape[1])
+    results = {
+        be: spmv_locate(B, c, backend=be) for be in BACKENDS
+    }
+    crd0, val0, cyc0 = results["cycle"]
+    for be in BACKENDS[1:]:
+        crd, val, cyc = results[be]
+        assert (list(crd), list(val), cyc) == (list(crd0), list(val0), cyc0), be
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_spmv_scatter_fuzz(seed):
+    rng = np.random.default_rng(2000 + seed)
+    B = _random_matrix(rng)
+    c = _random_vector(rng, B.shape[0])
+    ref = spmv_scatter(B, c, backend="cycle")
+    for be in BACKENDS[1:]:
+        x, cyc = spmv_scatter(B, c, backend=be)
+        assert cyc == ref[1], be
+        assert np.array_equal(x, ref[0]), be
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_spmm_fuzz(seed):
+    rng = np.random.default_rng(3000 + seed)
+    B = _random_matrix(rng)
+    k = B.shape[1]
+    C = np.asarray(
+        random_sparse_matrix(
+            k, int(rng.integers(1, 12)),
+            float(rng.uniform(0.0, 0.5)), seed=int(rng.integers(0, 2**31)),
+        )
+    )
+    order = ("ikj", "ijk", "kij")[seed % 3]
+    ref = run_spmm(B, C, order=order, backend="cycle")
+    for be in BACKENDS[1:]:
+        r = run_spmm(B, C, order=order, backend=be)
+        assert r.cycles == ref.cycles, be
+        assert np.array_equal(r.output.to_numpy(), ref.output.to_numpy()), be
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_elementwise_fuzz(seed):
+    rng = np.random.default_rng(4000 + seed)
+    size = int(rng.integers(4, 120))
+    a = _random_vector(rng, size)
+    b = _random_vector(rng, size)
+    config = ("crd", "dense", "bv", "crd_skip")[seed % 4]
+    split = max(1, size // 2)
+    ref = vecmul(config, a, b, split=split, backend="cycle")
+    for be in BACKENDS[1:]:
+        r = vecmul(config, a, b, split=split, backend=be)
+        assert (r.cycles, r.coords, r.values) == (
+            ref.cycles, ref.coords, ref.values,
+        ), be
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_full_report_fuzz(seed):
+    # Hand-built feeder/merge/reduce pipelines with channel-level token
+    # counts compared across all three backends.
+    from repro.blocks import (
+        ALU,
+        Intersect,
+        MergeSide,
+        ScalarReducer,
+        Sink,
+        StreamFeeder,
+        Union,
+    )
+    from repro.streams import Channel, DONE, Stop
+
+    rng = np.random.default_rng(5000 + seed)
+    universe = 25
+
+    def fiber(rng):
+        n = int(rng.integers(0, 8))
+        return sorted(rng.choice(universe, size=n, replace=False).tolist())
+
+    n_fibers = int(rng.integers(1, 4))
+    fibers_a = [fiber(rng) for _ in range(n_fibers)]
+    fibers_b = [fiber(rng) for _ in range(n_fibers)]
+    merger_cls = Union if seed % 2 else Intersect
+
+    def tokens(fibers):
+        crd, ref = [], []
+        r = 0
+        for fib in fibers:
+            crd.extend(fib)
+            crd.append(Stop(0))
+            for _ in fib:
+                ref.append(r)
+                r += 1
+            ref.append(Stop(0))
+        crd.append(DONE)
+        ref.append(DONE)
+        return crd, ref
+
+    def build():
+        ca, ra = Channel("ca"), Channel("ra", kind="ref")
+        cb, rb = Channel("cb"), Channel("rb", kind="ref")
+        oc = Channel("oc")
+        oa = Channel("oa", kind="vals")
+        ob = Channel("ob", kind="vals")
+        summed = Channel("sum", kind="vals")
+        crd_a, ref_a = tokens(fibers_a)
+        crd_b, ref_b = tokens(fibers_b)
+        blocks = [
+            StreamFeeder(crd_a, ca, name="fca"),
+            StreamFeeder([float(t) if isinstance(t, int) else t for t in ref_a],
+                         ra, name="fra"),
+            StreamFeeder(crd_b, cb, name="fcb"),
+            StreamFeeder([float(t) if isinstance(t, int) else t for t in ref_b],
+                         rb, name="frb"),
+            merger_cls([MergeSide(ca, [ra]), MergeSide(cb, [rb])],
+                       oc, [[oa], [ob]], name="merge"),
+            ALU("add", oa, ob, Channel("prod", kind="vals"), name="add"),
+            Sink(oc, name="sink_crd"),
+        ]
+        prod = blocks[-2].out
+        blocks.append(ScalarReducer(prod, summed, name="reduce"))
+        blocks.append(Sink(summed, name="sink_val"))
+        return blocks
+
+    reports = {}
+    for be in BACKENDS:
+        blocks = build()
+        report = run_blocks(blocks, backend=be)
+        reports[be] = (
+            report.cycles,
+            report.block_activity(),
+            graph_token_counts(blocks),
+            [b.tokens for b in blocks if isinstance(b, Sink)],
+        )
+    assert reports["event"] == reports["cycle"]
+    assert reports["timed-batch"] == reports["cycle"]
