@@ -4,13 +4,16 @@ Two sections:
 
 * **bound-graph workloads** — fig13-sized element-wise multiplies plus
   SpM*SpM graphs, timed under every backend (cycle, event, timed-batch,
-  functional).  The timed backends' cycle counts are asserted identical
-  to the reference engine; functional is outputs-only.
+  compiled, functional).  The timed backends' cycle counts are asserted
+  identical to the reference engine; functional is outputs-only.
 * **timed scaling** — iterate-locate SpMV at 1e4 and 1e5 nnz under the
-  three timed backends.  This is the epoch-batching headline: the
-  ``timed-batch`` backend must beat ``event`` by >= 5x wall-clock at
-  1e5 nnz (asserted, so CI gates on it) while reproducing the reference
-  cycle count bit for bit.
+  four timed backends.  Two gates ride this section (both asserted, so
+  CI fails on regressions): the epoch-batching headline — ``timed-batch``
+  must beat ``event`` by >= 5x wall-clock at 1e5 nnz — and the fusion
+  headline — ``compiled`` must beat ``timed-batch`` by >= 3x there —
+  both while reproducing the reference cycle count bit for bit.
+  Compiled rows also carry the segment-fusion statistics
+  (segments/fused blocks/fallbacks) from the last run.
 
 Usage::
 
@@ -33,13 +36,22 @@ from repro.kernels.spmm import spmm_program
 from repro.kernels.spmv import spmv_locate
 from repro.lang import compile_expression
 
-ENGINES = ("cycle", "event", "timed-batch", "functional")
+ENGINES = ("cycle", "event", "timed-batch", "compiled", "functional")
 #: backends that model time (and must agree with the reference exactly)
-TIMED_ENGINES = ("cycle", "event", "timed-batch")
+TIMED_ENGINES = ("cycle", "event", "timed-batch", "compiled")
 #: nnz sizes for the timed-scaling section
 SCALING_SIZES = (10_000, 100_000)
 #: required timed-batch speedup over event at the largest scaling size
 SCALING_GATE = 5.0
+#: required compiled speedup over timed-batch at the largest scaling size
+COMPILED_GATE = 3.0
+
+
+def _fusion_stats() -> dict:
+    """Snapshot of the compiled backend's last-run fusion statistics."""
+    from repro.sim.backends.compiled import LAST_FUSION_STATS
+
+    return dict(LAST_FUSION_STATS)
 
 
 def _vecmul_case(name: str, size: int, nnz: int, dense: bool):
@@ -114,7 +126,9 @@ def run_bound_graphs(rounds: int) -> list:
                 "seconds": best,
                 "cycles": report.cycles,
             }
-        for engine in ("event", "timed-batch"):
+            if engine == "compiled":
+                entry["engines"][engine]["fusion"] = _fusion_stats()
+        for engine in ("event", "timed-batch", "compiled"):
             if cycles_by_engine[engine] != cycles_by_engine["cycle"]:
                 raise AssertionError(
                     f"{name}: {engine} cycles {cycles_by_engine[engine]} != "
@@ -144,7 +158,9 @@ def run_timed_scaling(rounds: int) -> list:
                 best = elapsed if best is None else min(best, elapsed)
             cycles_by_engine[engine] = cycles
             entry["engines"][engine] = {"seconds": best, "cycles": cycles}
-        for engine in ("event", "timed-batch"):
+            if engine == "compiled":
+                entry["engines"][engine]["fusion"] = _fusion_stats()
+        for engine in ("event", "timed-batch", "compiled"):
             if cycles_by_engine[engine] != cycles_by_engine["cycle"]:
                 raise AssertionError(
                     f"spmv_locate nnz={nnz}: {engine} cycles "
@@ -155,6 +171,10 @@ def run_timed_scaling(rounds: int) -> list:
             entry["engines"]["event"]["seconds"]
             / entry["engines"]["timed-batch"]["seconds"]
         )
+        entry["compiled_speedup_vs_timed_batch"] = (
+            entry["engines"]["timed-batch"]["seconds"]
+            / entry["engines"]["compiled"]["seconds"]
+        )
         results.append(entry)
     gate_entry = results[-1]
     if gate_entry["timed_batch_speedup_vs_event"] < SCALING_GATE:
@@ -162,6 +182,12 @@ def run_timed_scaling(rounds: int) -> list:
             f"timed-batch must be >= {SCALING_GATE}x faster than event on "
             f"spmv_locate at {SCALING_SIZES[-1]} nnz, measured "
             f"{gate_entry['timed_batch_speedup_vs_event']:.2f}x"
+        )
+    if gate_entry["compiled_speedup_vs_timed_batch"] < COMPILED_GATE:
+        raise AssertionError(
+            f"compiled must be >= {COMPILED_GATE}x faster than timed-batch "
+            f"on spmv_locate at {SCALING_SIZES[-1]} nnz, measured "
+            f"{gate_entry['compiled_speedup_vs_timed_batch']:.2f}x"
         )
     return results
 
@@ -183,10 +209,17 @@ def run_bench(rounds: int = 3) -> dict:
             "best_timed_batch_speedup": max(
                 e["engines"]["timed-batch"]["speedup_vs_cycle"] for e in workloads
             ),
+            "best_compiled_speedup": max(
+                e["engines"]["compiled"]["speedup_vs_cycle"] for e in workloads
+            ),
             "timed_batch_speedup_vs_event_at_scale": scaling[-1][
                 "timed_batch_speedup_vs_event"
             ],
+            "compiled_speedup_vs_timed_batch_at_scale": scaling[-1][
+                "compiled_speedup_vs_timed_batch"
+            ],
             "scaling_gate": SCALING_GATE,
+            "compiled_gate": COMPILED_GATE,
         },
     }
 

@@ -6,6 +6,7 @@ second per block family).
 """
 
 import numpy as np
+import pytest
 
 from repro.blocks import (
     ALU,
@@ -148,3 +149,53 @@ def test_scalar_reducer_throughput(benchmark):
         return run_blocks(blocks).cycles
 
     benchmark(run)
+
+
+# -- timed-plane scheduling primitives ----------------------------------
+#
+# The timed-batch and compiled backends spend their cycles in
+# ``rate1_schedule`` (one max-plus pass per block window) and
+# ``compose_rate1`` (one pass per fused chain).  The batch sizes below
+# bracket the real workloads: empty windows (parked readers), single
+# tokens (control events), and the 1e6-token windows the scaling
+# benchmark produces.
+
+
+def _timed_arrivals(n: int) -> np.ndarray:
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    rng = np.random.default_rng(3)
+    # mixed gaps: some bunched arrivals (0), some spaced (up to 2), so
+    # the accumulate in rate1_schedule is not a no-op
+    return np.cumsum(rng.integers(0, 3, size=n)).astype(np.int64) + 1
+
+
+@pytest.mark.parametrize("n", [0, 1, 1_000_000], ids=["empty", "one", "1e6"])
+def test_rate1_schedule_throughput(benchmark, n):
+    from repro.streams.timing import rate1_schedule
+
+    arrivals = _timed_arrivals(n)
+    sched = benchmark(rate1_schedule, arrivals, 5, 1)
+    assert len(sched) == n
+    if n > 1:
+        assert (sched[1:] - sched[:-1] >= 1).all()
+
+
+@pytest.mark.parametrize("n", [0, 1, 1_000_000], ids=["empty", "one", "1e6"])
+def test_compose_rate1_throughput(benchmark, n):
+    from repro.streams.timing import compose_rate1, rate1_schedule
+
+    arrivals = _timed_arrivals(n)
+    # a three-member value chain at rate 1 (the fused-SpMV shape): the
+    # head pays the accumulate, the interior stages collapse to
+    # elementwise maxima
+    stages = [(5, 1, 0), (2, 1, 1), (0, 1, 0)]
+
+    scheds = benchmark(compose_rate1, arrivals, stages)
+    assert len(scheds) == len(stages)
+    # bit-identical to the members' own back-to-back passes
+    ref = rate1_schedule(arrivals, 5, 1)
+    assert np.array_equal(scheds[0], ref)
+    ref = rate1_schedule(ref + 1, 2, 1)
+    assert np.array_equal(scheds[1], ref)
+    assert np.array_equal(scheds[2], rate1_schedule(ref, 0, 1))

@@ -122,11 +122,19 @@ class ArrayLoad(Block):
             else:
                 out.ctrl(ctrl)
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="map")
 
     def timed_capable(self) -> bool:
-        arr = np.asarray(self.memory)
-        return arr.ndim == 1 and arr.dtype.kind in "if"
+        arr = getattr(self, "_mem_array", None)
+        if arr is None:
+            arr = np.asarray(self.memory)
+            ok = arr.ndim == 1 and arr.dtype.kind in "if"
+            if ok:
+                # Cache the snapshot so the drain paths don't convert a
+                # list memory a second time.
+                self._mem_array = arr
+            return ok
+        return True
 
     def drain_timed(self) -> bool:
         """Timed drain: rate-1 single-cycle memory, whole windows gathered."""

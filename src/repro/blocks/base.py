@@ -62,11 +62,29 @@ class TimingDescriptor:
     latency, one cycle per control token — matching the generators they
     replace; the fields exist so experimental blocks can declare other
     shapes without a new engine.
+
+    ``fuse_role`` is the compiled backend's segment-fusion capability
+    flag: how this block may participate in a fused super-block (see
+    :func:`repro.graph.bind.partition_segments`).  Roles:
+
+    * ``"zip"`` — two-input elementwise head (ALU): may only *start* a
+      fused value chain, reading both operand channels itself.
+    * ``"map"`` — uniform rate-1 unary map (ArrayLoad, ScalarALU, Exp):
+      may start, continue, or end a chain.
+    * ``"scan"`` — level scanner: may only head a scanner→locator pair.
+    * ``"locate"`` — locator: may only close a scanner→locator pair
+      (it has three outputs, so nothing can fuse after it).
+    * ``"reduce"`` — scalar reducer: chain tail (emits fewer tokens
+      than it consumes, so nothing fuses after it in v1).
+    * ``"sink"`` — pure consumer (Sink): chain tail.
+    * ``""`` — not fusible; the block always runs on the per-block
+      timed path.
     """
 
     ii: int = 1
     latency: int = 0
     ctrl_cycles: int = 1
+    fuse_role: str = ""
 
 
 class Block:
@@ -725,7 +743,7 @@ class Sink(Block):
         self._wait = (self.in_, "data")
         return steps > 0, steps
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="sink")
     timed_credit_consumer = True
 
     def drain_timed(self) -> bool:

@@ -279,7 +279,7 @@ class ALU(Block):
                     )
             steps += 1
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="zip")
 
     def drain_timed(self) -> bool:
         """Timed drain: one output per cycle, gated by both operands.
@@ -480,7 +480,7 @@ class ScalarALU(Block):
             else:
                 out.ctrl(ctrl)
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="map")
 
     def drain_timed(self) -> bool:
         """Timed drain: uniform rate-1 unary map (one token, one cycle)."""
@@ -569,7 +569,7 @@ class Exp(Block):
             else:
                 out.ctrl(ctrl)
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="map")
 
     def drain_timed(self) -> bool:
         """Timed drain: rate-1 unary map; *fn* applied per element."""

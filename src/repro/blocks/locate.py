@@ -318,7 +318,7 @@ class Locator(Block):
             if self.in_target_ref is not None:
                 self._loc_have = False  # next fiber probes a fresh target
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="locate")
 
     def timed_capable(self) -> bool:
         return hasattr(self.level, "locate_arrays")

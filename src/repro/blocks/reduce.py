@@ -84,20 +84,23 @@ class ScalarReducer(Block):
         self._batch_ok = False
         return self.drain()
 
-    def _region_sums(self, data, cpos, ccode):
+    def _region_sums(self, data, cpos, ccode, sums_fn=sequential_segment_sums):
         """Region aggregation shared by the batched and timed planes.
 
         Region boundaries are the window's control tokens; sums go
-        through :func:`sequential_segment_sums`, which accumulates in
-        the exact order of the generator's running ``acc`` so results
-        are bit-identical to the scalar plane.  Consumes the carried
-        open-region state; returns ``(sums, emit, elevated, pref)`` —
-        per-boundary sums, the emission mask for the empty policy, the
-        level-elevated boundaries, and the emitted-prefix counts.
+        through *sums_fn* (:func:`sequential_segment_sums` by default;
+        the compiled backend's fused path passes the vectorised
+        :func:`~repro.streams.batch.exact_segment_sums`), which
+        accumulates in the exact order of the generator's running
+        ``acc`` so results are bit-identical to the scalar plane.
+        Consumes the carried open-region state; returns ``(sums, emit,
+        elevated, pref)`` — per-boundary sums, the emission mask for the
+        empty policy, the level-elevated boundaries, and the
+        emitted-prefix counts.
         """
         starts = np.concatenate([np.zeros(1, dtype=np.int64), cpos[:-1]])
         lens = cpos - starts
-        sums = sequential_segment_sums(data[: int(cpos[-1])], starts, lens)
+        sums = sums_fn(data[: int(cpos[-1])], starts, lens)
         saw = lens > 0
         if self._acc_parts:
             region0 = np.concatenate(self._acc_parts + [data[: int(cpos[0])]])
@@ -156,7 +159,7 @@ class ScalarReducer(Block):
         self._wait = (self.in_val, "data")
         return steps > 0, steps
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="reduce")
 
     def _timed_bail_safe(self) -> bool:
         return super()._timed_bail_safe() and not (

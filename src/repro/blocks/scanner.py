@@ -265,7 +265,7 @@ class LevelScanner(Block):
             out_ref.ctrl(ctrl + 1)
             self._fiber_index += 1
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="scan")
 
     def timed_capable(self) -> bool:
         # Skip hints are consumed by *polling* mid-scan, which ties the

@@ -11,6 +11,7 @@ Usage::
     python -m repro fig15 --quick
     python -m repro --engine event fig13
     python -m repro compile "x(i) = B(i,j) * c(j)" --dot
+    python -m repro --engine compiled graph "x(i) = B(i,j) * c(j)"
 
     # sharded, cached sweeps over any subset of studies
     python -m repro sweep all --jobs 8
@@ -18,7 +19,7 @@ Usage::
     python -m repro report table2            # render from cached results
 
 ``--engine`` selects the simulation backend (cycle, event, timed-batch,
-functional, functional-seq)
+compiled, functional, functional-seq)
 for every study that runs block-level simulations; see
 :mod:`repro.sim.backends`.  ``sweep``/``report`` are the harness entry
 points (see EXPERIMENTS.md): points fan out across ``--jobs`` worker
@@ -265,6 +266,47 @@ def _cmd_compile(args) -> None:
         print(program.to_dot())
 
 
+def _cmd_graph(args) -> None:
+    """Bind an expression over synthetic operands and print its DOT graph.
+
+    Under the compiled engine (explicit ``--engine compiled`` or the
+    default when no engine is forced) the bound blocks are partitioned
+    with the same pass the backend uses and the graph is annotated so
+    the DOT output groups every fused segment in a dashed cluster —
+    the fusion decisions become visually auditable without running
+    a simulation.
+    """
+    import numpy as np
+
+    from .graph import bind
+    from .graph.bind import partition_segments
+    from .lang import compile_expression
+    from .sim.backends import ENGINE_ENV_VAR
+
+    program = compile_expression(args.expression, schedule=args.schedule)
+    rng = np.random.default_rng(args.seed)
+    tensors = {}
+    for name in program.assignment.input_tensors:
+        access = next(a for a in program.assignment.accesses if a.tensor == name)
+        ndim = len(access.indices)
+        if ndim == 0:
+            tensors[name] = 2.0
+            continue
+        shape = (args.size,) * ndim
+        dense = rng.uniform(0.1, 1.0, size=shape)
+        tensors[name] = np.where(rng.random(shape) < 0.5, dense, 0.0)
+    bound = bind(program.graph, program._prepare_inputs(tensors))
+    engine = args.engine or os.environ.get(ENGINE_ENV_VAR)
+    if engine in (None, "compiled"):
+        segments = partition_segments(bound.blocks)
+        program.graph.annotate_fusion(
+            [[bound.blocks[i].name for i in seg.members] for seg in segments]
+        )
+        fused = sum(len(seg.members) for seg in segments)
+        print(f"// fusion: {len(segments)} segments, {fused} fused blocks")
+    print(program.to_dot())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -273,7 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("cycle", "event", "timed-batch", "functional", "functional-seq"),
+        choices=("cycle", "event", "timed-batch", "compiled", "functional",
+                 "functional-seq"),
         default=None,
         help="simulation backend (default: cycle, or $REPRO_ENGINE)",
     )
@@ -362,6 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", nargs="*", default=None,
                    help="index-variable order, e.g. --schedule i k j")
     p.add_argument("--dot", action="store_true", help="print the DOT graph")
+
+    p = sub.add_parser(
+        "graph", help="render the bound dataflow graph as DOT; under the "
+        "compiled engine, fused segments appear as dashed clusters"
+    )
+    p.add_argument("expression", help='e.g. "x(i) = B(i,j) * c(j)"')
+    p.add_argument("--schedule", nargs="*", default=None,
+                   help="index-variable order, e.g. --schedule i k j")
+    p.add_argument("--size", type=int, default=12,
+                   help="synthetic operand dimension used to bind the graph")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the synthetic operands")
     return parser
 
 
@@ -377,6 +432,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "datasets": _cmd_datasets,
     "compile": _cmd_compile,
+    "graph": _cmd_graph,
 }
 
 

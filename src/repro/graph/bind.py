@@ -370,3 +370,211 @@ def bind(
         else:
             raise GraphError(f"cannot bind node kind {kind!r}")
     return bound
+
+
+# -- segment fusion ------------------------------------------------------
+#
+# The compiled backend (sim/backends/compiled.py) partitions a bound
+# block list into fusible segments: maximal linear chains of
+# descriptor-carrying blocks joined by single-producer/single-consumer
+# channels, executed as one super-block per segment.  The partition is
+# purely structural — roles come from each block's
+# ``TimingDescriptor.fuse_role`` — so it can also annotate DOT renderings
+# (graph/dot.py) without running anything.
+
+
+from dataclasses import dataclass, field
+
+
+#: roles that may continue a value chain after the head
+_CHAIN_INTERIOR = ("map",)
+#: roles that may close a value chain (a trailing "map" also closes one)
+_CHAIN_TAIL = ("map", "reduce", "sink")
+
+
+@dataclass
+class FusedSegment:
+    """One fusible segment: member block indices plus interior channels.
+
+    ``shape`` is ``"chain"`` (zip/map head, map interiors, map/reduce/
+    sink tail) or ``"scan_locate"`` (a scanner whose crd/ref outputs
+    both feed one locator).  ``links`` holds the interior channels in
+    flow order; fused execution never pushes tokens through them, so the
+    engine reconstructs their token counts arithmetically.
+
+    A zip head may additionally absorb one *feeder* per operand: a map
+    block whose single output is that operand (e.g. the two value loads
+    in front of a multiplier).  ``feeders`` holds ``(block index,
+    feeder→head channel)`` pairs aligned with the head's input order,
+    ``None`` for operands wired directly; feeder indices also appear in
+    ``members`` (before the head) so claiming and reporting see them.
+    """
+
+    shape: str
+    members: List[int]
+    links: List[Channel] = field(default_factory=list)
+    feeders: List = field(default_factory=list)
+
+
+def _fuse_role(block) -> str:
+    timing = getattr(block, "timing", None)
+    if timing is None or getattr(block, "drain_timed", None) is None:
+        return ""
+    return getattr(timing, "fuse_role", "")
+
+
+def _link_ok(channel: Channel, producers, consumers) -> bool:
+    """Whether *channel* can be a fused-interior link (structurally)."""
+    return (
+        channel.capacity is None
+        and not channel.record
+        and len(producers.get(channel, ())) == 1
+        and len(consumers.get(channel, ())) == 1
+    )
+
+
+def partition_segments(blocks) -> List[FusedSegment]:
+    """Partition *blocks* into fusible segments for the compiled backend.
+
+    Returns the segments in head-index order; every block belongs to at
+    most one segment and single-block "segments" are never emitted.  The
+    rules (see docs/architecture.md, "segment fusion"):
+
+    * a member joins a segment only through channels that are unbounded,
+      unrecorded, and single-producer/single-consumer;
+    * every input of a non-head member must come from its predecessor
+      (no side entrances), and every output of a non-tail member must go
+      to its successor (no side exits);
+    * ``zip``/``map`` roles may head a value chain, ``map`` may continue
+      it, and ``map``/``reduce``/``sink`` may close it;
+    * a ``scan`` head fuses only with the ``locate`` block consuming both
+      of its outputs (scanner skip ports and locator target ports break
+      the pair).
+    """
+    producers: Dict[Channel, List[int]] = {}
+    consumers: Dict[Channel, List[int]] = {}
+    for i, block in enumerate(blocks):
+        for ch in block.outputs.values():
+            producers.setdefault(ch, []).append(i)
+        for ch in block.inputs.values():
+            consumers.setdefault(ch, []).append(i)
+
+    roles = [_fuse_role(b) for b in blocks]
+    claimed = [False] * len(blocks)
+    segments: List[FusedSegment] = []
+
+    def sole_successor(i: int):
+        """(next index, link channels) if *i*'s outputs all feed one
+        unclaimed block through fusible links; else (None, ())."""
+        outs = list(blocks[i].outputs.values())
+        if not outs:
+            return None, ()
+        nxts = set()
+        for ch in outs:
+            if not _link_ok(ch, producers, consumers):
+                return None, ()
+            nxts.add(consumers[ch][0])
+        if len(nxts) != 1:
+            return None, ()
+        nxt = nxts.pop()
+        if claimed[nxt] or nxt == i:
+            return None, ()
+        # No side entrances: every input of nxt must come from i.
+        for ch in blocks[nxt].inputs.values():
+            if producers.get(ch, [None])[0] != i:
+                return None, ()
+        return nxt, outs
+
+    # Pass 1: scanner→locator pairs (two parallel links, locator closes).
+    for i, block in enumerate(blocks):
+        if claimed[i] or roles[i] != "scan":
+            continue
+        if getattr(block, "in_skip", None) is not None:
+            continue
+        nxt, links = sole_successor(i)
+        if nxt is None or roles[nxt] != "locate" or claimed[nxt]:
+            continue
+        if getattr(blocks[nxt], "in_target_ref", None) is not None:
+            continue
+        # The pair must be wired straight: crd→crd, ref→ref.
+        if (
+            blocks[nxt].inputs.get("in_crd") is not block.outputs.get("out_crd")
+            or blocks[nxt].inputs.get("in_ref") is not block.outputs.get("out_ref")
+        ):
+            continue
+        claimed[i] = claimed[nxt] = True
+        segments.append(FusedSegment("scan_locate", [i, nxt], list(links)))
+
+    # Pass 2: value chains.  A head is a zip/map block that could not
+    # itself be the continuation of an earlier fusible member.
+    def could_continue(i: int) -> bool:
+        ins = list(blocks[i].inputs.values())
+        if len(ins) != 1 or not _link_ok(ins[0], producers, consumers):
+            return False
+        prev = producers[ins[0]][0]
+        if claimed[prev] or roles[prev] not in ("zip", "map"):
+            return False
+        nxt, _ = sole_successor(prev)
+        return nxt == i
+
+    def feeder_for(channel, head: int):
+        """(map index, link) feeding *channel* into zip head, or None."""
+        if not _link_ok(channel, producers, consumers):
+            return None
+        prev = producers[channel][0]
+        if (
+            claimed[prev]
+            or prev == head
+            or roles[prev] != "map"
+            or len(blocks[prev].inputs) != 1
+            or len(blocks[prev].outputs) != 1
+        ):
+            return None
+        return prev, channel
+
+    for i, block in enumerate(blocks):
+        if claimed[i] or roles[i] not in ("zip", "map"):
+            continue
+        if roles[i] == "map" and could_continue(i):
+            continue  # an earlier head will pick this block up
+        feeders: List = []
+        if roles[i] == "zip":
+            feeders = [
+                feeder_for(ch, i) for ch in block.inputs.values()
+            ]
+        members = [i]
+        links: List[Channel] = []
+        cur = i
+        while True:
+            nxt, out_links = sole_successor(cur)
+            if nxt is None or claimed[nxt] or len(out_links) != 1:
+                break
+            role = roles[nxt]
+            if role not in _CHAIN_TAIL:
+                break
+            members.append(nxt)
+            links.append(out_links[0])
+            claimed[nxt] = True
+            if role not in _CHAIN_INTERIOR:
+                break  # reduce/sink close the chain
+            cur = nxt
+        n_feeders = sum(1 for f in feeders if f is not None)
+        if len(members) + n_feeders < 2:
+            for m in members[1:]:
+                claimed[m] = False
+            continue
+        claimed[i] = True
+        for entry in feeders:
+            if entry is not None:
+                claimed[entry[0]] = True
+        members = [f[0] for f in feeders if f is not None] + members
+        segments.append(FusedSegment("chain", members, links, feeders))
+
+    segments.sort(key=lambda s: s.members[0])
+    return segments
+
+
+def fused_segment_names(blocks) -> List[List[str]]:
+    """Block-name lists of :func:`partition_segments`, for DOT/reporting."""
+    return [[blocks[i].name for i in seg.members]
+            for seg in partition_segments(blocks)]

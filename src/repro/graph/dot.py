@@ -36,11 +36,36 @@ _NODE_SHAPE = {
 
 
 def to_dot(graph: SamGraph) -> str:
-    """Render *graph* as a DOT digraph string."""
+    """Render *graph* as a DOT digraph string.
+
+    When the graph carries a fused-segment annotation (see
+    :meth:`SamGraph.annotate_fusion`), each super-block's members are
+    grouped in a ``cluster_fused_*`` subgraph so the compiled backend's
+    fusion decisions are visually auditable.
+    """
     lines = [f'digraph "{graph.name}" {{', "  rankdir=LR;", "  node [fontsize=10];"]
-    for node in graph.nodes.values():
+    fused = {}
+    if graph.fused_segments:
+        for si, seg in enumerate(graph.fused_segments):
+            for name in seg:
+                fused[name] = si
+
+    def node_line(node):
         shape = _NODE_SHAPE.get(node.kind, "box")
-        lines.append(f'  "{node.name}" [label="{node.label()}", shape={shape}];')
+        return f'  "{node.name}" [label="{node.label()}", shape={shape}];'
+
+    for si, seg in enumerate(graph.fused_segments or ()):
+        lines.append(f"  subgraph cluster_fused_{si} {{")
+        lines.append(
+            f'    label="fused segment {si}"; style=dashed; color="red3";'
+        )
+        for name in seg:
+            lines.append("  " + node_line(graph.nodes[name]))
+        lines.append("  }")
+    for node in graph.nodes.values():
+        if node.name in fused:
+            continue
+        lines.append(node_line(node))
     for edge in graph.edges:
         style = _EDGE_STYLE.get(edge.kind, "color=black")
         lines.append(

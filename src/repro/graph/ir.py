@@ -74,6 +74,24 @@ class SamGraph:
         self.nodes: Dict[str, Node] = {}
         self.edges: List[Edge] = []
         self._counter: Dict[str, int] = {}
+        #: fused-segment annotation for the compiled backend: lists of
+        #: node names, one list per super-block, set by
+        #: :meth:`annotate_fusion` and rendered as DOT clusters.  ``None``
+        #: until a fusion partition has been attached.
+        self.fused_segments: Optional[List[List[str]]] = None
+
+    def annotate_fusion(self, segments: List[List[str]]) -> None:
+        """Attach a fused-segment partition (lists of member node names).
+
+        Names that are not graph nodes (e.g. binder-inserted fanouts) are
+        dropped; empty segments are discarded.
+        """
+        kept = []
+        for seg in segments:
+            names = [n for n in seg if n in self.nodes]
+            if names:
+                kept.append(names)
+        self.fused_segments = kept
 
     # -- construction ------------------------------------------------------
     def add(self, kind: str, name: Optional[str] = None, **params) -> Node:

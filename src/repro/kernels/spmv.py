@@ -97,7 +97,10 @@ def spmv_locate(B, c: np.ndarray, backend: Optional[str] = None):
         )
     )
     g.add(ArrayLoad(bt.vals, g["b_ref"], g.ch("b_val", "vals"), name="vals_B"))
-    g.add(ArrayLoad(list(c), g["c_ref"], g.ch("c_val", "vals"), name="vals_c"))
+    # Pass c as an array: ArrayLoad snapshots list memories with
+    # np.asarray on every run, which at benchmark scale costs more than
+    # the gather itself.
+    g.add(ArrayLoad(c, g["c_ref"], g.ch("c_val", "vals"), name="vals_c"))
     g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("prod", "vals"), name="mul"))
     g.add(ScalarReducer(g["prod"], g.ch("sum", "vals"), name="reduce_j"))
     g.add(

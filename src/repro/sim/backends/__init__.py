@@ -7,8 +7,11 @@ The registry maps backend names to engine classes:
 ``"event"``             Event-driven; identical cycles/stats, much
                         faster on stall-heavy graphs.
 ``"timed-batch"``       Epoch-batched timing on the TokenBatch plane;
-                        identical cycles/stats/token counts, fastest
-                        timed backend on large workloads.
+                        identical cycles/stats/token counts.
+``"compiled"``          Timed-batch plus static segment fusion: linear
+                        chains run as one super-block (composed
+                        schedules, fused kernels); identical reports,
+                        fastest timed backend on large workloads.
 ``"functional"``        Outputs only (``cycles == 0``); fastest.
 ======================  ==============================================
 
@@ -23,6 +26,7 @@ import os
 from typing import Dict, Iterable, Optional, Type, Union
 
 from .base import DeadlockError, Engine, SimulationReport
+from .compiled import CompiledEngine
 from .cycle import CycleEngine
 from .event import EventEngine
 from .functional import FunctionalEngine, SequentialFunctionalEngine
@@ -32,6 +36,7 @@ BACKENDS: Dict[str, Type[Engine]] = {
     CycleEngine.backend: CycleEngine,
     EventEngine.backend: EventEngine,
     TimedBatchEngine.backend: TimedBatchEngine,
+    CompiledEngine.backend: CompiledEngine,
     FunctionalEngine.backend: FunctionalEngine,
     SequentialFunctionalEngine.backend: SequentialFunctionalEngine,
 }
@@ -92,6 +97,7 @@ def run_blocks(
 
 __all__ = [
     "BACKENDS",
+    "CompiledEngine",
     "CycleEngine",
     "DeadlockError",
     "ENGINE_ENV_VAR",

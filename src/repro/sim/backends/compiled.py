@@ -1,0 +1,1256 @@
+"""Compiled timed backend: static fusion of control-free segments.
+
+:class:`CompiledEngine` produces the same bit-exact
+``SimulationReport`` as :class:`~repro.sim.backends.timed_batch.
+TimedBatchEngine` (and hence the reference CycleEngine), but runs a
+graph-analysis pass first: the bound block list is partitioned into
+*fusible segments* — maximal linear chains of descriptor-carrying
+blocks joined by unbounded, unrecorded, single-producer/single-consumer
+channels (:func:`repro.graph.bind.partition_segments`).  Each segment
+executes as **one super-block**:
+
+* *composed schedules* — instead of one ``rate1_schedule`` pass per
+  member per window, the whole chain's busy schedules come from a
+  single :func:`~repro.streams.timing.compose_rate1` call.  Because
+  every stock member is fully pipelined at the same rate, each
+  downstream stage collapses to an elementwise maximum (the max-plus
+  accumulate is provably a no-op on an already rate-valid schedule);
+* *fused data transforms* — member kernels are chained directly on the
+  value arrays (gather → multiply → region sums …) without
+  materialising intermediate ``TokenBatch`` pushes, stamp merges, or
+  reader windows on the interior channels.  The reducer stage swaps
+  its default ordered segment-sum kernel for the vectorised
+  :func:`~repro.streams.batch.exact_segment_sums` (bit-identical by
+  construction: pairwise association is never used);
+* *arithmetic statistics* — interior channels never see a push, so
+  their ``pushed_*`` counters are reconstructed from the would-be batch
+  structure, and every member's busy/stall/``_tclock`` bookkeeping is
+  applied from its composed schedule exactly as its own ``_t_advance``
+  would have.
+
+Fallback ladder: a segment whose members or links fail validation at
+compile time is *rejected* (members run on the plain timed-batch
+plane); a fused zip head whose operand windows lose structural
+alignment mid-run *dissolves* its segment the same way — both count as
+``fallbacks`` in the fusion statistics; and any member that bails the
+timed plane entirely drops to the engine's scalar per-cycle loop, the
+same per-block ladder the timed-batch backend uses.  Dissolution is
+safe at any step boundary because acquisition is two-phase: windows
+are only consumed once the whole step is guaranteed to commit, and all
+member state (``_tclock``, carries, reducer accumulators) is kept in
+the members themselves.
+
+The engine's ``run`` mirrors ``TimedBatchEngine.run`` line for line
+outside the fusion hooks; keeping the base engine free of fusion logic
+keeps the reference path auditable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from ...streams.batch import (
+    CODE_DONE,
+    CODE_EMPTY,
+    NO_TOKEN,
+    TokenBatch,
+    UnbatchableTokens,
+    exact_segment_sums,
+)
+from ...streams.timing import compose_rate1, split_done_stamped
+from ...streams.token import is_stop
+from .base import SimulationReport
+from .timed_batch import TimedBatchEngine
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+#: fusion statistics of the most recent :class:`CompiledEngine` run.
+#: The stock kernels return bare result arrays rather than report
+#: handles, so benchmarks read the numbers from here; the same dict is
+#: also attached to the returned report as ``report.fusion``.
+LAST_FUSION_STATS = {"segments": 0, "fused_blocks": 0, "fallbacks": 0}
+
+#: sentinel returned by a unit step that must dissolve its segment
+_DISSOLVE = object()
+
+
+def _unary_parts(block):
+    """(data_fn, empty_value) of a rate-1 unary map member, or None.
+
+    Mirrors each block's own ``drain_timed`` transform exactly — same
+    callables, same counters — so fused output values are bit-identical.
+    """
+    from ...blocks.array import ArrayLoad
+    from ...blocks.compute import Exp, ScalarALU
+
+    if isinstance(block, ArrayLoad):
+        mem = getattr(block, "_mem_array", None)
+        if mem is None:
+            mem = block._mem_array = np.asarray(block.memory)
+
+        def gather(refs, block=block, mem=mem):
+            block.loads += len(refs)
+            return mem[refs.astype(np.int64, copy=False)]
+
+        return gather, block.empty_value
+    if isinstance(block, ScalarALU):
+        fn, const = block._fn, block.constant
+        return (lambda run: fn(run, const)), fn(0.0, const)
+    if isinstance(block, Exp):
+        fn = block._fn
+        return (
+            lambda run: np.asarray([fn(v) for v in run.tolist()]),
+            fn(0.0),
+        )
+    return None
+
+
+_IDX_CACHE = np.arange(1 << 16, dtype=np.int64)
+
+
+def _idx(n):
+    """A read-only 0..n-1 ramp from a growing module-level cache."""
+    global _IDX_CACHE
+    if n > len(_IDX_CACHE):
+        _IDX_CACHE = np.arange(1 << int(n - 1).bit_length(), dtype=np.int64)
+    return _IDX_CACHE[:n]
+
+
+def _token_order_fast(cpos, ndata):
+    """`token_order_indices` via a bincount prefix sum (no searchsorted).
+
+    Fused-local on purpose: speeding the shared helper would also speed
+    the timed-batch reference this backend is benchmarked against.
+    """
+    ci = cpos + _idx(len(cpos))
+    before = np.bincount(cpos, minlength=ndata + 1)[:ndata].cumsum()
+    di = before + _idx(ndata)
+    return di, ci
+
+
+def _merge_fast(batch, sdata, sctrl):
+    """`merge_stamps` with the bincount token order."""
+    data, cpos, _ = batch.remaining_arrays()
+    di, ci = _token_order_fast(cpos, len(data))
+    merged = np.empty(len(di) + len(ci), dtype=np.int64)
+    merged[di] = sdata
+    merged[ci] = sctrl
+    return merged, di, ci
+
+
+def _fast_advance(member, arrivals):
+    """``member._t_advance`` with the max-plus accumulate elided.
+
+    When *arrivals* is already a valid rate-``ii`` schedule (consecutive
+    steps >= ii — one cheap check), the accumulate is a provable no-op
+    and the busy schedule is just ``max(arrivals, clock + idx*ii)``.
+    Falls back to the member's own ``_t_advance`` (carry pending, or
+    arrivals not rate-valid); bookkeeping is identical either way.
+    """
+    n = len(arrivals)
+    if n == 0:
+        return _EMPTY_I64
+    if member._t_carry:
+        return member._t_advance(arrivals)
+    ii = member.timing.ii
+    if n > 1 and not bool((arrivals[1:] - arrivals[:-1] >= ii).all()):
+        return member._t_advance(arrivals)
+    c = (_idx(n) * ii if ii != 1 else _idx(n)) + member._tclock
+    np.maximum(arrivals, c, out=c)
+    end = int(c[-1]) + ii
+    member.busy_cycles += n
+    member.stall_cycles += (end - member._tclock) - ii * n
+    member._tclock = end
+    return c
+
+
+def _compose_fast(arrivals, stages):
+    """`compose_rate1` with every stage elementwise, or None.
+
+    Valid when the head arrivals are already rate-``ii0``-valid and no
+    stage slows the stream down (each ``ii`` <= its predecessor's) —
+    then every accumulate in the composed pass is a no-op.
+    """
+    clock0, ii0, _ = stages[0]
+    n = len(arrivals)
+    if n > 1 and not bool((arrivals[1:] - arrivals[:-1] >= ii0).all()):
+        return None
+    iis = [s[1] for s in stages]
+    if any(iis[k] > iis[k - 1] for k in range(1, len(iis))):
+        return None
+    idx = _idx(n)
+    c = (idx * ii0 if ii0 != 1 else idx) + clock0
+    np.maximum(arrivals, c, out=c)
+    out = [c]
+    for clock, ii, delta in stages[1:]:
+        nxt = (idx * ii if ii != 1 else idx) + clock
+        prev = out[-1]
+        np.maximum(prev + delta if delta else prev, nxt, out=nxt)
+        out.append(nxt)
+    return out
+
+
+def _advance_members(members, deltas, arrivals):
+    """Composed ``_t_advance`` across a fused chain: one schedule each.
+
+    *arrivals* is the head's token-order arrival array (already
+    consumer-visible); ``deltas[k-1]`` is the interior link's visibility
+    offset into member *k*.  Busy/stall/clock bookkeeping per member is
+    exactly what its own ``_t_advance`` would apply.  Falls back to the
+    member-by-member calls when any carry is pending (carries interact
+    with the first arrival, which the composed pass does not model).
+    """
+    if any(m._t_carry for m in members):
+        scheds = []
+        cur = np.asarray(arrivals, dtype=np.int64)
+        for k, member in enumerate(members):
+            if k:
+                cur = cur + deltas[k - 1]
+            cur = member._t_advance(cur)
+            scheds.append(cur)
+        return scheds
+    stages = [
+        (m._tclock, m.timing.ii, 0 if k == 0 else deltas[k - 1])
+        for k, m in enumerate(members)
+    ]
+    arrivals = np.asarray(arrivals, dtype=np.int64)
+    scheds = _compose_fast(arrivals, stages)
+    if scheds is None:
+        scheds = compose_rate1(arrivals, stages)
+    n = len(scheds[0])
+    for member, c in zip(members, scheds):
+        ii = member.timing.ii
+        end = int(c[-1]) + ii
+        member.busy_cycles += n
+        member.stall_cycles += (end - member._tclock) - ii * n
+        member._tclock = end
+    return scheds
+
+
+def _advance_members_sub(members, deltas, sub_idx, sub, e, n):
+    """Core of the subset composed advance (validity settled by callers).
+
+    ``sub`` is the head arrival array evaluated at ``sub_idx`` only,
+    ``e`` the scalar last arrival, ``n`` the full token count.  The
+    dense composed schedules are never built: the last member's schedule
+    comes back evaluated at ``sub_idx`` and every member's
+    busy/stall/clock bookkeeping is applied from scalar endpoints
+    (``e_k = max(e_{k-1} + delta, clock + (n-1)*ii)``) — bit-identical
+    to the full elementwise pass.
+    """
+    c = None
+    for k, member in enumerate(members):
+        ii = member.timing.ii
+        clock = member._tclock
+        delta = 0 if k == 0 else deltas[k - 1]
+        ramp = (sub_idx * ii if ii != 1 else sub_idx) + clock
+        if k == 0:
+            c = np.maximum(sub, ramp)
+        else:
+            np.maximum(c + delta if delta else c, ramp, out=ramp)
+            c = ramp
+        e = max(e + delta, clock + (n - 1) * ii)
+        end = e + ii
+        member.busy_cycles += n
+        member.stall_cycles += (end - clock) - ii * n
+        member._tclock = end
+    return c
+
+
+def _advance_members_at(members, deltas, arrivals, sub_idx, known_valid):
+    """Composed advance with schedules evaluated only at ``sub_idx``.
+
+    When no chain output needs the full interior schedules (reduce/sink
+    tails consume them at control positions only), the dense composed
+    arrays are skipped via :func:`_advance_members_sub`.
+    ``known_valid`` skips the rate-validity scan when the arrivals are
+    a max of member output schedules (valid by construction).  Returns
+    None when the elementwise conditions do not hold.
+    """
+    n = len(arrivals)
+    if n == 0 or any(m._t_carry for m in members):
+        return None
+    ii0 = members[0].timing.ii
+    if not known_valid and n > 1 and not bool(
+        (arrivals[1:] - arrivals[:-1] >= ii0).all()
+    ):
+        return None
+    iis = [m.timing.ii for m in members]
+    if any(iis[k] > iis[k - 1] for k in range(1, len(iis))):
+        return None
+    return _advance_members_sub(
+        members, deltas, sub_idx, arrivals[sub_idx], int(arrivals[-1]), n
+    )
+
+
+def _bump_counts(channel, ndata, ccode):
+    """Channel statistics a fused interior push would have recorded."""
+    n_stop = int((ccode >= 0).sum())
+    n_done = int((ccode == CODE_DONE).sum())
+    n_empty = int((ccode == CODE_EMPTY).sum())
+    channel.pushed_data += ndata + (len(ccode) - n_stop - n_done - n_empty)
+    channel.pushed_stop += n_stop
+    channel.pushed_done += n_done
+    channel.pushed_empty += n_empty
+
+
+class _Side:
+    """One operand side of a fused zip head (direct or through a feeder)."""
+
+    __slots__ = (
+        "feeder", "channel", "delta", "link", "fn", "empty_value",
+        # per-acquisition state
+        "reader", "window", "merged", "di", "ci", "sd", "sc",
+        "data", "cpos", "ccode", "empty", "post", "tail",
+    )
+
+    def __init__(self, feeder, channel, link, parts):
+        self.feeder = feeder  # feeder block or None (direct operand)
+        self.channel = channel  # the channel this side actually reads
+        self.link = link  # feeder→head channel (None when direct)
+        self.delta = link.timed.delta if link is not None else 0
+        self.fn, self.empty_value = parts if parts is not None else (None, None)
+
+    def take(self, head_block):
+        """Take this side's window; False = parked (nothing held)."""
+        if self.feeder is None:
+            reader = head_block._treader(self.channel)
+            reader.densify_empty(0.0)
+        else:
+            reader = self.feeder._treader(self.channel)
+        self.reader = reader
+        window = reader.take_window()
+        if window is None:
+            return False
+        if self.feeder is None:
+            batch, sd, sc = window
+            tail = None
+        else:
+            batch, sd, sc, tail = split_done_stamped(*window)
+        self.window = window
+        self.tail = tail
+        self.sd, self.sc = sd, sc
+        self.data, self.cpos, self.ccode = batch.remaining_arrays()
+        return True
+
+    def merge(self, reuse=None):
+        """Interleave this side's stamps into token order.
+
+        ``reuse`` carries another side's ``(di, ci)`` token-order
+        indices when the two raw structures were already proven equal —
+        the bincount/cumsum pass is skipped and only the scatter runs.
+        """
+        if reuse is None:
+            di, ci = _token_order_fast(self.cpos, len(self.data))
+        else:
+            di, ci = reuse
+        merged = np.empty(len(di) + len(ci), dtype=np.int64)
+        merged[di] = self.sd
+        merged[ci] = self.sc
+        self.merged, self.di, self.ci = merged, di, ci
+        if self.feeder is None:
+            self.empty = None
+            self.post = (len(self.data), self.cpos, self.ccode)
+        else:
+            empty = self.ccode == CODE_EMPTY
+            self.empty = empty if empty.any() else None
+            if self.empty is None:
+                self.post = (len(self.data), self.cpos, self.ccode)
+            else:
+                keep = ~empty
+                shift = np.cumsum(empty) - empty
+                self.post = (
+                    len(self.data) + int(empty.sum()),
+                    (self.cpos + shift)[keep],
+                    self.ccode[keep],
+                )
+
+    def put_back(self):
+        self.reader.put_back(self.window)
+
+    def rate_valid(self):
+        """Merged arrivals already a valid rate-``ii`` feeder schedule?"""
+        arr = self.merged
+        ii = self.feeder.timing.ii
+        return len(arr) < 2 or bool((arr[1:] - arr[:-1] >= ii).all())
+
+    def commit_at(self, sub_idx):
+        """``commit`` with the feeder schedule evaluated at ``sub_idx``.
+
+        Requires :meth:`rate_valid` and no feeder carry (checked by the
+        caller *before* either side commits): the accumulate is then a
+        no-op, so the schedule at any index is ``max(arrival, clock +
+        idx*ii)`` and the endpoint is a scalar.  Bookkeeping matches
+        ``_fast_advance`` exactly.  Returns ``(vals, c_sub, e)`` with
+        the link delta already applied to both schedule and endpoint.
+        """
+        feeder = self.feeder
+        arr = self.merged
+        n = len(arr)
+        ii = feeder.timing.ii
+        clock = feeder._tclock
+        e = max(int(arr[-1]), clock + (n - 1) * ii)
+        end = e + ii
+        feeder.busy_cycles += n
+        feeder.stall_cycles += (end - clock) - ii * n
+        feeder._tclock = end
+        c = np.maximum(arr[sub_idx], (sub_idx * ii if ii != 1 else sub_idx) + clock)
+        vals = self.fn(self.data)
+        if self.empty is not None:
+            vals = np.insert(
+                np.asarray(vals, dtype=np.float64),
+                self.cpos[self.empty], self.empty_value,
+            )
+        ndata, _, ccode = self.post
+        _bump_counts(self.link, ndata, ccode)
+        if self.delta:
+            np.add(c, self.delta, out=c)
+            e += self.delta
+        return vals, c, e
+
+    def commit(self):
+        """Advance the feeder (stats + counters) and produce the operand
+        values plus the head's token-order arrival array."""
+        if self.feeder is None:
+            return self.data, self.merged
+        c = _fast_advance(self.feeder, self.merged)
+        vals = self.fn(self.data)
+        if self.empty is not None:
+            vals = np.insert(
+                np.asarray(vals, dtype=np.float64),
+                self.cpos[self.empty], self.empty_value,
+            )
+        ndata, _, ccode = self.post
+        _bump_counts(self.link, ndata, ccode)
+        if self.delta:
+            # c is always a fresh schedule array — shift it in place
+            np.add(c, self.delta, out=c)
+        return vals, c
+
+
+class _ChainUnit:
+    """A fused value chain: zip/map head (the zip optionally absorbing
+    one map feeder per operand), map interiors, map/reduce/sink tail.
+    ``step()`` returns True on progress, False when parked, or
+    ``_DISSOLVE`` when the zip head's operand structures lose
+    alignment."""
+
+    __slots__ = (
+        "members", "blocks", "links", "deltas", "head", "roles",
+        "parts", "head_in", "tail_out", "sides", "active", "lazy_ok",
+    )
+
+    def __init__(self, blocks, segment, parts):
+        self.members = list(segment.members)
+        n_feeders = sum(1 for f in segment.feeders if f is not None)
+        spine = segment.members[n_feeders:]
+        self.blocks = [blocks[i] for i in spine]
+        self.links = list(segment.links)
+        self.deltas = [ch.timed.delta for ch in segment.links]
+        self.head = self.blocks[0]
+        self.roles = [b.timing.fuse_role for b in self.blocks]
+        # spine-positional (fn, empty_value) transforms; feeder
+        # transforms live on their _Side instead
+        self.parts = [parts.get(i) for i in spine]
+        ins = list(self.head.inputs.values())
+        self.head_in = ins[0] if self.roles[0] == "map" else None
+        self.sides = None
+        if self.roles[0] == "zip":
+            self.sides = []
+            for chan, entry in zip(ins, segment.feeders):
+                if entry is None:
+                    self.sides.append(_Side(None, chan, None, None))
+                else:
+                    idx, link = entry
+                    feeder = blocks[idx]
+                    fin = list(feeder.inputs.values())[0]
+                    self.sides.append(
+                        _Side(feeder, fin, link, parts[idx])
+                    )
+        outs = list(self.blocks[-1].outputs.values())
+        # any non-reduce/sink tail (a zip head may itself be the tail
+        # when it closed the segment purely by absorbing feeders)
+        self.tail_out = outs[0] if self.roles[-1] in ("map", "zip") else None
+        # Static half of the lazy-zip precondition: reduce/sink tail
+        # (only control-position schedules are ever consumed), both
+        # operands through feeders no slower than the head, and a
+        # non-decelerating spine — the dynamic half (carries,
+        # rate-validity) is checked per acquisition.
+        iis = [b.timing.ii for b in self.blocks]
+        self.lazy_ok = (
+            self.tail_out is None
+            and self.sides is not None
+            and all(
+                s.feeder is not None and s.feeder.timing.ii >= iis[0]
+                for s in self.sides
+            )
+            and all(iis[k] <= iis[k - 1] for k in range(1, len(iis)))
+        )
+        self.active = True
+
+    # -- phase 1: acquire (reversible) ----------------------------------
+    def _acquire_zip(self):
+        blk = self.head
+        side_a, side_b = self.sides
+        if not side_a.take(blk):
+            blk._wait = (blk.in_a, "data")
+            return None
+        if not side_b.take(blk):
+            side_a.put_back()
+            blk._wait = (blk.in_b, "data")
+            return None
+        if (len(side_a.data) + len(side_a.ccode) == 0
+                or len(side_b.data) + len(side_b.ccode) == 0):
+            side_a.put_back()
+            side_b.put_back()
+            blk._wait = (blk.in_a, "data")
+            return None
+        # When the raw structures already agree token for token, the
+        # densified ones do too: one token-order pass serves both sides
+        # and the post-structure comparison is settled up front.
+        raw_match = (
+            len(side_a.data) == len(side_b.data)
+            and len(side_a.ccode) == len(side_b.ccode)
+            and np.array_equal(side_a.cpos, side_b.cpos)
+            and np.array_equal(side_a.ccode, side_b.ccode)
+        )
+        side_a.merge()
+        side_b.merge((side_a.di, side_a.ci) if raw_match else None)
+        na, pa, ca = side_a.post
+        nb, pb, cb = side_b.post
+        if not (
+            (raw_match or (
+                na == nb
+                and np.array_equal(pa, pb)
+                and np.array_equal(ca, cb)
+            ))
+            and (len(ca) == 0 or (ca[:-1] >= 0).all())
+            and (len(ca) == 0 or ca[-1] >= CODE_DONE)
+        ):
+            # Same structures the unfused ALU would route to its general
+            # loop: hand the windows back untouched and dissolve.
+            side_a.put_back()
+            side_b.put_back()
+            return _DISSOLVE
+        ends_done = bool(len(ca)) and int(ca[-1]) == CODE_DONE
+        if (
+            self.lazy_ok
+            and not side_a.feeder._t_carry
+            and not side_b.feeder._t_carry
+            and not any(m._t_carry for m in self.blocks)
+            and side_a.rate_valid()
+            and side_b.rate_valid()
+        ):
+            # Lazy path: neither the dense feeder schedules nor the
+            # dense zip arrival array are built — everything downstream
+            # reads schedules at the control positions only.  (The zip
+            # arrival is a max of rate-valid feeder schedules, hence
+            # rate-valid by construction.)
+            if side_a.empty is None:
+                ci = side_a.ci
+            elif side_b.empty is None:
+                ci = side_b.ci
+            else:
+                ci = pa + _idx(len(ca))
+            va, csa, ea = side_a.commit_at(ci)
+            vb, csb, eb = side_b.commit_at(ci)
+            vals = blk._fn(va, vb)
+            np.maximum(csa, csb, out=csa)
+            lazy = (csa, max(ea, eb), len(side_a.merged))
+            return (vals, pa, ca), None, None, ci, ends_done, None, lazy
+        # phase 2 for the operand sides: feeders advance + transform
+        va, arr_a = side_a.commit()
+        vb, arr_b = side_b.commit()
+        # token-order indices of the post-feeder structure (reuse a
+        # side's own when its input structure was already dense)
+        if side_a.empty is None:
+            di, ci = side_a.di, side_a.ci
+        elif side_b.empty is None:
+            di, ci = side_b.di, side_b.ci
+        else:
+            di, ci = _token_order_fast(pa, na)
+        vals = blk._fn(va, vb)
+        # both arrival arrays are fresh — reuse one for the zip max
+        np.maximum(arr_a, arr_b, out=arr_a)
+        return (vals, pa, ca), arr_a, di, ci, ends_done, None, None
+
+    def _acquire_map(self):
+        blk = self.head
+        reader = blk._treader(self.head_in)
+        window = reader.take_window()
+        if window is None:
+            blk._wait = (self.head_in, "data")
+            return None
+        head, sd, sc, tail = split_done_stamped(*window)
+        merged, di, ci = _merge_fast(head, sd, sc)
+        if len(merged) == 0:
+            blk._wait = (self.head_in, "data")
+            return None
+        data, cpos, ccode = head.remaining_arrays()
+        fn, empty_value = self.parts[0]
+        vals = fn(data)
+        cd_src = None
+        empty = ccode == CODE_EMPTY
+        if empty.any():
+            # N tokens become data at their stream position, exactly as
+            # _t_unary_window densifies them; the token-order schedule
+            # indices are recomputed for the new structure.
+            vals = np.insert(
+                np.asarray(vals, dtype=np.float64), cpos[empty], empty_value
+            )
+            keep = ~empty
+            shift = np.cumsum(empty) - empty
+            cpos = (cpos + shift)[keep]
+            ccode = ccode[keep]
+            di, ci = _token_order_fast(cpos, len(vals))
+        ends_done = bool(len(ccode)) and int(ccode[-1]) == CODE_DONE
+        return (vals, cpos, ccode), merged, di, ci, ends_done, tail, None
+
+    # -- phase 2: commit (cannot fail) ----------------------------------
+    def _commit_reduce(self, blk, vals, cpos, ccode, cctrl, ends_done):
+        out = blk._tbuilder(blk.out_val)
+        data = np.asarray(vals, dtype=np.float64)
+        if len(ccode) == 0:
+            if len(data):
+                blk._acc_parts.append(data)
+                blk._acc_saw = True
+            blk._wait = (blk.in_val, "data")
+            return
+        sums, emit, elevated, pref = blk._region_sums(
+            data, cpos, ccode, sums_fn=exact_segment_sums
+        )
+        out.data_with_ctrl(
+            sums[emit], pref[elevated], ccode[elevated] - 1,
+            cctrl[emit], cctrl[elevated],
+        )
+        if ends_done:
+            out.ctrl(CODE_DONE, int(cctrl[-1]))
+            out.flush()
+            return
+        rest = data[int(cpos[-1]):]
+        if len(rest):
+            blk._acc_parts.append(rest)
+            blk._acc_saw = True
+        out.flush()
+
+    def step(self):
+        if self.blocks[-1].finished:
+            return False
+        acquired = (
+            self._acquire_zip() if self.roles[0] == "zip"
+            else self._acquire_map()
+        )
+        if acquired is None:
+            return False
+        if acquired is _DISSOLVE:
+            return _DISSOLVE
+        (vals, cpos, ccode), merged, di, ci, ends_done, tail, lazy = acquired
+        cctrl = None
+        if lazy is not None:
+            # validity (carries, rate, ii ordering) settled in acquire
+            sub, e, ntok = lazy
+            cctrl = _advance_members_sub(
+                self.blocks, self.deltas, ci, sub, e, ntok
+            )
+        elif self.tail_out is None:
+            # reduce/sink tails only read the tail schedule at control
+            # positions; a zip arrival built from two feeder output
+            # schedules is rate-valid by construction (max of schedules)
+            head_ii = self.blocks[0].timing.ii
+            known = self.sides is not None and all(
+                s.feeder is not None and s.feeder.timing.ii >= head_ii
+                for s in self.sides
+            )
+            cctrl = _advance_members_at(
+                self.blocks, self.deltas, merged, ci, known
+            )
+        if cctrl is None:
+            scheds = _advance_members(self.blocks, self.deltas, merged)
+            cctrl = scheds[-1][ci]
+        else:
+            scheds = None
+        for k in range(1, len(self.blocks)):
+            blk = self.blocks[k]
+            _bump_counts(self.links[k - 1], len(vals), ccode)
+            role = self.roles[k]
+            if role == "map":
+                fn, _ = self.parts[k]
+                vals = fn(vals)
+                # interior streams never carry N after the head stage,
+                # so the structure (and di/ci) is unchanged
+            elif role == "reduce":
+                self._commit_reduce(blk, vals, cpos, ccode, cctrl, ends_done)
+            else:  # sink
+                blk.tokens.extend(TokenBatch(vals, cpos, ccode).tokens())
+        if self.tail_out is not None:
+            out = self.blocks[-1]._tbuilder(self.tail_out)
+            out.data_with_ctrl(vals, cpos, ccode, scheds[-1][di], scheds[-1][ci])
+            out.flush()
+        if ends_done:
+            if tail is not None:
+                self.head_in.timed_requeue_front(*tail)
+            if self.sides is not None:
+                for side in self.sides:
+                    if side.feeder is not None:
+                        if side.tail is not None:
+                            side.channel.timed_requeue_front(*side.tail)
+                        side.feeder.finished = True
+                        side.feeder._wait = None
+            for blk in self.blocks:
+                blk.finished = True
+                blk._wait = None
+        else:
+            if self.roles[0] == "map":
+                self.head._wait = (self.head_in, "data")
+            else:
+                self.head._wait = (self.head.in_a, "data")
+                for side in self.sides:
+                    if side.feeder is not None:
+                        side.feeder._wait = (side.channel, "data")
+            tail_blk = self.blocks[-1]
+            if not tail_blk.finished and self.roles[-1] != "sink":
+                tail_blk._wait = (
+                    list(tail_blk.inputs.values())[0], "data"
+                )
+        return True
+
+
+class _ScanLocateUnit:
+    """A fused scanner→locator pair.
+
+    Runs the scanner's own timed loop on its real input, but every
+    emission chunk is probed through the locator inline — the interior
+    crd/ref channels never see a push, a merge, or a window.  Chunk
+    boundaries are schedule-neutral (``rate1_schedule`` composes over
+    splits), so stats and output stamps are bit-identical to the
+    unfused pair."""
+
+    __slots__ = ("members", "scan", "loc", "links", "delta", "active")
+
+    def __init__(self, blocks, segment):
+        self.members = list(segment.members)
+        self.scan = blocks[segment.members[0]]
+        self.loc = blocks[segment.members[1]]
+        self.links = list(segment.links)
+        self.delta = self.links[0].timed.delta
+        self.active = True
+
+    def _probe(self, builders, dc, dr, pc, cc, arr_tok, di, ci, sched=None):
+        """Locator window math over one scanner emission chunk (mirrors
+        ``Locator._locate_window_timed`` with precomputed indices).
+
+        *sched* is an optional precomputed busy schedule (the sparse
+        composed-advance path); the locator's bookkeeping is then applied
+        here exactly as its ``_t_advance`` would."""
+        loc = self.loc
+        m = len(dc)
+        if m == 0 and len(cc) == 0:
+            return
+        if sched is None:
+            c = _fast_advance(loc, arr_tok)
+        else:
+            c = sched
+            ii = loc.timing.ii
+            end = int(c[-1]) + ii
+            loc.busy_cycles += len(c)
+            loc.stall_cycles += (end - loc._tclock) - ii * len(c)
+            loc._tclock = end
+        dstamps, cstamps = c[di], c[ci]
+        found, hit = loc.level.locate_arrays(loc._loc_target, dc)
+        loc.probes += m
+        kept = int(hit.sum())
+        loc.hits += kept
+        if kept == m:
+            for builder, data in zip(builders, (dc, found, dr)):
+                builder.data_with_ctrl(data, pc, cc, dstamps, cstamps)
+        else:
+            prefix = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(hit)]
+            )
+            miss_idx = np.flatnonzero(~hit)
+            positions = np.concatenate([pc, miss_idx])
+            codes = np.concatenate(
+                [cc, np.full(len(miss_idx), CODE_EMPTY, dtype=np.int64)]
+            )
+            stamps = np.concatenate([cstamps, dstamps[~hit]])
+            tiebreak = np.concatenate(
+                [np.zeros(len(pc), dtype=np.int64),
+                 np.ones(len(miss_idx), dtype=np.int64)]
+            )
+            order = np.lexsort((tiebreak, positions))
+            for builder, data in zip(builders, (dc[hit], found[hit], dr[hit])):
+                builder.data_with_ctrl(
+                    data, prefix[positions][order], codes[order],
+                    dstamps[hit], stamps[order],
+                )
+
+    def _ctrl_event(self, builders, code, cyc):
+        """One control token through both planes (a 1-token chunk)."""
+        for link in self.links:
+            _bump_counts(link, 0, np.asarray([code], dtype=np.int64))
+        self._probe(
+            builders, _EMPTY_F64, _EMPTY_F64,
+            np.zeros(1, dtype=np.int64),
+            np.asarray([code], dtype=np.int64),
+            np.asarray([cyc + self.delta], dtype=np.int64),
+            _EMPTY_I64, np.zeros(1, dtype=np.int64),
+        )
+
+    def step(self):
+        scan, loc = self.scan, self.loc
+        if scan.finished:
+            return False
+        level = scan.level
+        reader = scan._treader(scan.in_ref)
+        builders = [loc._tbuilder(ch) for ch in loc._outs()]
+        delta = self.delta
+        progressed = False
+
+        def park():
+            for builder in builders:
+                builder.flush()
+            scan._wait = (scan.in_ref, "data")
+            loc._wait = (loc.in_crd, "data")
+            return progressed
+
+        while True:
+            if scan._after_fiber:
+                token, stamp = reader.peek()
+                if token is NO_TOKEN:
+                    return park()
+                if is_stop(token):
+                    reader.pop()
+                    level_code = token.level + 1
+                else:
+                    level_code = 0
+                cyc = scan._t_event(stamp)
+                self._ctrl_event(builders, level_code, cyc)
+                scan._fiber_index += 1
+                scan._after_fiber = False
+                progressed = True
+                continue
+            ctrl = reader.front_ctrl()
+            if ctrl is None:
+                refs, stamps = reader.pop_run()
+                n = len(refs)
+                if n == 0:
+                    return park()
+                crds, children, lens = level.fiber_arrays(refs)
+                lens = np.asarray(lens, dtype=np.int64)
+                ev_per_ref = lens.copy()
+                if n > 1:
+                    ev_per_ref[: n - 1] += 1
+                total = int(ev_per_ref.sum())
+                starts = np.concatenate(
+                    [np.zeros(1, dtype=np.int64), np.cumsum(ev_per_ref)[:-1]]
+                )
+                stop_idx = (starts + lens)[: n - 1]
+                breaks = np.cumsum(lens[:-1])
+                zeros = np.zeros(len(breaks), dtype=np.int64)
+                for link in self.links:
+                    _bump_counts(link, len(crds), zeros)
+                ii = scan.timing.ii
+                if total and ii == loc.timing.ii and not loc._t_carry:
+                    # Sparse composed advance.  Arrival constraints only
+                    # exist at fiber starts/stops, so both members' busy
+                    # schedules are ramps between those events:
+                    # ``c[k] = offs[seg(k)] + k*ii`` with ``offs`` the
+                    # running max of ``stamp - pos*ii`` clipped at the
+                    # clock — the dense arrival array and its max-plus
+                    # accumulates are never built.  Bit-identical to
+                    # ``scan._t_advance`` + the locator advance.
+                    if n > 1:
+                        pos = np.empty(2 * n - 1, dtype=np.int64)
+                        val = np.empty(2 * n - 1, dtype=np.int64)
+                        pos[0::2] = starts
+                        pos[1::2] = stop_idx
+                        val[0::2] = np.where(lens > 0, stamps, 0)
+                        val[1::2] = stamps[1:]
+                    else:
+                        pos = starts
+                        val = np.where(lens > 0, stamps, 0)
+                    if scan._t_carry:
+                        if scan._t_carry > val[0]:
+                            val[0] = scan._t_carry
+                        scan._t_carry = 0
+                    offs = np.maximum.accumulate(
+                        val - (pos * ii if ii != 1 else pos)
+                    )
+                    np.maximum(offs, scan._tclock, out=offs)
+                    span = (total - 1) * ii + ii
+                    end = int(offs[-1]) + span
+                    scan.busy_cycles += total
+                    scan.stall_cycles += (end - scan._tclock) - ii * total
+                    scan._tclock = end
+                    offs_l = np.maximum(offs + delta, loc._tclock)
+                    ramp = _idx(total) * ii if ii != 1 else _idx(total)
+                    sched = np.repeat(offs_l, np.diff(pos, append=total))
+                    sched += ramp
+                    emit_mask = np.ones(total, dtype=bool)
+                    emit_mask[stop_idx] = False
+                    self._probe(
+                        builders, crds, children, breaks, zeros,
+                        None, np.flatnonzero(emit_mask), stop_idx,
+                        sched=sched,
+                    )
+                elif total:
+                    arrivals = np.zeros(total, dtype=np.int64)
+                    has_fiber = lens > 0
+                    arrivals[starts[has_fiber]] = stamps[has_fiber]
+                    if n > 1:
+                        np.maximum.at(arrivals, stop_idx, stamps[1:])
+                    c = scan._t_advance(arrivals)
+                    emit_mask = np.ones(total, dtype=bool)
+                    emit_mask[stop_idx] = False
+                    self._probe(
+                        builders, crds, children, breaks, zeros,
+                        c + delta, np.flatnonzero(emit_mask), stop_idx,
+                    )
+                scan._fiber_index += n - 1
+                scan._after_fiber = True
+                scan._t_defer(int(stamps[-1]))
+                progressed = True
+                continue
+            _, stamp = reader.pop()
+            progressed = True
+            if ctrl == CODE_DONE:
+                cyc = scan._t_event(stamp)
+                self._ctrl_event(builders, CODE_DONE, cyc)
+                for builder in builders:
+                    builder.flush()
+                for blk in (scan, loc):
+                    blk.finished = True
+                    blk._wait = None
+                return True
+            if ctrl == CODE_EMPTY:
+                # An empty reference scans as an empty fiber: no event,
+                # no emission; the closing stop is gated by this token.
+                scan._t_defer(stamp)
+                scan._after_fiber = True
+                continue
+            # Stray stop: one pass-through event, one level up.
+            cyc = scan._t_event(stamp)
+            self._ctrl_event(builders, ctrl + 1, cyc)
+            scan._fiber_index += 1
+
+
+class CompiledEngine(TimedBatchEngine):
+    """Timed-batch engine with statically fused super-block segments."""
+
+    backend = "compiled"
+
+    def _compile_segments(self, blocks, timed):
+        """Validate the structural partition against run-time state.
+
+        Rejection (→ plain timed-batch execution for the members) when:
+        a member is off the timed plane, an interior link lost its timed
+        state or holds prefilled tokens, or a chain member's transform
+        cannot be resolved to a vectorised kernel.
+        """
+        from ...graph.bind import partition_segments
+
+        units = {}
+        stats = {"segments": 0, "fused_blocks": 0, "fallbacks": 0}
+        for seg in partition_segments(blocks):
+            ok = all(timed[i] for i in seg.members)
+            interior = list(seg.links) + [
+                f[1] for f in seg.feeders if f is not None
+            ]
+            for ch in interior:
+                ok = ok and (
+                    ch.timed is not None
+                    and not ch.queue
+                    and not ch.timed.pending
+                    and ch.capacity is None
+                    and not ch.record
+                )
+            unit = None
+            if ok and seg.shape == "chain":
+                parts = {}
+                for i in seg.members:
+                    if blocks[i].timing.fuse_role == "map":
+                        part = _unary_parts(blocks[i])
+                        if part is None:
+                            ok = False
+                            break
+                        parts[i] = part
+                if ok:
+                    unit = _ChainUnit(blocks, seg, parts)
+            elif ok and seg.shape == "scan_locate":
+                ok = seg.links[0].timed.delta == seg.links[1].timed.delta
+                if ok:
+                    unit = _ScanLocateUnit(blocks, seg)
+            else:
+                ok = False
+            if not ok:
+                stats["fallbacks"] += 1
+                continue
+            stats["segments"] += 1
+            stats["fused_blocks"] += len(seg.members)
+            for i in seg.members:
+                units[i] = unit
+        return units, stats
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationReport:
+        blocks = self.blocks
+        n = len(blocks)
+        producers = {}
+        consumers = {}
+        for i, block in enumerate(blocks):
+            for ch in block.outputs.values():
+                producers[ch] = i
+            for ch in block.inputs.values():
+                consumers[ch] = i
+        channels = list(dict.fromkeys(list(producers) + list(consumers)))
+
+        # -- classification (identical to TimedBatchEngine) ----------------
+        timed = [
+            type(b).drain_timed is not None
+            and b.timing is not None
+            and b._timed_ok
+            and b.timed_capable()
+            for b in blocks
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for ch in channels:
+                if ch.capacity is None:
+                    continue
+                p = producers.get(ch)
+                c = consumers.get(ch)
+                keep = (
+                    p is not None
+                    and c is not None
+                    and timed[p]
+                    and timed[c]
+                    and blocks[p].timed_credit_producer
+                    and blocks[c].timed_credit_consumer
+                )
+                if not keep:
+                    if p is not None and timed[p]:
+                        timed[p] = False
+                        changed = True
+                    if c is not None and timed[c]:
+                        timed[c] = False
+                        changed = True
+
+        # -- timed channel state + prefilled queues ------------------------
+        for ch in channels:
+            p = producers.get(ch)
+            c = consumers.get(ch)
+            if not ((p is not None and timed[p]) or (c is not None and timed[c])):
+                continue
+            if p is not None and c is not None:
+                delta = 0 if c > p else 1
+                delta_pop = 0 if p > c else 1
+            else:
+                delta = delta_pop = 0
+            state = ch.init_timed(delta, delta_pop)
+            if ch.queue:
+                try:
+                    batch = ch.take_batch()
+                except UnbatchableTokens:
+                    if c is not None:
+                        timed[c] = False
+                    if p is not None:
+                        timed[p] = False
+                    ch.timed = None
+                    continue
+                if batch is not None and not batch.exhausted:
+                    data, _, ccode = batch.remaining_arrays()
+                    state.pending.append(
+                        (
+                            batch,
+                            np.ones(len(data), dtype=np.int64),
+                            np.ones(len(ccode), dtype=np.int64),
+                        )
+                    )
+
+        # -- segment fusion ------------------------------------------------
+        units, stats = self._compile_segments(blocks, timed)
+
+        out_ch = [list(b.outputs.values()) for b in blocks]
+        in_ch = [list(b.inputs.values()) for b in blocks]
+        finished = [b.finished for b in blocks]
+        active_from = [1] * n
+        T = 1
+        last_busy_T = 0
+
+        dirty = deque(i for i in range(n) if timed[i])
+        in_dirty = list(timed)
+
+        def mark_dirty(i: int) -> None:
+            if timed[i] and not finished[i] and not in_dirty[i]:
+                in_dirty[i] = True
+                dirty.append(i)
+
+        def wake_after(i: int) -> None:
+            for ch in out_ch[i]:
+                if ch.timed is None:
+                    continue
+                c = consumers.get(ch)
+                if c is not None:
+                    mark_dirty(c)
+            for ch in in_ch[i]:
+                if ch.capacity is not None and ch.timed is not None:
+                    p = producers.get(ch)
+                    if p is not None:
+                        mark_dirty(p)
+
+        def dissolve(unit) -> None:
+            """Mid-run fallback: members rejoin the plain timed plane."""
+            if not unit.active:
+                return
+            unit.active = False
+            stats["segments"] -= 1
+            stats["fused_blocks"] -= len(unit.members)
+            stats["fallbacks"] += 1
+            for i in unit.members:
+                units.pop(i, None)
+                mark_dirty(i)
+
+        def convert_to_scalar(i: int) -> None:
+            unit = units.get(i)
+            if unit is not None:
+                dissolve(unit)
+            timed[i] = False
+            active_from[i] = blocks[i]._tclock
+
+        def advance(i: int) -> None:
+            unit = units.get(i)
+            if unit is not None:
+                outcome = unit.step()
+                if outcome is _DISSOLVE:
+                    dissolve(unit)
+                    return
+                for m in unit.members:
+                    if blocks[m].finished and not finished[m]:
+                        finished[m] = True
+                if outcome:
+                    wake_after(unit.members[-1])
+                return
+            block = blocks[i]
+            progressed = block.drain_timed()
+            if not block._timed_ok:
+                convert_to_scalar(i)
+                return
+            if block.finished and not finished[i]:
+                finished[i] = True
+            if progressed:
+                wake_after(i)
+
+        def drain_worklist() -> None:
+            while dirty:
+                i = dirty.popleft()
+                in_dirty[i] = False
+                if finished[i] or not timed[i]:
+                    continue
+                advance(i)
+
+        def sweep_outputs(i: int) -> None:
+            for ch in out_ch[i]:
+                state = ch.timed
+                if state is None or not ch.queue:
+                    continue
+                c = consumers.get(ch)
+                if c is None or not timed[c]:
+                    continue
+                try:
+                    batch = ch.take_batch()
+                except UnbatchableTokens:
+                    unit = units.get(c)
+                    if unit is not None:
+                        dissolve(unit)
+                    blocks[c]._bail_timed()
+                    convert_to_scalar(c)
+                    continue
+                if batch is None or batch.exhausted:
+                    continue
+                v = T + state.delta
+                data, _, ccode = batch.remaining_arrays()
+                state.pending.append(
+                    (
+                        batch,
+                        np.full(len(data), v, dtype=np.int64),
+                        np.full(len(ccode), v, dtype=np.int64),
+                    )
+                )
+                mark_dirty(c)
+
+        budget_msg = f"exceeded max_cycles={max_cycles}"
+        while True:
+            drain_worklist()
+            scalar_alive = [
+                i for i in range(n) if not timed[i] and not finished[i]
+            ]
+            if not scalar_alive:
+                if all(finished):
+                    break
+                stuck = [b.name for k, b in enumerate(blocks) if not finished[k]]
+                raise self._deadlock(self._cycles_so_far(last_busy_T), stuck)
+            progress = False
+            for i in range(n):
+                if timed[i] or finished[i] or T < active_from[i]:
+                    continue
+                drain_worklist()
+                for ch in in_ch[i]:
+                    if ch.timed is not None:
+                        ch.materialize_timed(T)
+                block = blocks[i]
+                if block.step():
+                    progress = True
+                if block.finished:
+                    finished[i] = True
+                sweep_outputs(i)
+            if progress:
+                last_busy_T = T
+                if max_cycles is not None and T > max_cycles:
+                    raise RuntimeError(budget_msg)
+                T += 1
+                continue
+            drain_worklist()
+            if dirty:
+                continue
+            target = None
+            for ch in channels:
+                if ch.timed is None:
+                    continue
+                c = consumers.get(ch)
+                if c is None or timed[c] or finished[c]:
+                    continue
+                stamp = ch.timed_pending_min_stamp()
+                if stamp is not None and stamp > T:
+                    target = stamp if target is None else min(target, stamp)
+            for i in range(n):
+                if not timed[i] and not finished[i] and active_from[i] > T:
+                    target = (
+                        active_from[i]
+                        if target is None
+                        else min(target, active_from[i])
+                    )
+            if target is None:
+                if all(finished):
+                    break
+                stuck = [b.name for k, b in enumerate(blocks) if not finished[k]]
+                raise self._deadlock(self._cycles_so_far(last_busy_T), stuck)
+            for i in range(n):
+                if not timed[i] and not finished[i] and T >= active_from[i]:
+                    blocks[i].stall_cycles += target - T - 1
+            T = target
+
+        for ch in channels:
+            if ch.timed is not None:
+                ch.materialize_timed(None)
+        cycles = self._cycles_so_far(last_busy_T)
+        if max_cycles is not None and cycles > max_cycles:
+            raise RuntimeError(budget_msg)
+        LAST_FUSION_STATS.clear()
+        LAST_FUSION_STATS.update(stats)
+        report = SimulationReport(cycles, self.blocks)
+        report.fusion = dict(stats)
+        return report

@@ -58,6 +58,55 @@ def rate1_schedule(arrivals: np.ndarray, clock: int, ii: int = 1) -> np.ndarray:
     return np.maximum.accumulate(base) + idx
 
 
+def compose_rate1(
+    arrivals: np.ndarray,
+    stages: List[Tuple[int, int, int]],
+) -> List[np.ndarray]:
+    """Schedules for a linear chain of rate-limited stages in one pass.
+
+    *stages* is a sequence of ``(clock, ii, delta)`` triples, one per
+    chain member in flow order: *clock* is the member's local cycle
+    counter (its next free slot), *ii* its initiation interval, *delta*
+    the channel visibility offset between the upstream member's firing
+    and this member's arrival (0 when the consumer runs later in the
+    block list, 1 otherwise — exactly what ``push_batch_timed`` adds).
+    The first stage's *delta* applies to *arrivals* itself.
+
+    The head schedule is one :func:`rate1_schedule` pass
+    (``np.maximum.accumulate``); every following stage whose ``ii`` does
+    not exceed the incoming schedule's step collapses to an elementwise
+    maximum, because a valid rate-``s`` schedule ``c`` has ``c - idx*ii``
+    non-decreasing for every ``ii <= s``, making the accumulate a no-op:
+
+        ``c_i = max(c_{i-1} + delta_i, clock_i + idx * ii_i)``
+
+    Stages that *slow down* the stream (``ii`` greater than the incoming
+    step) fall back to a fresh accumulate.  Returns one schedule array
+    per stage, each bit-identical to running the members' own
+    ``rate1_schedule`` calls back to back.
+    """
+    if not stages:
+        return []
+    clock0, ii0, delta0 = stages[0]
+    gated = np.asarray(arrivals, dtype=np.int64)
+    if delta0:
+        gated = gated + delta0
+    out = [rate1_schedule(gated, clock0, ii0)]
+    step = ii0
+    n = len(out[0])
+    idx = np.arange(n, dtype=np.int64)
+    for clock, ii, delta in stages[1:]:
+        prev = out[-1]
+        if delta:
+            prev = prev + delta
+        if ii <= step:
+            out.append(np.maximum(prev, clock + idx * ii))
+        else:
+            out.append(rate1_schedule(prev, clock, ii))
+        step = ii
+    return out
+
+
 def token_order_indices(cpos: np.ndarray, ndata: int) -> Tuple[np.ndarray, np.ndarray]:
     """Stream-order index of every data and control token of a batch.
 

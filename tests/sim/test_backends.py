@@ -34,7 +34,8 @@ VEC_C = urandom_vector(400, 60, seed=14)
 class TestRegistry:
     def test_registry_names(self):
         assert set(BACKENDS) == {
-            "cycle", "event", "timed-batch", "functional", "functional-seq"
+            "cycle", "event", "timed-batch", "compiled",
+            "functional", "functional-seq",
         }
 
     def test_resolve_default(self, monkeypatch):

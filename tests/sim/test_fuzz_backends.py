@@ -1,10 +1,12 @@
-"""Seeded randomized-graph fuzz: cycle vs event vs timed-batch.
+"""Seeded randomized-graph fuzz: cycle vs event vs timed-batch vs compiled.
 
 Every draw builds a fresh kernel graph from random operands and runs it
-through the three timed backends; the full ``SimulationReport`` — cycle
+through the four timed backends; the full ``SimulationReport`` — cycle
 count, per-block busy/stall activity, per-channel token counts — and the
 computed outputs must be identical across all of them.  Seeds are fixed
-so failures reproduce.
+so failures reproduce.  A dedicated suite at the bottom pins the
+compiled backend's fused execution against the unfused timed-batch plane
+over every kernel family, including degenerate operands.
 """
 
 import numpy as np
@@ -14,7 +16,7 @@ from repro.data.synthetic import random_sparse_matrix, urandom_vector
 from repro.kernels import run_spmm, spmv_locate, spmv_scatter, vecmul
 from repro.sim import graph_token_counts, run_blocks
 
-BACKENDS = ("cycle", "event", "timed-batch")
+BACKENDS = ("cycle", "event", "timed-batch", "compiled")
 
 
 def _random_matrix(rng):
@@ -171,3 +173,88 @@ def test_full_report_fuzz(seed):
         )
     assert reports["event"] == reports["cycle"]
     assert reports["timed-batch"] == reports["cycle"]
+    assert reports["compiled"] == reports["cycle"]
+
+
+# -- fused vs unfused: the compiled backend against timed-batch ----------
+
+@pytest.mark.parametrize("config", ["crd", "dense", "bv", "crd_skip"])
+def test_fusion_vecmul_matches_unfused(config):
+    rng = np.random.default_rng(77)
+    size = 60
+    a = _random_vector(rng, size)
+    b = _random_vector(rng, size)
+    ref = vecmul(config, a, b, split=size // 2, backend="timed-batch")
+    fused = vecmul(config, a, b, split=size // 2, backend="compiled")
+    assert (fused.cycles, fused.coords, fused.values) == (
+        ref.cycles, ref.coords, ref.values,
+    )
+
+
+def test_fusion_spmv_locate_matches_unfused():
+    B = np.asarray(random_sparse_matrix(13, 11, 0.3, seed=5))
+    c = urandom_vector(11, 7, seed=6)
+    crd0, val0, cyc0 = spmv_locate(B, c, backend="timed-batch")
+    crd, val, cyc = spmv_locate(B, c, backend="compiled")
+    assert (list(crd), list(val), cyc) == (list(crd0), list(val0), cyc0)
+
+
+def test_fusion_spmv_scatter_matches_unfused():
+    B = np.asarray(random_sparse_matrix(9, 14, 0.4, seed=8))
+    c = urandom_vector(9, 5, seed=9)
+    x0, cyc0 = spmv_scatter(B, c, backend="timed-batch")
+    x, cyc = spmv_scatter(B, c, backend="compiled")
+    assert cyc == cyc0
+    assert np.array_equal(x, x0)
+
+
+@pytest.mark.parametrize("order", ["ikj", "ijk", "kij"])
+def test_fusion_spmm_matches_unfused(order):
+    B = np.asarray(random_sparse_matrix(7, 9, 0.35, seed=11))
+    C = np.asarray(random_sparse_matrix(9, 6, 0.35, seed=12))
+    ref = run_spmm(B, C, order=order, backend="timed-batch")
+    fused = run_spmm(B, C, order=order, backend="compiled")
+    assert fused.cycles == ref.cycles
+    assert np.array_equal(fused.output.to_numpy(), ref.output.to_numpy())
+
+
+@pytest.mark.parametrize(
+    "case",
+    ["all_zero_a", "all_zero_b", "both_empty", "singleton"],
+)
+def test_fusion_degenerate_operands(case):
+    # Degenerate streams stress the fused zip head's EMPTY densification
+    # and the dissolve path (structure mismatches fall back mid-run).
+    size = 16
+    if case == "all_zero_a":
+        a = np.zeros(size)
+        b = urandom_vector(size, 9, seed=21)
+    elif case == "all_zero_b":
+        a = urandom_vector(size, 9, seed=22)
+        b = np.zeros(size)
+    elif case == "both_empty":
+        a = np.zeros(size)
+        b = np.zeros(size)
+    else:
+        a = np.zeros(size)
+        b = np.zeros(size)
+        a[3] = 1.5
+        b[3] = -2.0
+    for config in ("crd", "dense", "bv"):
+        ref = vecmul(config, a, b, split=size // 2, backend="timed-batch")
+        fused = vecmul(config, a, b, split=size // 2, backend="compiled")
+        assert (fused.cycles, fused.coords, fused.values) == (
+            ref.cycles, ref.coords, ref.values,
+        ), (case, config)
+
+
+def test_fusion_stats_populated():
+    from repro.sim.backends.compiled import LAST_FUSION_STATS
+
+    B = np.asarray(random_sparse_matrix(12, 12, 0.4, seed=30))
+    c = urandom_vector(12, 8, seed=31)
+    spmv_locate(B, c, backend="compiled")
+    stats = dict(LAST_FUSION_STATS)
+    assert stats["segments"] >= 1
+    assert stats["fused_blocks"] >= 2
+    assert stats["fallbacks"] >= 0

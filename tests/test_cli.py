@@ -29,6 +29,25 @@ class TestCLI:
         assert code == 0
         assert "digraph" in capsys.readouterr().out
 
+    def test_graph_command_compiled_clusters(self, capsys):
+        code = main(["--engine", "compiled", "graph",
+                     "x(i) = B(i,j) * c(j)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+        assert "// fusion:" in out
+        assert "cluster_fused_0" in out
+        # The SpMV value chain fuses: both loads feed the multiplier,
+        # which feeds the reducer.
+        assert '"mul_t0_0"' in out.split("cluster_fused_0")[1].split("}")[0]
+
+    def test_graph_command_other_engine_plain(self, capsys):
+        assert main(["--engine", "cycle", "graph",
+                     "x(i) = B(i,j) * c(j)"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+        assert "cluster_fused" not in out
+
     def test_table1_command(self, capsys):
         assert main(["table1"]) == 0
         assert "SpMV" in capsys.readouterr().out
