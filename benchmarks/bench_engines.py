@@ -13,7 +13,13 @@ Two sections:
   headline — ``compiled`` must beat ``timed-batch`` by >= 3x there —
   both while reproducing the reference cycle count bit for bit.
   Compiled rows also carry the segment-fusion statistics
-  (segments/fused blocks/fallbacks) from the last run.
+  (segments/fused blocks/fallbacks/kinds) from the last run.
+* **kernel scaling** — Gamma SpM*SpM and element-wise multiply at ~2e4
+  and ~1e5 nnz under ``timed-batch`` and ``compiled`` only (the scalar
+  backends would take minutes at these sizes).  Cycle counts must agree
+  bit for bit, and a third gate rides the largest Gamma row: the
+  merge-head/repeater/writer-tail fusion must make ``compiled`` >= 1.5x
+  faster than ``timed-batch``.
 
 Usage::
 
@@ -45,6 +51,11 @@ SCALING_SIZES = (10_000, 100_000)
 SCALING_GATE = 5.0
 #: required compiled speedup over timed-batch at the largest scaling size
 COMPILED_GATE = 3.0
+#: matrix densities for the kernel-scaling section (2000x2000 operands:
+#: ~2e4 and ~1e5 nnz per matrix)
+KERNEL_DENSITIES = (0.005, 0.025)
+#: required compiled speedup over timed-batch on the largest Gamma row
+GAMMA_GATE = 1.5
 
 
 def _fusion_stats() -> dict:
@@ -192,13 +203,90 @@ def run_timed_scaling(rounds: int) -> list:
     return results
 
 
+def run_kernel_scaling(rounds: int) -> list:
+    from repro.kernels.elementwise import vecmul
+    from repro.kernels.gamma import gamma_spmm
+
+    results = []
+    for density in KERNEL_DENSITIES:
+        B = np.asarray(random_sparse_matrix(2000, 2000, density, seed=42),
+                       float)
+        C = np.asarray(random_sparse_matrix(2000, 2000, density, seed=43),
+                       float)
+        nnz = int(np.count_nonzero(B))
+        entry = {"workload": f"gamma_2000_d{density}", "nnz": nnz,
+                 "engines": {}}
+        cycles = {}
+        for engine in ("timed-batch", "compiled"):
+            best = None
+            for _ in range(rounds):
+                start = time.perf_counter()
+                result = gamma_spmm(B, C, backend=engine)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            cycles[engine] = result.cycles
+            entry["engines"][engine] = {"seconds": best,
+                                        "cycles": result.cycles}
+            if engine == "compiled":
+                entry["engines"][engine]["fusion"] = _fusion_stats()
+        if cycles["compiled"] != cycles["timed-batch"]:
+            raise AssertionError(
+                f"gamma d={density}: compiled cycles {cycles['compiled']} "
+                f"!= timed-batch {cycles['timed-batch']}"
+            )
+        entry["compiled_speedup_vs_timed_batch"] = (
+            entry["engines"]["timed-batch"]["seconds"]
+            / entry["engines"]["compiled"]["seconds"]
+        )
+        results.append(entry)
+
+        size = nnz * 4
+        b = urandom_vector(size, nnz, seed=50)
+        c = urandom_vector(size, nnz, seed=51)
+        entry = {"workload": f"vecmul_crd_{size}", "nnz": nnz, "engines": {}}
+        cycles = {}
+        for engine in ("timed-batch", "compiled"):
+            best = None
+            for _ in range(rounds):
+                start = time.perf_counter()
+                result = vecmul("crd", b, c, backend=engine)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            cycles[engine] = result.cycles
+            entry["engines"][engine] = {"seconds": best,
+                                        "cycles": result.cycles}
+            if engine == "compiled":
+                entry["engines"][engine]["fusion"] = _fusion_stats()
+        if cycles["compiled"] != cycles["timed-batch"]:
+            raise AssertionError(
+                f"vecmul nnz={nnz}: compiled cycles {cycles['compiled']} "
+                f"!= timed-batch {cycles['timed-batch']}"
+            )
+        entry["compiled_speedup_vs_timed_batch"] = (
+            entry["engines"]["timed-batch"]["seconds"]
+            / entry["engines"]["compiled"]["seconds"]
+        )
+        results.append(entry)
+    gamma_rows = [e for e in results if e["workload"].startswith("gamma")]
+    gate_entry = gamma_rows[-1]
+    if gate_entry["compiled_speedup_vs_timed_batch"] < GAMMA_GATE:
+        raise AssertionError(
+            f"compiled must be >= {GAMMA_GATE}x faster than timed-batch on "
+            f"Gamma at {gate_entry['nnz']} nnz, measured "
+            f"{gate_entry['compiled_speedup_vs_timed_batch']:.2f}x"
+        )
+    return results
+
+
 def run_bench(rounds: int = 3) -> dict:
     workloads = run_bound_graphs(rounds)
     scaling = run_timed_scaling(rounds)
+    kernels = run_kernel_scaling(rounds)
     return {
         "rounds": rounds,
         "workloads": workloads,
         "timed_scaling": scaling,
+        "kernel_scaling": kernels,
         "summary": {
             "best_functional_speedup": max(
                 e["engines"]["functional"]["speedup_vs_cycle"] for e in workloads
@@ -218,8 +306,12 @@ def run_bench(rounds: int = 3) -> dict:
             "compiled_speedup_vs_timed_batch_at_scale": scaling[-1][
                 "compiled_speedup_vs_timed_batch"
             ],
+            "gamma_compiled_speedup_vs_timed_batch_at_scale": [
+                e for e in kernels if e["workload"].startswith("gamma")
+            ][-1]["compiled_speedup_vs_timed_batch"],
             "scaling_gate": SCALING_GATE,
             "compiled_gate": COMPILED_GATE,
+            "gamma_gate": GAMMA_GATE,
         },
     }
 

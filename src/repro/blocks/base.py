@@ -77,6 +77,14 @@ class TimingDescriptor:
     * ``"reduce"`` — scalar reducer: chain tail (emits fewer tokens
       than it consumes, so nothing fuses after it in v1).
     * ``"sink"`` — pure consumer (Sink): chain tail.
+    * ``"merge"`` — 2-ary intersect/union: may head a merge segment,
+      absorbing its per-side scanner feeders and an optional
+      coordinate-writer tail.
+    * ``"repsig"`` / ``"repeat"`` — repeat-signal generator and its
+      repeater: fuse pairwise into a repeater pipeline.
+    * ``"write"`` — level/vals writer: pure consumer tail; a
+      ``ValsWriter`` may close a value chain, any writer may close a
+      merge head's coordinate output.
     * ``""`` — not fusible; the block always runs on the per-block
       timed path.
     """

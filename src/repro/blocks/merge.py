@@ -422,7 +422,7 @@ class Intersect(_Merger):
             self._side_fibers[0] += 1
             self._side_fibers[1] += 1
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="merge")
 
     def timed_capable(self) -> bool:
         # Skip hints feed a timing side channel the batched merge does
@@ -692,7 +692,7 @@ class Union(_Merger):
             for builder in builders:
                 builder.ctrl(code_a)
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="merge")
 
     def timed_capable(self) -> bool:
         return self.arity == 2 and all(side.skip is None for side in self.sides)

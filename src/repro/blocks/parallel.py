@@ -7,15 +7,25 @@ parallelise at): every lane receives every stop/done token so each lane
 remains a well-formed stream, but the data tokens of fiber ``f`` go only
 to lane ``f mod L``.  The serializer is the exact inverse, interleaving
 lane fibers back into one sequential stream.
+
+Both the parallelizer and the interleaving serializer carry timed-batch
+drains (rate-1, one event per token, matching their generators cycle for
+cycle), so multi-lane graphs like gamma run entirely on the stamped
+plane; rotation state lives in instance attributes shared with the
+generators, keeping mid-run scalar bails resumable.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
+from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
+from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, Stop, is_data, is_done, is_stop
-from .base import Block, BlockError
+from .base import Block, BlockError, TimingDescriptor
 
 
 class Parallelizer(Block):
@@ -49,28 +59,93 @@ class Parallelizer(Block):
         self.in_ = self._in("in", in_)
         self.outs = [self._out(f"out{i}", ch) for i, ch in enumerate(outs)]
         self.granularity = granularity
+        #: round-robin rotation state, shared with the timed drain so a
+        #: mid-run scalar bail resumes at the right lane
+        self._lane = 0
 
     def _run(self):
-        lane = 0
         while True:
             token = yield from self._get(self.in_)
             if is_data(token):
-                self.outs[lane % len(self.outs)].push(token)
+                self.outs[self._lane % len(self.outs)].push(token)
                 if self.granularity == "element":
-                    lane += 1
+                    self._lane += 1
             elif is_stop(token):
                 for channel in self.outs:
                     channel.push(token)
                 if self.granularity == "fiber":
-                    lane += 1
+                    self._lane += 1
                 else:
-                    lane = 0
+                    self._lane = 0
             else:  # done
                 for channel in self.outs:
                     channel.push(DONE)
                 yield True
                 return
             yield True
+
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: one event per input token; stops/done broadcast.
+
+        The whole window is one epoch advance; each data token's stamp
+        lands on its destination lane only, while every control stamp is
+        replicated to all lanes (the generator pushes the stop/done to
+        each lane within the same cycle).
+        """
+        if self.finished:
+            return False
+        reader = self._treader(self.in_)
+        window = reader.take_window()
+        if window is None:
+            self._wait = (self.in_, "data")
+            return False
+        head, sd, sc, tail = split_done_stamped(*window)
+        data, cpos, ccode = head.remaining_arrays()
+        if (ccode == CODE_EMPTY).any():
+            # The generator treats N as end-of-stream; it never occurs
+            # on the crd/ref streams parallelizers split, so keep the
+            # generator's behaviour by dropping to the scalar path.
+            reader.put_back(window)
+            return self._bail_timed()
+        merged, di, ci = merge_stamps(head, sd, sc)
+        if len(merged) == 0:
+            self._wait = (self.in_, "data")
+            return False
+        c = self._t_advance(merged)
+        cd, cc = c[di], c[ci]
+        L = len(self.outs)
+        ndata = len(data)
+        stop_pos = cpos[ccode >= 0]
+        d_idx = np.arange(ndata, dtype=np.int64)
+        fiber = np.searchsorted(stop_pos, d_idx, side="right")
+        if self.granularity == "fiber":
+            lane = (self._lane + fiber) % L
+            self._lane = (self._lane + len(stop_pos)) % L
+        else:
+            start = np.where(fiber > 0, stop_pos[fiber - 1] if len(stop_pos)
+                             else 0, 0)
+            lane = (d_idx - start + np.where(fiber == 0, self._lane, 0)) % L
+            if len(stop_pos):
+                self._lane = int(ndata - stop_pos[-1]) % L
+            else:
+                self._lane = (self._lane + ndata) % L
+        for i, channel in enumerate(self.outs):
+            out = self._tbuilder(channel)
+            mask = lane == i
+            sel = np.zeros(ndata + 1, dtype=np.int64)
+            np.cumsum(mask, out=sel[1:])
+            out.data_with_ctrl(data[mask], sel[cpos], ccode, cd[mask], cc)
+            out.flush()
+        if head.ends_done:
+            if tail is not None:
+                self.in_.timed_requeue_front(*tail)
+            self.finished = True
+            self._wait = None
+        else:
+            self._wait = (self.in_, "data")
+        return True
 
 
 class Serializer(Block):
@@ -145,39 +220,137 @@ class InterleaveSerializer(Block):
             raise BlockError(f"{name}: need at least one input lane")
         self.ins = [self._in(f"in{i}", ch) for i, ch in enumerate(ins)]
         self.out = self._out("out", out)
+        #: rotation/progress state shared with the timed drain: the
+        #: active fiber index, the held (normalised) stop level awaiting
+        #: the next fiber, and whether the active fiber is mid-copy
+        self._fi = 0
+        self._pending = None
+        self._mid = False
 
     def _run(self):
-        fiber_index = 0
-        pending_stop = None  # held so the final fiber's stop can promote
         while True:
-            active = self.ins[fiber_index % len(self.ins)]
+            active = self.ins[self._fi % len(self.ins)]
             token = yield from self._get(active)
-            if is_done(token):
-                for i, channel in enumerate(self.ins):
-                    if channel is active:
-                        continue
-                    other = yield from self._get(channel)
-                    if not is_done(other):
-                        raise BlockError(
-                            f"{self.name}: lane {i} desync at D ({other!r})"
-                        )
-                if pending_stop is not None:
-                    # The joined stream's last fiber also closes the level
-                    # above (hierarchical stop encoding, Figure 1d).
-                    self.out.push(Stop(pending_stop.level + 1))
-                self.out.push(DONE)
-                yield True
-                return
-            if pending_stop is not None:
-                self.out.push(pending_stop)
-                pending_stop = None
-                yield True
+            if not self._mid:
+                if is_done(token):
+                    for i, channel in enumerate(self.ins):
+                        if channel is active:
+                            continue
+                        other = yield from self._get(channel)
+                        if not is_done(other):
+                            raise BlockError(
+                                f"{self.name}: lane {i} desync at D ({other!r})"
+                            )
+                    if self._pending is not None:
+                        # The joined stream's last fiber also closes the
+                        # level above (hierarchical stops, Figure 1d).
+                        self.out.push(Stop(self._pending + 1))
+                    self.out.push(DONE)
+                    yield True
+                    return
+                if self._pending is not None:
+                    self.out.push(Stop(self._pending))
+                    self._pending = None
+                    yield True
+                self._mid = True
             # Copy one whole fiber (data tokens, holding back its stop,
             # normalised to a plain fiber boundary).
             while not is_stop(token):
                 self.out.push(token)
                 yield True
                 token = yield from self._get(active)
-            pending_stop = Stop(0)
-            fiber_index += 1
+            self._pending = 0
+            self._fi += 1
+            self._mid = False
             yield True
+
+    timing = TimingDescriptor()
+
+    def drain_timed(self) -> bool:
+        """Timed drain: whole data runs per epoch advance, one event per
+        fiber-closing stop, pending-stop emission gated by the peeked
+        arrival of the next fiber's first token — the exact cycle
+        schedule of the generator."""
+        if self.finished:
+            return False
+        out = self._tbuilder(self.out)
+        L = len(self.ins)
+        progressed = False
+
+        def park(channel):
+            out.flush()
+            self._wait = (channel, "data")
+            return progressed
+
+        while True:
+            active = self.ins[self._fi % L]
+            rd = self._treader(active)
+            if not self._mid:
+                token, s = rd.peek()
+                if token is NO_TOKEN:
+                    return park(active)
+                if is_done(token):
+                    gate = s
+                    others = []
+                    for i, channel in enumerate(self.ins):
+                        if channel is active:
+                            continue
+                        other = self._treader(channel)
+                        tok2, s2 = other.peek()
+                        if tok2 is NO_TOKEN:
+                            return park(channel)
+                        if not is_done(tok2):
+                            raise BlockError(
+                                f"{self.name}: lane {i} desync at D ({tok2!r})"
+                            )
+                        gate = max(gate, s2)
+                        others.append(other)
+                    rd.pop()
+                    for other in others:
+                        other.pop()
+                    cyc = self._t_event(gate)
+                    if self._pending is not None:
+                        out.ctrl(self._pending + 1, cyc)
+                        self._pending = None
+                    out.ctrl(CODE_DONE, cyc)
+                    out.flush()
+                    self.finished = True
+                    self._wait = None
+                    return True
+                if self._pending is not None:
+                    cyc = self._t_event(s)
+                    out.ctrl(self._pending, cyc)
+                    self._pending = None
+                    progressed = True
+                self._mid = True
+                continue
+            ctrl = rd.front_ctrl()
+            if ctrl is None:
+                vals, stamps = rd.pop_run()
+                if len(vals) == 0:
+                    return park(active)
+                c = self._t_advance(stamps)
+                out.data(vals, c)
+                progressed = True
+                continue
+            if ctrl >= 0:
+                # Fiber-closing stop: one consumption cycle, no output;
+                # the normalised Stop(0) is held for the next fiber.
+                _, s = rd.pop()
+                self._t_event(s)
+                self._pending = 0
+                self._fi += 1
+                self._mid = False
+                progressed = True
+                continue
+            if ctrl == CODE_EMPTY:
+                # The generator copies N through like data, at rate 1.
+                _, s = rd.pop()
+                cyc = self._t_event(s)
+                out.ctrl(CODE_EMPTY, cyc)
+                progressed = True
+                continue
+            # Done (or any other control) mid-fiber is malformed input;
+            # keep the generator's behaviour on the scalar plane.
+            out.flush()
+            return self._bail_timed()

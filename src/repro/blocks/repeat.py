@@ -103,7 +103,7 @@ class RepeatSigGen(Block):
         self._wait = (self.in_crd, "data")
         return steps > 0, steps
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="repsig")
 
     def drain_timed(self) -> bool:
         """Timed drain: uniform rate-1 map onto a pure-control batch."""
@@ -277,7 +277,7 @@ class Repeater(Block):
                 self._rep_fold = signal.level
             self._rep_ref = NO_TOKEN
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="repeat")
 
     def _timed_bail_safe(self) -> bool:
         return (

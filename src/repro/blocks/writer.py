@@ -127,7 +127,7 @@ class CompressedLevelWriter(Block):
         self._wait = (self.in_crd, "data")
         return steps > 0, steps
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="write")
 
     def drain_timed(self) -> bool:
         if self.finished:
@@ -205,7 +205,7 @@ class UncompressedLevelWriter(Block):
         self._wait = (self.in_crd, "data")
         return steps > 0, steps
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="write")
 
     def drain_timed(self) -> bool:
         if self.finished:
@@ -296,7 +296,7 @@ class ValsWriter(Block):
         self._wait = (self.in_val, "data")
         return steps > 0, steps
 
-    timing = TimingDescriptor()
+    timing = TimingDescriptor(fuse_role="write")
 
     def drain_timed(self) -> bool:
         if self.finished:

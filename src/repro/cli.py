@@ -300,7 +300,8 @@ def _cmd_graph(args) -> None:
     if engine in (None, "compiled"):
         segments = partition_segments(bound.blocks)
         program.graph.annotate_fusion(
-            [[bound.blocks[i].name for i in seg.members] for seg in segments]
+            [[bound.blocks[i].name for i in seg.members] for seg in segments],
+            [seg.kind for seg in segments],
         )
         fused = sum(len(seg.members) for seg in segments)
         print(f"// fusion: {len(segments)} segments, {fused} fused blocks")

@@ -54,11 +54,12 @@ def to_dot(graph: SamGraph) -> str:
         shape = _NODE_SHAPE.get(node.kind, "box")
         return f'  "{node.name}" [label="{node.label()}", shape={shape}];'
 
+    kinds = graph.fused_segment_kinds or ()
     for si, seg in enumerate(graph.fused_segments or ()):
+        kind = kinds[si] if si < len(kinds) else ""
+        label = f"fused segment {si}" + (f" [{kind}]" if kind else "")
         lines.append(f"  subgraph cluster_fused_{si} {{")
-        lines.append(
-            f'    label="fused segment {si}"; style=dashed; color="red3";'
-        )
+        lines.append(f'    label="{label}"; style=dashed; color="red3";')
         for name in seg:
             lines.append("  " + node_line(graph.nodes[name]))
         lines.append("  }")

@@ -79,19 +79,31 @@ class SamGraph:
         #: :meth:`annotate_fusion` and rendered as DOT clusters.  ``None``
         #: until a fusion partition has been attached.
         self.fused_segments: Optional[List[List[str]]] = None
+        #: per-segment kind labels ("value-chain", "scan-locate",
+        #: "merge-head", "repeater", "writer-tail"), parallel to
+        #: :attr:`fused_segments`.
+        self.fused_segment_kinds: Optional[List[str]] = None
 
-    def annotate_fusion(self, segments: List[List[str]]) -> None:
+    def annotate_fusion(
+        self, segments: List[List[str]], kinds: Optional[List[str]] = None
+    ) -> None:
         """Attach a fused-segment partition (lists of member node names).
 
         Names that are not graph nodes (e.g. binder-inserted fanouts) are
-        dropped; empty segments are discarded.
+        dropped; empty segments are discarded.  *kinds*, when given, is a
+        parallel list of segment-kind labels (see
+        :func:`repro.graph.bind.partition_segments`) rendered in the DOT
+        cluster labels.
         """
         kept = []
-        for seg in segments:
+        kept_kinds = []
+        for i, seg in enumerate(segments):
             names = [n for n in seg if n in self.nodes]
             if names:
                 kept.append(names)
+                kept_kinds.append(kinds[i] if kinds else "")
         self.fused_segments = kept
+        self.fused_segment_kinds = kept_kinds
 
     # -- construction ------------------------------------------------------
     def add(self, kind: str, name: Optional[str] = None, **params) -> Node:

@@ -28,6 +28,21 @@ executes as **one super-block**:
   applied from its composed schedule exactly as its own ``_t_advance``
   would have.
 
+Five segment kinds are compiled (``report.fusion["kinds"]`` counts
+them per run): ``value-chain`` and ``writer-tail`` chains plus
+``scan-locate`` pairs run the composed-schedule machinery above, with
+writer tails additionally capturing the writer's rate-1 commit
+(crd/seg extension, fiber counts, value appends) from the chain's
+schedule endpoints; ``merge-head`` segments (a two-sided
+intersect/union with its dedicated upstream side scanners and an
+optional compressed-writer tail) are *co-scheduled* — members run
+their stock timed drains back-to-back in flow order inside one
+worklist visit, preserving the merge's windowed chunk protocol
+bit-for-bit while eliminating the per-epoch scheduling hops;
+``repeater`` segments (``RepeatSigGen`` → ``Repeater``) replace the
+per-fiber repeat loop with one vectorised pass per window span (see
+:class:`_RepeaterUnit`).
+
 Fallback ladder: a segment whose members or links fail validation at
 compile time is *rejected* (members run on the plain timed-batch
 plane); a fused zip head whose operand windows lose structural
@@ -72,7 +87,16 @@ _EMPTY_F64 = np.empty(0, dtype=np.float64)
 #: The stock kernels return bare result arrays rather than report
 #: handles, so benchmarks read the numbers from here; the same dict is
 #: also attached to the returned report as ``report.fusion``.
-LAST_FUSION_STATS = {"segments": 0, "fused_blocks": 0, "fallbacks": 0}
+#: ``kinds`` maps segment kind (``value-chain``, ``scan-locate``,
+#: ``merge-head``, ``repeater``, ``writer-tail``) to live segment count;
+#: ``total_blocks`` lets callers compute the fused-block fraction.
+LAST_FUSION_STATS = {
+    "segments": 0,
+    "fused_blocks": 0,
+    "fallbacks": 0,
+    "total_blocks": 0,
+    "kinds": {},
+}
 
 #: sentinel returned by a unit step that must dissolve its segment
 _DISSOLVE = object()
@@ -434,14 +458,15 @@ class _Side:
 
 class _ChainUnit:
     """A fused value chain: zip/map head (the zip optionally absorbing
-    one map feeder per operand), map interiors, map/reduce/sink tail.
-    ``step()`` returns True on progress, False when parked, or
+    one map feeder per operand), map interiors, map/reduce/sink/write
+    tail.  ``step()`` returns True on progress, False when parked, or
     ``_DISSOLVE`` when the zip head's operand structures lose
     alignment."""
 
     __slots__ = (
         "members", "blocks", "links", "deltas", "head", "roles",
         "parts", "head_in", "tail_out", "sides", "active", "lazy_ok",
+        "emitters", "kind",
     )
 
     def __init__(self, blocks, segment, parts):
@@ -472,9 +497,11 @@ class _ChainUnit:
                         _Side(feeder, fin, link, parts[idx])
                     )
         outs = list(self.blocks[-1].outputs.values())
-        # any non-reduce/sink tail (a zip head may itself be the tail
-        # when it closed the segment purely by absorbing feeders)
-        self.tail_out = outs[0] if self.roles[-1] in ("map", "zip") else None
+        # any non-reduce/sink/write tail (a zip head may itself be the
+        # tail when it closed the segment purely by absorbing feeders)
+        self.tail_out = (
+            outs[0] if outs and self.roles[-1] in ("map", "zip") else None
+        )
         # Static half of the lazy-zip precondition: reduce/sink tail
         # (only control-position schedules are ever consumed), both
         # operands through feeders no slower than the head, and a
@@ -637,6 +664,35 @@ class _ChainUnit:
             blk._acc_saw = True
         out.flush()
 
+    @staticmethod
+    def _commit_write(blk, vals, cpos, ccode, ends_done):
+        """Writer-tail subset evaluation: the writer stores the chain's
+        final values/structure directly; no schedule array is consumed
+        (a writer emits nothing), only its composed busy/stall advance,
+        which the caller already applied.  Interior chain streams never
+        carry ``N`` after the head stage, so the writers' densify steps
+        are no-ops by construction."""
+        from ...blocks.writer import CompressedLevelWriter, ValsWriter
+        from ...formats.compressed import CompressedLevel
+        from ...formats.dense import DenseLevel
+
+        if isinstance(blk, ValsWriter):
+            blk.vals.extend(np.asarray(vals, dtype=np.float64).tolist())
+        elif isinstance(blk, CompressedLevelWriter):
+            base = len(blk.crd)
+            blk.crd.extend(np.asarray(vals).tolist())
+            blk.seg.extend((base + cpos[ccode >= 0]).tolist())
+            if ends_done:
+                if blk.seg[-1] != len(blk.crd):  # unterminated fiber
+                    blk.seg.append(len(blk.crd))
+                blk._level = CompressedLevel(blk.seg, blk.crd)
+        else:  # UncompressedLevelWriter
+            blk._fibers += int((ccode >= 0).sum())
+            if ends_done:
+                blk._level = DenseLevel(
+                    blk.size, num_fibers=max(1, blk._fibers)
+                )
+
     def step(self):
         if self.blocks[-1].finished:
             return False
@@ -684,6 +740,8 @@ class _ChainUnit:
                 # so the structure (and di/ci) is unchanged
             elif role == "reduce":
                 self._commit_reduce(blk, vals, cpos, ccode, cctrl, ends_done)
+            elif role == "write":
+                self._commit_write(blk, vals, cpos, ccode, ends_done)
             else:  # sink
                 blk.tokens.extend(TokenBatch(vals, cpos, ccode).tokens())
         if self.tail_out is not None:
@@ -729,7 +787,10 @@ class _ScanLocateUnit:
     splits), so stats and output stamps are bit-identical to the
     unfused pair."""
 
-    __slots__ = ("members", "scan", "loc", "links", "delta", "active")
+    __slots__ = (
+        "members", "scan", "loc", "links", "delta", "active",
+        "emitters", "kind",
+    )
 
     def __init__(self, blocks, segment):
         self.members = list(segment.members)
@@ -938,6 +999,325 @@ class _ScanLocateUnit:
             scan._fiber_index += 1
 
 
+class _MergeHeadUnit:
+    """A fused 2-ary intersect/union head: the merge co-scheduled with
+    its per-side scanner feeders and an optional level-writer tail on
+    its coordinate output.
+
+    The merge's chunk protocol is windowed — each epoch advance is gated
+    by whole fiber chunks from *both* sides (``_chunk_status`` /
+    ``_merge_events``), so the interior channels stay materialised and
+    every member runs its own stock ``drain_timed``.  Fusion here is a
+    scheduling contraction: one ``step()`` services scanners → merge →
+    writer back to back in flow order, so a fiber chunk crosses the
+    whole segment in a single worklist visit instead of one wake/visit
+    round trip per member.  Counters, stamps, and outputs are the
+    members' own — bit-identity with the unfused plane is by
+    construction.  Any member that bails the timed plane mid-run
+    surfaces as ``_DISSOLVE`` and the engine drops the segment."""
+
+    __slots__ = ("members", "blocks", "active", "emitters", "kind")
+
+    def __init__(self, blocks, segment):
+        self.members = list(segment.members)
+        self.blocks = [blocks[i] for i in segment.members]
+        self.active = True
+
+    def step(self):
+        progressed = False
+        for blk in self.blocks:
+            if blk.finished:
+                continue
+            if blk.drain_timed():
+                progressed = True
+            if not blk._timed_ok:
+                return _DISSOLVE
+        return progressed
+
+
+class _RepeaterUnit:
+    """A fused RepeatSigGen→Repeater pipeline with a vectorised repeat
+    stage.
+
+    The signal generator runs its stock drain (a uniform rate-1 map
+    pushing pure-control batches onto the real repeat-signal link), so
+    its schedule, counters, and channel statistics are untouched.  The
+    repeat stage replays ``Repeater.drain_timed`` with one change:
+    *regular spans* — a leading run of ``R`` codes plus as many complete
+    ``S0``-closed driver fibers as the reference stream has data for —
+    collapse to one batch: a single ``_t_advance`` over the span's
+    signal stamps with each reference pop's arrival folded in at its
+    fiber-head position, one ``np.repeat`` over the reference run, one
+    builder push.  Equivalence with the token-by-token loop is exact:
+    ``rate1_schedule`` composes over arbitrary splits of the arrival
+    sequence (the clock carries), ``_t_event`` is the one-token case of
+    the same recurrence, and ``_t_defer`` is a max folded into the next
+    event's gate — which is precisely the positional fold applied here.
+    Elevated stops, folds, ``N`` references, empty-fiber pairings, and
+    done handling run the stock branches verbatim."""
+
+    __slots__ = ("members", "sig", "rep", "active", "emitters", "kind")
+
+    def __init__(self, blocks, segment):
+        self.members = list(segment.members)
+        self.sig = blocks[segment.members[0]]
+        self.rep = blocks[segment.members[1]]
+        self.active = True
+
+    def step(self):
+        sig, rep = self.sig, self.rep
+        progressed = False
+        if not sig.finished:
+            if sig.drain_timed():
+                progressed = True
+            if not sig._timed_ok:
+                return _DISSOLVE
+        if not rep.finished:
+            if self._drain_rep():
+                progressed = True
+            if not rep._timed_ok:
+                return _DISSOLVE
+        return progressed
+
+    @staticmethod
+    def _flat_sig(rd_sig):
+        """``(codes, stamps)`` over the reader's pure-control prefix.
+
+        Repeat-signal batches carry no data tokens, so in practice this
+        is the whole held window; a data-carrying batch ends the prefix
+        and the remaining tokens take the token-exact branches."""
+        codes, stamps = [], []
+        for batch, _, sctrl in rd_sig.held:
+            if batch._d < len(batch.data):
+                break
+            c = batch._c
+            if c < len(batch.ctrl_code):
+                codes.append(batch.ctrl_code[c:])
+                stamps.append(sctrl[c:])
+        if not codes:
+            return _EMPTY_I64, _EMPTY_I64
+        if len(codes) == 1:
+            return codes[0], stamps[0]
+        return np.concatenate(codes), np.concatenate(stamps)
+
+    @staticmethod
+    def _consume_sig(rd_sig, n):
+        """Advance the reader past *n* leading control tokens (all from
+        data-exhausted batches, so cursor bumps keep stamp alignment)."""
+        for batch, _, _ in rd_sig.held:
+            if n <= 0:
+                break
+            c = batch._c
+            take = min(n, len(batch.ctrl_code) - c)
+            batch._c = c + take
+            n -= take
+        rd_sig._trim()
+
+    def _drain_rep(self):
+        from ...blocks.base import BlockError
+        from ...streams.batch import CODE_REPEAT
+        from ...streams.token import is_data, is_done, is_empty, is_stop
+
+        rep = self.rep
+        rd_ref = rep._treader(rep.in_ref)
+        rd_sig = rep._treader(rep.in_repsig)
+        out = rep._tbuilder(rep.out_ref)
+        progressed = False
+        # Flat view of the signal window plus cursors: token position,
+        # index into the precomputed control positions, and a pointer to
+        # the next non-S0 control.  Precomputing once keeps the span
+        # loop linear in the window size; any scalar reader consumption
+        # invalidates the view (codes = None).
+        codes = stamps = ends_all = nonclose = None
+        pos = ei = nci = 0
+
+        def park(channel):
+            out.flush()
+            rep._wait = (channel, "data")
+            return progressed
+
+        while True:
+            if rep._rep_fold is not None:
+                token, s = rd_ref.peek()
+                if token is NO_TOKEN:
+                    return park(rep.in_ref)
+                if not (is_stop(token) and token.level == rep._rep_fold - 1):
+                    raise BlockError(
+                        f"{rep.name}: driver stop S{rep._rep_fold} expects "
+                        f"reference stop S{rep._rep_fold - 1}, got {token!r}"
+                    )
+                rd_ref.pop()
+                rep._t_defer(s)
+                rep._rep_fold = None
+                progressed = True
+                continue
+            if rep._rep_ref is NO_TOKEN:
+                token, s = rd_ref.peek()
+                if token is NO_TOKEN:
+                    return park(rep.in_ref)
+                if is_data(token) or is_empty(token):
+                    rd_ref.pop()
+                    rep._t_defer(s)
+                    rep._rep_ref = token
+                    progressed = True
+                    continue
+                signal, s_sig = rd_sig.peek()
+                if signal is NO_TOKEN:
+                    return park(rep.in_repsig)
+                rd_ref.pop()
+                rd_sig.pop()
+                codes = None
+                cyc = rep._t_event(max(s, s_sig))
+                progressed = True
+                if is_done(token):
+                    if not is_done(signal):
+                        raise BlockError(
+                            f"{rep.name}: driver stream out of sync at D "
+                            f"({signal!r})"
+                        )
+                    out.ctrl(CODE_DONE, cyc)
+                    out.flush()
+                    rep.finished = True
+                    rep._wait = None
+                    return True
+                if not (is_stop(signal) and signal.level == token.level + 1):
+                    raise BlockError(
+                        f"{rep.name}: reference stop {token!r} expects driver "
+                        f"stop S{token.level + 1}, got {signal!r}"
+                    )
+                out.ctrl(signal.level, cyc)
+                continue
+            if is_empty(rep._rep_ref):
+                # N references repeat as control runs — token-exact.
+                repeats, s_r = rd_sig.pop_repeat_run()
+                codes = None
+                if repeats:
+                    c = rep._t_advance(s_r)
+                    out.ctrl_run(CODE_EMPTY, c)
+                    progressed = True
+                    continue
+                signal, s_sig = rd_sig.peek()
+                if signal is NO_TOKEN:
+                    return park(rep.in_repsig)
+                if not is_stop(signal):
+                    raise BlockError(
+                        f"{rep.name}: driver stream ended mid-fiber "
+                        f"({signal!r})"
+                    )
+                rd_sig.pop()
+                cyc = rep._t_event(s_sig)
+                progressed = True
+                out.ctrl(signal.level, cyc)
+                if signal.level >= 1:
+                    rep._rep_fold = signal.level
+                rep._rep_ref = NO_TOKEN
+                continue
+            # A data reference is pending: vectorise the regular span.
+            if codes is None:
+                codes, stamps = self._flat_sig(rd_sig)
+                pos, ei, nci = 0, 0, 0
+                ends_all = np.flatnonzero(codes != CODE_REPEAT)
+                nonclose = np.flatnonzero(codes[ends_all] != 0)
+            if pos >= len(codes):
+                # Held window exhausted (or not pure control): fall back
+                # to the stock token-exact branch for the remainder.
+                repeats, s_r = rd_sig.pop_repeat_run()
+                codes = None
+                if repeats:
+                    c = rep._t_advance(s_r)
+                    out.data(np.full(repeats, rep._rep_ref), c)
+                    progressed = True
+                    continue
+                signal, s_sig = rd_sig.peek()
+                if signal is NO_TOKEN:
+                    return park(rep.in_repsig)
+                if not is_stop(signal):
+                    raise BlockError(
+                        f"{rep.name}: driver stream ended mid-fiber "
+                        f"({signal!r})"
+                    )
+                rd_sig.pop()
+                cyc = rep._t_event(s_sig)
+                progressed = True
+                out.ctrl(signal.level, cyc)
+                if signal.level >= 1:
+                    rep._rep_fold = signal.level
+                rep._rep_ref = NO_TOKEN
+                continue
+            if ei >= len(ends_all):
+                # Window tail is one partial R-run: emit it whole, keep
+                # the reference pending for the next window.
+                k = len(codes) - pos
+                c = rep._t_advance(stamps[pos:])
+                out.data(np.full(k, rep._rep_ref), c)
+                self._consume_sig(rd_sig, k)
+                pos = len(codes)
+                progressed = True
+                continue
+            while nci < len(nonclose) and nonclose[nci] < ei:
+                nci += 1
+            nreg = (
+                len(ends_all) - ei
+                if nci >= len(nonclose)
+                else int(nonclose[nci]) - ei
+            )
+            if nreg == 0:
+                # The pending fiber closes with a non-S0 code: emit its
+                # R-run (possibly empty) then run the stock stop branch.
+                k = int(ends_all[ei]) - pos
+                if k:
+                    c = rep._t_advance(stamps[pos:pos + k])
+                    out.data(np.full(k, rep._rep_ref), c)
+                    self._consume_sig(rd_sig, k)
+                    progressed = True
+                signal, s_sig = rd_sig.peek()
+                if not is_stop(signal):
+                    raise BlockError(
+                        f"{rep.name}: driver stream ended mid-fiber "
+                        f"({signal!r})"
+                    )
+                rd_sig.pop()
+                cyc = rep._t_event(s_sig)
+                out.ctrl(signal.level, cyc)
+                if signal.level >= 1:
+                    rep._rep_fold = signal.level
+                rep._rep_ref = NO_TOKEN
+                pos = int(ends_all[ei]) + 1
+                ei += 1
+                progressed = True
+                continue
+            # nreg complete S0-closed fibers; fibers beyond the first
+            # need a data reference each from the front run.
+            J = min(nreg, 1 + rd_ref.run_length())
+            bounds = ends_all[ei:ei + J] - pos
+            span = int(bounds[-1]) + 1
+            refs1, s_refs = rd_ref.pop_run_upto(J - 1)
+            arrivals = np.array(stamps[pos:pos + span])
+            if J > 1:
+                # Each reference pop's _t_defer lands on the following
+                # fiber's first event — a positional max into its gate.
+                heads = bounds[:-1] + 1
+                arrivals[heads] = np.maximum(arrivals[heads], s_refs)
+            c = rep._t_advance(arrivals)
+            r_counts = np.diff(bounds, prepend=-1) - 1
+            ref0 = np.asarray([rep._rep_ref])
+            refs_all = np.concatenate([ref0, refs1]) if J > 1 else ref0
+            mask = np.ones(span, dtype=bool)
+            mask[bounds] = False
+            out.data_with_ctrl(
+                np.repeat(refs_all, r_counts),
+                np.cumsum(r_counts),
+                np.zeros(J, dtype=np.int64),
+                c[mask],
+                c[bounds],
+            )
+            self._consume_sig(rd_sig, span)
+            pos += span
+            ei += J
+            rep._rep_ref = NO_TOKEN
+            progressed = True
+
+
 class CompiledEngine(TimedBatchEngine):
     """Timed-batch engine with statically fused super-block segments."""
 
@@ -951,15 +1331,30 @@ class CompiledEngine(TimedBatchEngine):
         state or holds prefilled tokens, or a chain member's transform
         cannot be resolved to a vectorised kernel.
         """
+        from ...blocks.writer import (
+            CompressedLevelWriter,
+            UncompressedLevelWriter,
+            ValsWriter,
+        )
         from ...graph.bind import partition_segments
 
         units = {}
-        stats = {"segments": 0, "fused_blocks": 0, "fallbacks": 0}
+        stats = {
+            "segments": 0,
+            "fused_blocks": 0,
+            "fallbacks": 0,
+            "total_blocks": len(blocks),
+            "kinds": {},
+        }
+        writer_types = (ValsWriter, CompressedLevelWriter,
+                        UncompressedLevelWriter)
         for seg in partition_segments(blocks):
             ok = all(timed[i] for i in seg.members)
-            interior = list(seg.links) + [
-                f[1] for f in seg.feeders if f is not None
-            ]
+            interior = list(seg.links)
+            if seg.shape == "chain":
+                # merge-head feeders describe channel *pairs* already in
+                # seg.links; only chain feeders add interior channels
+                interior += [f[1] for f in seg.feeders if f is not None]
             for ch in interior:
                 ok = ok and (
                     ch.timed is not None
@@ -972,18 +1367,36 @@ class CompiledEngine(TimedBatchEngine):
             if ok and seg.shape == "chain":
                 parts = {}
                 for i in seg.members:
-                    if blocks[i].timing.fuse_role == "map":
+                    role = blocks[i].timing.fuse_role
+                    if role == "map":
                         part = _unary_parts(blocks[i])
                         if part is None:
                             ok = False
                             break
                         parts[i] = part
+                    elif role == "write" and not isinstance(
+                        blocks[i], writer_types
+                    ):
+                        # only the single-input writers have a captured
+                        # commit; anything exotic runs unfused
+                        ok = False
+                        break
                 if ok:
                     unit = _ChainUnit(blocks, seg, parts)
             elif ok and seg.shape == "scan_locate":
                 ok = seg.links[0].timed.delta == seg.links[1].timed.delta
                 if ok:
                     unit = _ScanLocateUnit(blocks, seg)
+            elif ok and seg.shape == "merge_head":
+                ok = all(
+                    isinstance(blocks[i], writer_types)
+                    for i in seg.members
+                    if blocks[i].timing.fuse_role == "write"
+                )
+                if ok:
+                    unit = _MergeHeadUnit(blocks, seg)
+            elif ok and seg.shape == "repeater":
+                unit = _RepeaterUnit(blocks, seg)
             else:
                 ok = False
             if not ok:
@@ -991,6 +1404,16 @@ class CompiledEngine(TimedBatchEngine):
                 continue
             stats["segments"] += 1
             stats["fused_blocks"] += len(seg.members)
+            stats["kinds"][seg.kind] = stats["kinds"].get(seg.kind, 0) + 1
+            interior_ids = {id(ch) for ch in interior}
+            unit.kind = seg.kind
+            unit.emitters = [
+                m for m in seg.members
+                if any(
+                    id(ch) not in interior_ids
+                    for ch in blocks[m].outputs.values()
+                )
+            ]
             for i in seg.members:
                 units[i] = unit
         return units, stats
@@ -1110,6 +1533,7 @@ class CompiledEngine(TimedBatchEngine):
             stats["segments"] -= 1
             stats["fused_blocks"] -= len(unit.members)
             stats["fallbacks"] += 1
+            stats["kinds"][unit.kind] -= 1
             for i in unit.members:
                 units.pop(i, None)
                 mark_dirty(i)
@@ -1127,12 +1551,18 @@ class CompiledEngine(TimedBatchEngine):
                 outcome = unit.step()
                 if outcome is _DISSOLVE:
                     dissolve(unit)
+                    # a member that bailed the timed plane inside the
+                    # unit must not be re-entered by the timed worklist
+                    for m in unit.members:
+                        if not blocks[m]._timed_ok:
+                            convert_to_scalar(m)
                     return
                 for m in unit.members:
                     if blocks[m].finished and not finished[m]:
                         finished[m] = True
                 if outcome:
-                    wake_after(unit.members[-1])
+                    for m in unit.emitters:
+                        wake_after(m)
                 return
             block = blocks[i]
             progressed = block.drain_timed()
@@ -1251,6 +1681,8 @@ class CompiledEngine(TimedBatchEngine):
             raise RuntimeError(budget_msg)
         LAST_FUSION_STATS.clear()
         LAST_FUSION_STATS.update(stats)
+        LAST_FUSION_STATS["kinds"] = dict(stats["kinds"])
         report = SimulationReport(cycles, self.blocks)
         report.fusion = dict(stats)
+        report.fusion["kinds"] = dict(stats["kinds"])
         return report

@@ -1,0 +1,122 @@
+"""Fusion-coverage harness for the compiled backend.
+
+Pins the segment-fusion decisions of :func:`partition_segments` on the
+paper kernels: how many segments of each kind form, what fraction of
+the graph's blocks they absorb, and that no kernel silently falls back
+at compile time.  A change to the fusion passes that drops (or grows)
+coverage shows up here as a diff against the committed expectations
+rather than as an unexplained performance shift in the benchmarks.
+
+Expectations are asserted on ``report.fusion`` where the kernel exposes
+a bound graph, and on :data:`LAST_FUSION_STATS` (the same dict the
+engine attaches to the report) for kernels that only return result
+objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_sparse_matrix
+from repro.formats import FiberTensor
+from repro.graph.bind import bind
+from repro.kernels.elementwise import vecmul
+from repro.kernels.gamma import gamma_spmm
+from repro.kernels.spmm import run_spmm
+from repro.kernels.spmv import spmv_locate, spmv_scatter
+from repro.lang import compile_expression
+from repro.sim.backends import compiled as compiled_mod
+
+
+def _spmat(n, density, seed):
+    return np.asarray(random_sparse_matrix(n, n, density, seed=seed), float)
+
+
+def _sparse_vec(size, density, seed):
+    rng = np.random.default_rng(seed)
+    return np.where(rng.random(size) < density, rng.random(size), 0.0)
+
+
+def _stats():
+    stats = dict(compiled_mod.LAST_FUSION_STATS)
+    stats["kinds"] = dict(stats["kinds"])
+    return stats
+
+
+#: committed fusion expectations: kernel -> (kinds, fused_blocks, total_blocks)
+EXPECTED = {
+    "gamma": ({"repeater": 8, "merge-head": 4, "value-chain": 4}, 40, 67),
+    "vecmul_crd": ({"merge-head": 1, "writer-tail": 1}, 8, 10),
+    "vecmul_crd_split": ({"merge-head": 2, "writer-tail": 1}, 10, 15),
+    "spmv_locate": ({"scan-locate": 1, "value-chain": 1}, 6, 11),
+    "spmv_scatter": ({"merge-head": 1, "repeater": 1, "value-chain": 1}, 8, 13),
+    "spmm_ikj": ({"repeater": 2, "merge-head": 1, "value-chain": 1}, 10, 21),
+}
+
+
+def _run_kernel(name):
+    if name == "gamma":
+        B, C = _spmat(60, 0.1, 42), _spmat(60, 0.1, 43)
+        gamma_spmm(B, C, backend="compiled")
+    elif name in ("vecmul_crd", "vecmul_crd_split"):
+        b = _sparse_vec(512, 0.3, 0)
+        c = _sparse_vec(512, 0.3, 1)
+        vecmul(name.split("vecmul_")[1], b, c, backend="compiled")
+    elif name == "spmv_locate":
+        spmv_locate(_spmat(50, 0.1, 7), np.random.default_rng(2).random(50),
+                    backend="compiled")
+    elif name == "spmv_scatter":
+        spmv_scatter(_spmat(50, 0.1, 7), np.random.default_rng(2).random(50),
+                     backend="compiled")
+    else:  # spmm_ikj
+        run_spmm(_spmat(20, 0.15, 1), _spmat(20, 0.15, 2), "ikj",
+                 backend="compiled")
+
+
+class TestFusionCoverage:
+    @pytest.mark.parametrize("kernel", sorted(EXPECTED))
+    def test_kernel_fusion_matches_expectation(self, kernel):
+        kinds, fused, total = EXPECTED[kernel]
+        _run_kernel(kernel)
+        stats = _stats()
+        assert stats["kinds"] == kinds, kernel
+        assert stats["fused_blocks"] == fused, kernel
+        assert stats["total_blocks"] == total, kernel
+        assert stats["segments"] == sum(kinds.values()), kernel
+        # Compile-time rejection shows up as a smaller segment count, not
+        # a fallback; fallbacks here would mean a mid-run dissolve fired.
+        assert stats["fallbacks"] == 0, kernel
+
+    def test_gamma_majority_fused(self):
+        kinds, fused, total = EXPECTED["gamma"]
+        assert fused / total > 0.5
+
+    def test_elementwise_majority_fused(self):
+        kinds, fused, total = EXPECTED["vecmul_crd"]
+        assert fused / total > 0.5
+
+    def test_report_fusion_attached(self):
+        """The engine attaches the same stats to report.fusion."""
+        b = _sparse_vec(256, 0.4, 3)
+        c = _sparse_vec(256, 0.4, 4)
+        prog = compile_expression("x(i) = b(i) * c(i)")
+        tensors = {
+            "b": FiberTensor.from_numpy(b, name="b"),
+            "c": FiberTensor.from_numpy(c, name="c"),
+        }
+        bound = bind(prog.graph, tensors)
+        report = bound.run(backend="compiled")
+        assert report.fusion == _stats()
+        assert report.fusion["kinds"] == {"merge-head": 1, "writer-tail": 1}
+        assert report.fusion["fused_blocks"] == 8
+        assert report.fusion["fallbacks"] == 0
+
+    def test_all_vecmul_configs_carry_writer_tail(self):
+        """Every element-wise config fuses at least its writer tail."""
+        b = _sparse_vec(512, 0.3, 0)
+        c = _sparse_vec(512, 0.3, 1)
+        for config in ("dense", "crd", "crd_skip", "crd_split", "bv",
+                       "bv_split"):
+            vecmul(config, b, c, backend="compiled")
+            stats = _stats()
+            assert stats["kinds"].get("writer-tail", 0) >= 1, config
+            assert stats["fallbacks"] == 0, config

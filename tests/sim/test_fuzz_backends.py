@@ -258,3 +258,186 @@ def test_fusion_stats_populated():
     assert stats["segments"] >= 1
     assert stats["fused_blocks"] >= 2
     assert stats["fallbacks"] >= 0
+
+
+# -- fused merge heads and repeater pipelines, randomized ----------------
+
+def _full_report(blocks, backend):
+    from repro.blocks import Sink
+
+    report = run_blocks(blocks, backend=backend)
+    return (
+        report.cycles,
+        report.block_activity(),
+        graph_token_counts(blocks),
+        [b.tokens for b in blocks if isinstance(b, Sink)],
+    )
+
+
+def _random_level(rng, universe, n_fibers):
+    from repro.formats import CompressedLevel
+
+    fibers = []
+    for _ in range(n_fibers):
+        n = int(rng.integers(0, universe // 2))
+        fibers.append(sorted(rng.choice(universe, size=n,
+                                        replace=False).tolist()))
+    return CompressedLevel.from_fibers(fibers)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_merge_heavy_fuzz(seed):
+    # Scanner-fed intersect/union heads (the fused merge-head shape),
+    # randomly with an absorbed compressed-writer tail, cascaded into a
+    # second merge stage whose mixed feeders stay unfused.
+    from repro.blocks import (
+        CompressedLevelWriter,
+        Intersect,
+        MergeSide,
+        Sink,
+        StreamFeeder,
+        Union,
+        make_scanner,
+    )
+    from repro.streams import Channel, DONE, Stop
+
+    rng = np.random.default_rng(6000 + seed)
+    universe = 20
+    n_fibers = int(rng.integers(1, 4))
+    root = list(range(n_fibers))
+    root_tokens = []
+    for r in root:
+        root_tokens.append(r)
+        root_tokens.append(Stop(0))
+    root_tokens[-1] = DONE
+    merger_cls = Union if seed % 2 else Intersect
+    with_writer = seed % 3 != 2
+    cascade = seed % 4 == 3
+
+    def build():
+        blocks = []
+        sides = []
+        for tag in ("a", "b"):
+            level = _random_level(rng_levels[tag], universe, n_fibers)
+            in_ref = Channel(f"root_{tag}", kind="ref")
+            crd = Channel(f"crd_{tag}")
+            ref = Channel(f"ref_{tag}", kind="ref")
+            blocks.append(StreamFeeder(list(root_tokens), in_ref,
+                                       name=f"feed_{tag}"))
+            blocks.append(make_scanner(level, in_ref, crd, ref,
+                                       name=f"scan_{tag}"))
+            sides.append(MergeSide(crd, [ref]))
+        oc = Channel("oc")
+        oa = Channel("oa", kind="ref")
+        ob = Channel("ob", kind="ref")
+        blocks.append(merger_cls(sides, oc, [[oa], [ob]], name="merge"))
+        blocks.append(Sink(oa, name="sink_a"))
+        if cascade:
+            # Second merge: one side is the first merge's output, the
+            # other a fresh scanner — a mixed head the partitioner must
+            # leave unfused without breaking identity.
+            level = _random_level(rng_levels["c"], universe, n_fibers)
+            in_ref = Channel("root_c", kind="ref")
+            crd_c = Channel("crd_c")
+            ref_c = Channel("ref_c", kind="ref")
+            blocks.append(StreamFeeder(list(root_tokens), in_ref,
+                                       name="feed_c"))
+            blocks.append(make_scanner(level, in_ref, crd_c, ref_c,
+                                       name="scan_c"))
+            oc2 = Channel("oc2")
+            o1 = Channel("o1", kind="ref")
+            o2 = Channel("o2", kind="ref")
+            blocks.append(merger_cls(
+                [MergeSide(oc, [ob]), MergeSide(crd_c, [ref_c])],
+                oc2, [[o1], [o2]], name="merge2",
+            ))
+            blocks.append(Sink(o1, name="sink_1"))
+            blocks.append(Sink(o2, name="sink_2"))
+            out_crd = oc2
+        else:
+            blocks.append(Sink(ob, name="sink_b"))
+            out_crd = oc
+        if with_writer:
+            blocks.append(CompressedLevelWriter(out_crd, name="wr"))
+        else:
+            blocks.append(Sink(out_crd, name="sink_crd"))
+        return blocks
+
+    reports = {}
+    writers = {}
+    for be in BACKENDS:
+        rng_levels = {
+            tag: np.random.default_rng(6500 + seed * 7 + i)
+            for i, tag in enumerate(("a", "b", "c"))
+        }
+        blocks = build()
+        reports[be] = _full_report(blocks, be)
+        if with_writer:
+            from repro.blocks import CompressedLevelWriter as CLW
+
+            wr = next(b for b in blocks if isinstance(b, CLW))
+            writers[be] = (list(wr.seg), list(wr.crd))
+    for be in BACKENDS[1:]:
+        assert reports[be] == reports["cycle"], be
+        if with_writer:
+            assert writers[be] == writers["cycle"], be
+    from repro.sim.backends.compiled import LAST_FUSION_STATS
+
+    assert LAST_FUSION_STATS["kinds"].get("merge-head", 0) >= 1
+
+
+def _repeat_streams(rng):
+    """A (driver coordinates, references) pair obeying the repeat
+    protocol: one driver fiber per reference, group-closing stops
+    elevated on the driver, empty groups allowed."""
+    from repro.streams import DONE, EMPTY, Stop
+
+    ref_toks, drv_toks = [], []
+    for _ in range(int(rng.integers(1, 4))):
+        n_refs = int(rng.integers(0, 4))
+        if n_refs == 0:
+            ref_toks.append(Stop(0))
+            drv_toks.append(Stop(1))
+            continue
+        for j in range(n_refs):
+            tok = EMPTY if rng.random() < 0.15 else float(len(ref_toks))
+            ref_toks.append(tok)
+            for _ in range(int(rng.integers(0, 5))):
+                drv_toks.append(int(rng.integers(0, 30)))
+            drv_toks.append(Stop(1) if j == n_refs - 1 else Stop(0))
+        ref_toks.append(Stop(0))
+    ref_toks.append(DONE)
+    drv_toks.append(DONE)
+    return drv_toks, ref_toks
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_repeater_heavy_fuzz(seed):
+    # Two independent RepeatSigGen -> Repeater pipelines (the fused
+    # repeater shape) with random fiber structure, empty groups, and
+    # empty (N) references.
+    from repro.blocks import Sink, StreamFeeder, make_repeater
+    from repro.streams import Channel
+
+    rng = np.random.default_rng(7000 + seed)
+    streams = [_repeat_streams(rng) for _ in range(2)]
+
+    def build():
+        blocks = []
+        for i, (drv, ref) in enumerate(streams):
+            crd_ch = Channel(f"drv{i}")
+            ref_ch = Channel(f"ref{i}", kind="ref")
+            out = Channel(f"out{i}", kind="ref")
+            blocks.append(StreamFeeder(list(drv), crd_ch, name=f"fd{i}"))
+            blocks.append(StreamFeeder(list(ref), ref_ch, name=f"fr{i}"))
+            blocks.extend(make_repeater(crd_ch, ref_ch, out,
+                                        name=f"rep{i}"))
+            blocks.append(Sink(out, name=f"sink{i}"))
+        return blocks
+
+    reports = {be: _full_report(build(), be) for be in BACKENDS}
+    for be in BACKENDS[1:]:
+        assert reports[be] == reports["cycle"], be
+    from repro.sim.backends.compiled import LAST_FUSION_STATS
+
+    assert LAST_FUSION_STATS["kinds"].get("repeater", 0) == 2

@@ -37,9 +37,22 @@ class TestCLI:
         assert "digraph" in out
         assert "// fusion:" in out
         assert "cluster_fused_0" in out
+        # Each cluster is labelled with its segment kind.
+        clusters = {}
+        for chunk in out.split("subgraph cluster_fused_")[1:]:
+            body = chunk.split("}")[0]
+            kind = body.split("[")[1].split("]")[0]
+            clusters[kind] = body
+        assert set(clusters) == {"repeater", "merge-head", "value-chain"}
         # The SpMV value chain fuses: both loads feed the multiplier,
         # which feeds the reducer.
-        assert '"mul_t0_0"' in out.split("cluster_fused_0")[1].split("}")[0]
+        assert '"mul_t0_0"' in clusters["value-chain"]
+        assert '"reduce_j_t0"' in clusters["value-chain"]
+        # The intersect head absorbs both upstream scanners.
+        assert '"intersect_j_t0"' in clusters["merge-head"]
+        assert '"scan_B_0_0_j"' in clusters["merge-head"]
+        assert '"scan_c_0_1_j"' in clusters["merge-head"]
+        assert '"repeat_c_0_1_i"' in clusters["repeater"]
 
     def test_graph_command_other_engine_plain(self, capsys):
         assert main(["--engine", "cycle", "graph",
