@@ -1,7 +1,16 @@
 """The nine SAM dataflow block families (paper sections 3 and 4)."""
 
 from .array import ArrayLoad, ArrayStore
-from .base import Block, BlockError, Fanout, RootFeeder, Sink, StreamFeeder
+from .base import (
+    Block,
+    BlockError,
+    Fanout,
+    PortError,
+    PortSpec,
+    RootFeeder,
+    Sink,
+    StreamFeeder,
+)
 from .bitvector import BVExpander, BVIntersect, BVUnion, BitvectorConverter
 from .compute import ALU, Exp, OPERATORS, ScalarALU
 from .drop import CoordDropper, ValueDropper
@@ -51,6 +60,8 @@ __all__ = [
     "MergeSide",
     "OPERATORS",
     "Parallelizer",
+    "PortError",
+    "PortSpec",
     "REPEAT",
     "RepeatSigGen",
     "Repeater",

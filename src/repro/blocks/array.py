@@ -20,13 +20,18 @@ import numpy as np
 from ..streams.batch import CODE_DONE, CODE_EMPTY
 from ..streams.channel import Channel
 from ..streams.token import is_data, is_done, is_empty
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 
 class ArrayLoad(Block):
     """Load mode: reference stream in, data stream out (one-cycle memory)."""
 
     primitive = "array"
+
+    port_specs = (
+        PortSpec('in_ref', 'in', kind='ref'),
+        PortSpec('out_data', 'out', kind='vals'),
+    )
 
     def __init__(
         self,
@@ -161,6 +166,11 @@ class ArrayStore(Block):
     """
 
     primitive = "array"
+
+    port_specs = (
+        PortSpec('in_ref', 'in', kind='ref'),
+        PortSpec('in_data', 'in', kind='vals'),
+    )
 
     def __init__(
         self,

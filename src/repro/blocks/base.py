@@ -11,8 +11,9 @@ single-cycle memories.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +39,55 @@ _EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 class BlockError(RuntimeError):
     """Raised when a block observes a protocol violation on its streams."""
+
+
+class PortError(BlockError):
+    """Raised when a channel is bound to a port its block never declared."""
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Class-level declaration of one named port on a block.
+
+    Every stock primitive declares its interface as a tuple of these on
+    :attr:`Block.port_specs`; :meth:`Block._in`/:meth:`Block._out` check
+    each registration against the declaration, and the declarative
+    :class:`repro.graph.builder.Graph` layer uses them for build-time
+    validation (kind/capability mismatches, unconnected required ports)
+    and for port metadata in DOT renderings and fusion partitioning.
+
+    * ``name`` — exact port name, or a pattern with ``{i}``/``{j}``
+      placeholders when ``variadic`` (e.g. ``"out{i}"``, ``"ref{i}_{j}"``
+      — each placeholder matches a decimal index).
+    * ``direction`` — ``"in"`` or ``"out"``.
+    * ``kind`` — the stream kind carried (one of
+      :data:`repro.streams.stream.STREAM_KINDS`), or ``None`` when the
+      port is payload-polymorphic: mergers treat reference-port tokens
+      as opaque (post-compute unions carry values on them), feeders and
+      fanouts copy any kind, repeaters/locators pass their reference
+      payload through untouched.
+    * ``required`` — whether a validated graph must connect the port.
+      Optional ports (a scanner's ``in_skip``, a locator's
+      ``in_target_ref``) are simply absent from ``inputs``/``outputs``
+      when unused.
+    * ``sideband`` — the port is held directly by the block rather than
+      registered in ``inputs``/``outputs`` (merge-side skip channels);
+      listed for documentation and DOT rendering only.
+    """
+
+    name: str
+    direction: str
+    kind: Optional[str] = None
+    required: bool = True
+    variadic: bool = False
+    sideband: bool = False
+
+    def matches(self, port: str) -> bool:
+        if not self.variadic:
+            return port == self.name
+        pattern = re.escape(self.name)
+        pattern = pattern.replace(r"\{i\}", r"\d+").replace(r"\{j\}", r"\d+")
+        return re.fullmatch(pattern, port) is not None
 
 
 @dataclass(frozen=True)
@@ -106,6 +156,11 @@ class Block:
     #: class-level primitive name used by graph analyses ("level_scanner", ...)
     primitive = "block"
 
+    #: declarative port interface (see :class:`PortSpec`).  Stock
+    #: primitives all declare theirs; an empty tuple (third-party or
+    #: test blocks) disables the name check in :meth:`_in`/:meth:`_out`.
+    port_specs: Tuple[PortSpec, ...] = ()
+
     #: batched-drain hook.  Subclasses that support the numpy token fast
     #: path override this with a method ``drain_batch(self) -> (bool, int)``
     #: following the :meth:`drain` contract (progress flag, token-operation
@@ -165,11 +220,76 @@ class Block:
         self._wait: Optional[Tuple[Channel, str]] = None
 
     # -- wiring ---------------------------------------------------------
+    @classmethod
+    def spec_for(cls, direction: str, port: str) -> Optional[PortSpec]:
+        """The :class:`PortSpec` matching ``port``, or None if undeclared."""
+        for spec in cls.port_specs:
+            if spec.direction == direction and spec.matches(port):
+                return spec
+        return None
+
+    @classmethod
+    def capabilities(cls) -> FrozenSet[str]:
+        """Execution planes this block supports, derived from its hooks.
+
+        ``scalar`` is present iff the class implements the generator
+        path (:meth:`_run`); ``batched`` and ``timed`` iff it overrides
+        ``drain_batch`` / ``drain_timed``.  Every stock primitive has
+        the scalar path; the declarative graph layer intersects these
+        per edge to reject capability mismatches for a requested
+        backend at bind time.
+        """
+        caps = set()
+        if cls._run is not Block._run:
+            caps.add("scalar")
+        if cls.drain_batch is not None:
+            caps.add("batched")
+        if cls.drain_timed is not None:
+            caps.add("timed")
+        return frozenset(caps)
+
+    def _check_port(self, direction: str, port: str) -> None:
+        if not type(self).port_specs:
+            return
+        if self.spec_for(direction, port) is None:
+            declared = ", ".join(
+                s.name for s in type(self).port_specs if s.direction == direction
+            )
+            raise PortError(
+                f"{self.name}: no declared {direction} port {port!r} on "
+                f"{type(self).__name__} (declared: {declared or 'none'})"
+            )
+
     def _in(self, port: str, channel: Channel) -> Channel:
+        self._check_port("in", port)
         self.inputs[port] = channel
         return channel
 
+    def rebind_input(self, port: str, channel: Channel) -> Channel:
+        """Swap the channel bound to an input port (pre-run only).
+
+        Backs the declarative layer's explicit ``connect()`` override:
+        the registry entry and every instance attribute (or list slot)
+        holding the old channel are repointed, so generators built after
+        the rebind read from the new channel.
+        """
+        if port not in self.inputs:
+            raise PortError(
+                f"{self.name}: cannot rebind unbound input port {port!r}"
+            )
+        old = self.inputs[port]
+        self.inputs[port] = channel
+        for attr, value in list(self.__dict__.items()):
+            if value is old:
+                setattr(self, attr, channel)
+            elif isinstance(value, list):
+                for i, item in enumerate(value):
+                    if item is old:
+                        value[i] = channel
+        return channel
+
     def _out(self, port: str, channel: Channel) -> Channel:
+        self._check_port("out", port)
         self.outputs[port] = channel
         return channel
 
@@ -500,6 +620,7 @@ class StreamFeeder(Block):
     """Source block that plays a pre-built token list onto a channel."""
 
     primitive = "source"
+    port_specs = (PortSpec("out", "out", kind=None),)
 
     def __init__(self, tokens, out: Channel, name: str = "feeder"):
         super().__init__(name)
@@ -612,6 +733,10 @@ class Fanout(Block):
     """
 
     primitive = "wire"
+    port_specs = (
+        PortSpec("in", "in", kind=None),
+        PortSpec("out{i}", "out", kind=None, variadic=True),
+    )
 
     def __init__(self, in_: Channel, outs, name: str = "fanout"):
         super().__init__(name)
@@ -700,6 +825,7 @@ class Sink(Block):
     """Consumes a stream (one token per cycle) and records it."""
 
     primitive = "sink"
+    port_specs = (PortSpec("in", "in", kind=None),)
 
     def __init__(self, in_: Channel, name: str = "sink"):
         super().__init__(name)

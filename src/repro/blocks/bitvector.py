@@ -20,13 +20,18 @@ from __future__ import annotations
 from ..formats.bitvector import popcount
 from ..streams.channel import Channel
 from ..streams.token import DONE, EMPTY, is_data, is_done, is_stop
-from .base import Block, BlockError
+from .base import Block, PortSpec, BlockError
 
 
 class BitvectorConverter(Block):
     """Packs each fiber of a coordinate stream into bitvector words."""
 
     primitive = "bv_convert"
+
+    port_specs = (
+        PortSpec('in_crd', 'in', kind='crd'),
+        PortSpec('out_bv', 'out', kind='bv'),
+    )
 
     def __init__(
         self,
@@ -68,6 +73,18 @@ class _BVMerge(Block):
     """Shared word-aligned machinery for bitvector intersect/union."""
 
     combine = staticmethod(lambda a, b: a & b)
+
+    port_specs = (
+        PortSpec('in_bv_a', 'in', kind='bv'),
+        PortSpec('in_base_a', 'in', kind='ref'),
+        PortSpec('in_bv_b', 'in', kind='bv'),
+        PortSpec('in_base_b', 'in', kind='ref'),
+        PortSpec('out_bv', 'out', kind='bv'),
+        PortSpec('out_word_a', 'out', kind='bv'),
+        PortSpec('out_base_a', 'out', kind='ref'),
+        PortSpec('out_word_b', 'out', kind='bv'),
+        PortSpec('out_base_b', 'out', kind='ref'),
+    )
 
     def __init__(
         self,
@@ -154,6 +171,17 @@ class BVExpander(Block):
     """
 
     primitive = "bv_expand"
+
+    port_specs = (
+        PortSpec('in_bv', 'in', kind='bv'),
+        PortSpec('in_word_a', 'in', kind='bv'),
+        PortSpec('in_base_a', 'in', kind='ref'),
+        PortSpec('in_word_b', 'in', kind='bv'),
+        PortSpec('in_base_b', 'in', kind='ref'),
+        PortSpec('out_crd', 'out', kind='crd'),
+        PortSpec('out_ref_a', 'out', kind='ref'),
+        PortSpec('out_ref_b', 'out', kind='ref'),
+    )
 
     def __init__(
         self,

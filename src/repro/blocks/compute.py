@@ -21,7 +21,7 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, decode_code
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 OPERATORS = {
     "add": operator.add,
@@ -43,6 +43,12 @@ class ALU(Block):
     """Two-input streaming ALU."""
 
     primitive = "alu"
+
+    port_specs = (
+        PortSpec('in_a', 'in', kind='vals'),
+        PortSpec('in_b', 'in', kind='vals'),
+        PortSpec('out', 'out', kind='vals'),
+    )
 
     def __init__(
         self,
@@ -402,6 +408,11 @@ class ScalarALU(Block):
 
     primitive = "alu"
 
+    port_specs = (
+        PortSpec('in_a', 'in', kind='vals'),
+        PortSpec('out', 'out', kind='vals'),
+    )
+
     def __init__(
         self,
         op: str,
@@ -499,6 +510,11 @@ class Exp(Block):
     """Pass-through unary map block (utility for custom element-wise ops)."""
 
     primitive = "alu"
+
+    port_specs = (
+        PortSpec('in_a', 'in', kind='vals'),
+        PortSpec('out', 'out', kind='vals'),
+    )
 
     def __init__(self, fn: Callable, in_a: Channel, out: Channel, name: str = "map"):
         super().__init__(name)

@@ -28,13 +28,20 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN, TokenBatch
 from ..streams.channel import Channel
 from ..streams.timing import _concat_i64
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 
 class CoordDropper(Block):
     """Fiber-mode coordinate dropper."""
 
     primitive = "crd_drop"
+
+    port_specs = (
+        PortSpec('in_outer_crd', 'in', kind='crd'),
+        PortSpec('in_inner', 'in', kind=None),
+        PortSpec('out_outer_crd', 'out', kind='crd'),
+        PortSpec('out_inner', 'out', kind=None),
+    )
 
     def __init__(
         self,
@@ -465,6 +472,13 @@ class ValueDropper(Block):
     """Value-mode dropper: removes (coordinate, value) pairs with zero value."""
 
     primitive = "crd_drop"
+
+    port_specs = (
+        PortSpec('in_crd', 'in', kind='crd'),
+        PortSpec('in_val', 'in', kind='vals'),
+        PortSpec('out_crd', 'out', kind='crd'),
+        PortSpec('out_val', 'out', kind='vals'),
+    )
 
     def __init__(
         self,

@@ -23,7 +23,7 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps
 from ..streams.token import DONE, EMPTY, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 
 class Locator(Block):
@@ -35,6 +35,15 @@ class Locator(Block):
     """
 
     primitive = "locate"
+
+    port_specs = (
+        PortSpec('in_crd', 'in', kind='crd'),
+        PortSpec('in_ref', 'in', kind=None),
+        PortSpec('in_target_ref', 'in', kind='ref', required=False),
+        PortSpec('out_crd', 'out', kind='crd'),
+        PortSpec('out_ref_found', 'out', kind='ref'),
+        PortSpec('out_ref_in', 'out', kind=None),
+    )
 
     def __init__(
         self,

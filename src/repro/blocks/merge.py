@@ -30,7 +30,7 @@ import numpy as np
 from ..streams.batch import CODE_DONE, CODE_EMPTY, decode_code
 from ..streams.channel import Channel
 from ..streams.token import DONE, EMPTY, Stop, is_data, is_done, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 #: sentinel for "no token held" in the batched intersecter drain
 _NO_TOKEN = object()
@@ -61,6 +61,14 @@ class MergeSide:
 
 class _Merger(Block):
     """Shared wiring and m-finger machinery for intersecters and unioners."""
+
+    port_specs = (
+        PortSpec('crd{i}', 'in', kind='crd', variadic=True),
+        PortSpec('ref{i}_{j}', 'in', kind=None, variadic=True),
+        PortSpec('out_crd', 'out', kind='crd'),
+        PortSpec('out_ref{i}_{j}', 'out', kind=None, variadic=True),
+        PortSpec('skip{i}', 'out', kind='crd', required=False, variadic=True, sideband=True),
+    )
 
     def __init__(
         self,

@@ -25,7 +25,7 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, Stop, is_data, is_done, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 
 class Parallelizer(Block):
@@ -43,6 +43,11 @@ class Parallelizer(Block):
     """
 
     primitive = "parallelize"
+
+    port_specs = (
+        PortSpec('in', 'in', kind=None),
+        PortSpec('out{i}', 'out', kind=None, variadic=True),
+    )
 
     def __init__(
         self,
@@ -153,6 +158,11 @@ class Serializer(Block):
 
     primitive = "serialize"
 
+    port_specs = (
+        PortSpec('in{i}', 'in', kind=None, variadic=True),
+        PortSpec('out', 'out', kind=None),
+    )
+
     def __init__(self, ins: List[Channel], out: Channel, name: str = "ser"):
         super().__init__(name)
         if not ins:
@@ -213,6 +223,11 @@ class InterleaveSerializer(Block):
     """
 
     primitive = "serialize"
+
+    port_specs = (
+        PortSpec('in{i}', 'in', kind=None, variadic=True),
+        PortSpec('out', 'out', kind=None),
+    )
 
     def __init__(self, ins: List[Channel], out: Channel, name: str = "iser"):
         super().__init__(name)

@@ -34,7 +34,7 @@ from ..streams.batch import CODE_DONE, decode_code, sequential_segment_sums
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 EMPTY_POLICIES = ("zero", "drop")
 
@@ -48,6 +48,11 @@ class ScalarReducer(Block):
     """
 
     primitive = "reduce"
+
+    port_specs = (
+        PortSpec('in_val', 'in', kind='vals'),
+        PortSpec('out_val', 'out', kind='vals'),
+    )
 
     def __init__(
         self,
@@ -257,6 +262,13 @@ class VectorReducer(Block):
     """
 
     primitive = "reduce"
+
+    port_specs = (
+        PortSpec('in_crd', 'in', kind='crd'),
+        PortSpec('in_val', 'in', kind='vals'),
+        PortSpec('out_crd', 'out', kind='crd'),
+        PortSpec('out_val', 'out', kind='vals'),
+    )
 
     def __init__(
         self,
@@ -592,6 +604,15 @@ class MatrixReducer(Block):
     """
 
     primitive = "reduce"
+
+    port_specs = (
+        PortSpec('in_crd_outer', 'in', kind='crd'),
+        PortSpec('in_crd_inner', 'in', kind='crd'),
+        PortSpec('in_val', 'in', kind='vals'),
+        PortSpec('out_crd_outer', 'out', kind='crd'),
+        PortSpec('out_crd_inner', 'out', kind='crd'),
+        PortSpec('out_val', 'out', kind='vals'),
+    )
 
     def __init__(
         self,

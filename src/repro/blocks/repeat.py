@@ -38,7 +38,7 @@ from ..streams.batch import (
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 #: the repeat token emitted by RepeatSigGen for every coordinate
 REPEAT = "R"
@@ -48,6 +48,11 @@ class RepeatSigGen(Block):
     """Turns a coordinate stream into a repeat-signal stream."""
 
     primitive = "repeat_sig_gen"
+
+    port_specs = (
+        PortSpec('in_crd', 'in', kind='crd'),
+        PortSpec('out_repsig', 'out', kind='repsig'),
+    )
 
     def __init__(self, in_crd: Channel, out_repsig: Channel, name: str = "repsig"):
         super().__init__(name)
@@ -147,6 +152,12 @@ class Repeater(Block):
     """Repeats references according to a repeat-signal stream."""
 
     primitive = "repeat"
+
+    port_specs = (
+        PortSpec('in_ref', 'in', kind=None),
+        PortSpec('in_repsig', 'in', kind='repsig'),
+        PortSpec('out_ref', 'out', kind=None),
+    )
 
     def __init__(
         self,

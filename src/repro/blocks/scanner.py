@@ -34,13 +34,20 @@ from ..formats.level import Level
 from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 
 class LevelScanner(Block):
     """Format-agnostic level scanner over any :class:`Level`."""
 
     primitive = "level_scanner"
+
+    port_specs = (
+        PortSpec('in_ref', 'in', kind='ref'),
+        PortSpec('in_skip', 'in', kind='crd', required=False),
+        PortSpec('out_crd', 'out', kind='crd'),
+        PortSpec('out_ref', 'out', kind='ref'),
+    )
 
     def __init__(
         self,
@@ -408,6 +415,12 @@ class BitvectorLevelScanner(Block):
     """
 
     primitive = "level_scanner"
+
+    port_specs = (
+        PortSpec('in_ref', 'in', kind='ref'),
+        PortSpec('out_bv', 'out', kind='bv'),
+        PortSpec('out_ref', 'out', kind='ref'),
+    )
 
     def __init__(
         self,

@@ -24,7 +24,7 @@ from ..formats.tensor import FiberTensor
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import is_data, is_done, is_empty, is_stop
-from .base import Block, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, TimingDescriptor
 
 
 def _sink_window_timed(block, channel, reader):
@@ -55,6 +55,10 @@ class CompressedLevelWriter(Block):
     """
 
     primitive = "level_writer"
+
+    port_specs = (
+        PortSpec('in_crd', 'in', kind='crd'),
+    )
 
     def __init__(self, in_crd: Channel, name: str = "wr_comp"):
         super().__init__(name)
@@ -165,6 +169,10 @@ class UncompressedLevelWriter(Block):
 
     primitive = "level_writer"
 
+    port_specs = (
+        PortSpec('in_crd', 'in', kind='crd'),
+    )
+
     def __init__(self, size: int, in_crd: Channel, name: str = "wr_dense"):
         super().__init__(name)
         self.size = size
@@ -238,6 +246,10 @@ class ValsWriter(Block):
     """Writes a value stream to a contiguous value array, in arrival order."""
 
     primitive = "level_writer"
+
+    port_specs = (
+        PortSpec('in_val', 'in', kind='vals'),
+    )
 
     def __init__(self, in_val: Channel, name: str = "wr_vals"):
         super().__init__(name)
@@ -328,6 +340,11 @@ class ScatterValsWriter(Block):
     """
 
     primitive = "level_writer"
+
+    port_specs = (
+        PortSpec('in_ref', 'in', kind=None),
+        PortSpec('in_val', 'in', kind='vals'),
+    )
 
     def __init__(self, size: int, in_ref: Channel, in_val: Channel, name: str = "wr_scatter"):
         super().__init__(name)
@@ -477,6 +494,11 @@ class LinkedListLevelWriter(Block):
     """
 
     primitive = "level_writer"
+
+    port_specs = (
+        PortSpec('in_parent_ref', 'in', kind=None),
+        PortSpec('in_crd', 'in', kind='crd'),
+    )
 
     def __init__(self, in_parent_ref: Channel, in_crd: Channel, name: str = "wr_ll"):
         super().__init__(name)

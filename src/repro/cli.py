@@ -12,6 +12,7 @@ Usage::
     python -m repro --engine event fig13
     python -m repro compile "x(i) = B(i,j) * c(j)" --dot
     python -m repro --engine compiled graph "x(i) = B(i,j) * c(j)"
+    python -m repro graph "x(i) = B(i,j) * c(j)" --check
 
     # sharded, cached sweeps over any subset of studies
     python -m repro sweep all --jobs 8
@@ -275,10 +276,16 @@ def _cmd_graph(args) -> None:
     the DOT output groups every fused segment in a dashed cluster —
     the fusion decisions become visually auditable without running
     a simulation.
+
+    With ``--check`` the command validates instead of rendering: the
+    bound block graph is run through the port-level wiring checks
+    (kind mismatches, unconnected required ports, duplicate producers,
+    fanout without an explicit Fanout, backend-capability gaps) and the
+    process exits non-zero listing every violation.
     """
     import numpy as np
 
-    from .graph import bind
+    from .graph import GraphValidationError, bind
     from .graph.bind import partition_segments
     from .lang import compile_expression
     from .sim.backends import ENGINE_ENV_VAR
@@ -295,8 +302,25 @@ def _cmd_graph(args) -> None:
         shape = (args.size,) * ndim
         dense = rng.uniform(0.1, 1.0, size=shape)
         tensors[name] = np.where(rng.random(shape) < 0.5, dense, 0.0)
-    bound = bind(program.graph, program._prepare_inputs(tensors))
     engine = args.engine or os.environ.get(ENGINE_ENV_VAR)
+    if getattr(args, "check", False):
+        # bind() validates the wired graph; revalidate explicitly against
+        # the selected backend so capability gaps are also reported.
+        try:
+            bound = bind(program.graph, program._prepare_inputs(tensors))
+            bound.builder.validate(backend=engine)
+        except GraphValidationError as err:
+            print(f"graph check FAILED: {args.expression}", file=sys.stderr)
+            for violation in err.violations:
+                print(f"  - {violation}", file=sys.stderr)
+            raise SystemExit(1)
+        n_streams = len({id(c) for b in bound.blocks
+                         for c in (*b.inputs.values(), *b.outputs.values())})
+        print(f"graph ok: {args.expression!r} — {len(bound.blocks)} blocks, "
+              f"{n_streams} streams validated"
+              + (f" (engine {engine})" if engine else ""))
+        return
+    bound = bind(program.graph, program._prepare_inputs(tensors))
     if engine in (None, "compiled"):
         segments = partition_segments(bound.blocks)
         program.graph.annotate_fusion(
@@ -418,6 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="synthetic operand dimension used to bind the graph")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the synthetic operands")
+    p.add_argument("--check", action="store_true",
+                   help="validate the wired graph (ports, kinds, backend "
+                   "capabilities) instead of printing DOT; exits non-zero "
+                   "listing every violation")
     return parser
 
 

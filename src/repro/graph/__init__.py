@@ -1,18 +1,22 @@
 """SAM dataflow graph IR, DOT export, builder, and simulator binding."""
 
 from .bind import BoundGraph, bind, node_ports
-from .builder import GraphBuilder
-from .dot import to_dot, write_dot
+from .builder import Graph, GraphBuilder, GraphNode, GraphValidationError
+from .dot import blocks_to_dot, to_dot, write_dot
 from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
 
 __all__ = [
     "BoundGraph",
+    "Graph",
     "GraphBuilder",
+    "GraphNode",
+    "GraphValidationError",
     "Edge",
     "GraphError",
     "Node",
     "SamGraph",
     "bind",
+    "blocks_to_dot",
     "fanout_groups",
     "node_ports",
     "to_dot",

@@ -41,7 +41,7 @@ from ..blocks import (
 from ..formats.tensor import FiberTensor, scalar_tensor
 from ..sim.backends import SimulationReport, run_blocks
 from ..streams.channel import Channel
-from .builder import GraphBuilder
+from .builder import Graph
 from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
 
 
@@ -118,7 +118,7 @@ class BoundGraph:
 
     def __init__(self, graph: SamGraph):
         self.graph = graph
-        self.builder = GraphBuilder(graph.name)
+        self.builder = Graph(graph.name)
         # Aliases onto the builder's collections (same underlying objects).
         self.blocks: List = self.builder.blocks
         self.channels: Dict[str, Channel] = self.builder.channels
@@ -198,8 +198,10 @@ def bind(
         """Channel a node should push *port* into (hub, leg, or dangling)."""
         edges = groups.get((node.name, port), [])
         if not edges:
-            return builder.channel(f"{node.name}.{port}(dangling)", kind=kind,
+            chan = builder.channel(f"{node.name}.{port}(dangling)", kind=kind,
                                    record=f"{node.name}.{port}" in record)
+            builder.unused(chan)
+            return chan
         if len(edges) == 1:
             e = edges[0]
             return port_channel[(node.name, port, e.dst, e.dst_port)]
@@ -254,6 +256,11 @@ def bind(
             for i, arity in enumerate(sides_spec):
                 refs = [require(node, f"ref{i}_{j}") for j in range(arity)]
                 skip = out.get(f"skip{i}") if node.params.get("skipping") else None
+                if skip is not None:
+                    # Side-band port: the merger holds the skip channel
+                    # without registering it, so exempt it from the
+                    # producerless-stream check.
+                    builder.unused(skip)
                 sides.append(MergeSide(require(node, f"crd{i}"), refs, skip=skip))
                 out_ref_groups.append([out[f"ref{i}_{j}"] for j in range(arity)])
             cls = Intersect if kind == "intersect" else Union
@@ -369,6 +376,10 @@ def bind(
             )
         else:
             raise GraphError(f"cannot bind node kind {kind!r}")
+    # Every bound graph is validated before it can run: kind mismatches,
+    # duplicate producers, missing fanouts, and unconnected required
+    # ports surface here, at bind time, naming the offending port.
+    builder.validate()
     return bound
 
 
@@ -516,12 +527,12 @@ def partition_segments(blocks) -> List[FusedSegment]:
     for i, block in enumerate(blocks):
         if claimed[i] or roles[i] != "scan":
             continue
-        if getattr(block, "in_skip", None) is not None:
+        if "in_skip" in block.inputs:  # optional port bound: pair breaks
             continue
         nxt, links = sole_successor(i)
         if nxt is None or roles[nxt] != "locate" or claimed[nxt]:
             continue
-        if getattr(blocks[nxt], "in_target_ref", None) is not None:
+        if "in_target_ref" in blocks[nxt].inputs:
             continue
         # The pair must be wired straight: crd→crd, ref→ref.
         if (
@@ -553,7 +564,7 @@ def partition_segments(blocks) -> List[FusedSegment]:
             claimed[prev]
             or producers[ch_ref][0] != prev
             or roles[prev] != "scan"
-            or getattr(blocks[prev], "in_skip", None) is not None
+            or "in_skip" in blocks[prev].inputs
             or len(blocks[prev].outputs) != 2
             or blocks[prev].outputs.get("out_crd") is not ch_crd
             or blocks[prev].outputs.get("out_ref") is not ch_ref

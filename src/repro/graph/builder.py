@@ -1,26 +1,69 @@
-"""GraphBuilder: shared channel/wiring bookkeeping for dataflow graphs.
+"""Declarative graph construction: typed ports, auto-wiring, validation.
 
-Every hand-wired kernel used to repeat the same boilerplate — a
-``chans`` dict, a local ``ch(name, kind)`` factory, and a ``blocks``
-list fed by ``blocks.append(...)``.  :class:`GraphBuilder` centralises
-that pattern (and is what :mod:`repro.graph.bind` instantiates compiled
-graphs into), so every construction site gets duplicate-name checking,
-named channel lookup, and backend-selectable execution for free.
+Two layers live here:
+
+* :class:`GraphBuilder` — the original imperative surface (``ch``/
+  ``add``/``run``), kept as a thin compatibility shim.
+* :class:`Graph` — the declarative layer every kernel now uses.  A
+  stream is *named once* at its producer (:meth:`Graph.out`) and
+  referenced by the same name at its consumer (:meth:`Graph.in_`);
+  matching names auto-wire the edge, exactly as the SAM paper draws
+  graphs (named streams between typed block ports).  Explicit
+  :meth:`Graph.connect` rebinds an input port past the name matching,
+  and :meth:`Graph.validate` checks the whole graph *before it runs*:
+  duplicate producers, multi-consumer streams without a ``Fanout``,
+  unconnected required ports, port/stream kind mismatches against each
+  block's :class:`~repro.blocks.base.PortSpec` declarations, and
+  capability mismatches for the requested backend.  A validated graph
+  can also be nested: :meth:`Graph.as_node` exposes its open streams as
+  ports so a PE-array lane or a tiled kernel composes as a single node
+  (:meth:`Graph.include`).
 
 Typical use::
 
-    g = GraphBuilder("spmv")
-    g.add(RootFeeder(g.ch("root", "ref"), name="root_B"))
-    g.add(make_scanner(level, g["root"], g.ch("crd"), g.ch("ref", "ref")))
-    report = g.run(backend="event")
+    g = Graph("spmv")
+    g.add(RootFeeder(g.out("root", "ref"), name="root_B"))
+    g.add(make_scanner(level, g.in_("root"),
+                       g.out("crd"), g.out("ref", "ref")))
+    report = g.run(backend="event")   # validates, then simulates
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..blocks.base import Block
 from ..sim.backends import SimulationReport, run_blocks
 from ..streams.channel import Channel
+from ..streams.stream import STREAM_KINDS
+
+
+class GraphValidationError(RuntimeError):
+    """A graph failed build-time validation.
+
+    ``violations`` carries every individual finding; the message names
+    the offending block and port for each.
+    """
+
+    def __init__(self, violations):
+        if isinstance(violations, str):
+            violations = [violations]
+        self.violations: List[str] = list(violations)
+        super().__init__(
+            "graph validation failed:\n  " + "\n  ".join(self.violations)
+        )
+
+
+#: execution planes a backend can drive; every engine falls back to the
+#: scalar generator per block, so "scalar" appears everywhere
+_BACKEND_PLANES = {
+    "cycle": ("scalar",),
+    "event": ("scalar",),
+    "timed-batch": ("timed", "scalar"),
+    "compiled": ("timed", "scalar"),
+    "functional": ("batched", "scalar"),
+    "functional-seq": ("scalar",),
+}
 
 
 class GraphBuilder:
@@ -82,6 +125,289 @@ class GraphBuilder:
 
     def __repr__(self) -> str:
         return (
-            f"GraphBuilder({self.name!r}, blocks={len(self.blocks)}, "
+            f"{type(self).__name__}({self.name!r}, blocks={len(self.blocks)}, "
             f"channels={len(self.channels)})"
         )
+
+
+class GraphNode:
+    """A validated subgraph exposed as a single composite node.
+
+    ``inputs`` maps each open (unfed) stream name to its channel,
+    ``outputs`` each unconsumed one; handing those channels to blocks of
+    the enclosing :class:`Graph` — a ``Parallelizer`` fanning into each
+    lane's input, a ``Serializer`` draining each lane's output — wires
+    the composition without touching the subgraph's internals.
+    """
+
+    def __init__(self, graph: "Graph", inputs: Dict[str, Channel],
+                 outputs: Dict[str, Channel]):
+        self.graph = graph
+        self.name = graph.name
+        self.inputs = inputs
+        self.outputs = outputs
+
+    def input(self, name: str) -> Channel:
+        return self.inputs[name]
+
+    def output(self, name: str) -> Channel:
+        return self.outputs[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphNode({self.name!r}, in={sorted(self.inputs)}, "
+            f"out={sorted(self.outputs)})"
+        )
+
+
+class Graph(GraphBuilder):
+    """Declarative dataflow graph: named streams, typed ports, validation.
+
+    A stream is declared exactly once at its producer with :meth:`out`
+    and referenced by name at each consumer with :meth:`in_`; identical
+    names auto-wire the edge.  :meth:`validate` (run automatically by
+    :meth:`run`) rejects malformed graphs before simulation — see
+    :class:`GraphValidationError` — using each block's
+    :class:`~repro.blocks.base.PortSpec` declarations and capability
+    flags.  :meth:`as_node`/:meth:`include` nest validated subgraphs as
+    composite nodes.
+    """
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        #: stream names already claimed by a producer via :meth:`out`
+        self._produced: Set[str] = set()
+        #: channel ids exempt from connectivity checks (see :meth:`unused`)
+        self._unchecked: Set[int] = set()
+        #: subgraph name -> member blocks, recorded by :meth:`include`
+        #: (consumed by the DOT renderer for cluster grouping)
+        self.groups: Dict[str, List[Block]] = {}
+
+    # -- declarative wiring ---------------------------------------------
+    def out(
+        self,
+        name: str,
+        kind: str = "crd",
+        capacity: Optional[int] = None,
+        record: bool = False,
+    ) -> Channel:
+        """Declare stream *name* at its producer; creates the channel.
+
+        A second ``out()`` for the same name is rejected immediately —
+        one stream has one producer (merge explicitly through a
+        ``Serializer`` instead).  Adopts a forward-referenced channel
+        created earlier by :meth:`in_`, fixing its kind.
+        """
+        if kind not in STREAM_KINDS:
+            raise ValueError(f"unknown stream kind {kind!r} for {name!r}")
+        if name in self._produced:
+            raise GraphValidationError(
+                f"stream {name!r} declared by two producers; merge them "
+                f"through a Serializer or rename one"
+            )
+        self._produced.add(name)
+        if name in self.channels:
+            chan = self.channels[name]
+            chan.kind = kind
+            if capacity is not None:
+                chan.capacity = capacity
+            if record:
+                chan.record = record
+            return chan
+        return self.channel(name, kind, capacity=capacity, record=record)
+
+    def in_(self, name: str, kind: Optional[str] = None) -> Channel:
+        """Reference stream *name* at a consumer.
+
+        Normally the producer has declared it already (graphs are built
+        source-to-sink); passing ``kind`` allows a forward reference,
+        creating the channel for a producer declared later.
+        """
+        if name in self.channels:
+            return self.channels[name]
+        if kind is None:
+            raise GraphValidationError(
+                f"stream {name!r} referenced before its producer declared "
+                f"it; call out({name!r}, ...) first or pass kind= to "
+                f"forward-reference"
+            )
+        return self.channel(name, kind)
+
+    def connect(self, src, dst: Tuple[Block, str]) -> Channel:
+        """Explicitly rebind a consumer port past the name auto-wiring.
+
+        ``src`` is a stream name, a channel, or an ``(block, out_port)``
+        pair; ``dst`` is the ``(block, in_port)`` to repoint.
+        """
+        if isinstance(src, str):
+            src = self.channels[src]
+        elif isinstance(src, tuple):
+            block, port = src
+            src = block.outputs[port]
+        block, port = dst
+        return block.rebind_input(port, src)
+
+    def unused(self, *streams) -> None:
+        """Exempt streams from connectivity checks.
+
+        Marks intentionally dangling outputs (a locator's unused
+        coordinate stream) and side-band-fed inputs (merge-side skip
+        channels, which the merger holds without registering) so
+        :meth:`validate` does not flag them.
+        """
+        for stream in streams:
+            chan = self.channels[stream] if isinstance(stream, str) else stream
+            self._unchecked.add(id(chan))
+
+    # -- validation ------------------------------------------------------
+    def _scan(self, allow_open: bool = False):
+        """Walk the wired blocks; returns (violations, open_in, open_out)."""
+        producers: Dict[int, List[Tuple[Block, str]]] = {}
+        consumers: Dict[int, List[Tuple[Block, str]]] = {}
+        chan_by_id: Dict[int, Channel] = {}
+        for block in self.blocks:
+            for port, chan in block.outputs.items():
+                producers.setdefault(id(chan), []).append((block, port))
+                chan_by_id[id(chan)] = chan
+            for port, chan in block.inputs.items():
+                consumers.setdefault(id(chan), []).append((block, port))
+                chan_by_id[id(chan)] = chan
+
+        violations: List[str] = []
+        open_in: Dict[str, Channel] = {}
+        open_out: Dict[str, Channel] = {}
+
+        for cid, plist in producers.items():
+            chan = chan_by_id[cid]
+            if len(plist) > 1:
+                names = ", ".join(f"{b.name}.{p}" for b, p in plist)
+                violations.append(
+                    f"stream {chan.name!r} has multiple producers ({names}); "
+                    f"merge them through a Serializer"
+                )
+            if cid not in consumers and cid not in self._unchecked:
+                block, port = plist[0]
+                if allow_open:
+                    open_out[chan.name or port] = chan
+                else:
+                    violations.append(
+                        f"{block.name}.{port} writes stream {chan.name!r} "
+                        f"which has no consumer; mark it unused() if "
+                        f"intentional"
+                    )
+        for cid, clist in consumers.items():
+            chan = chan_by_id[cid]
+            if len(clist) > 1:
+                names = ", ".join(f"{b.name}.{p}" for b, p in clist)
+                violations.append(
+                    f"stream {chan.name!r} has multiple consumers ({names}); "
+                    f"split it through an explicit Fanout"
+                )
+            if cid not in producers and cid not in self._unchecked:
+                block, port = clist[0]
+                if allow_open:
+                    open_in[chan.name or port] = chan
+                else:
+                    violations.append(
+                        f"{block.name}.{port} reads stream {chan.name!r} "
+                        f"which has no producer"
+                    )
+
+        for block in self.blocks:
+            specs = type(block).port_specs
+            for direction, registry in (("in", block.inputs),
+                                        ("out", block.outputs)):
+                for port, chan in registry.items():
+                    spec = type(block).spec_for(direction, port)
+                    if (spec is not None and spec.kind is not None
+                            and chan.kind != spec.kind):
+                        violations.append(
+                            f"{block.name}.{port} expects a {spec.kind!r} "
+                            f"stream but {chan.name!r} carries {chan.kind!r}"
+                        )
+            for spec in specs:
+                if spec.variadic or spec.sideband or not spec.required:
+                    continue
+                registry = block.inputs if spec.direction == "in" else block.outputs
+                if spec.name not in registry:
+                    violations.append(
+                        f"{block.name}: required {spec.direction} port "
+                        f"{spec.name!r} is unconnected"
+                    )
+        return violations, open_in, open_out
+
+    def validate(self, backend: Optional[str] = None) -> "Graph":
+        """Check the wired graph; raises :class:`GraphValidationError`.
+
+        Rejected at bind time, each naming the offending block and port:
+        duplicate producers, multi-consumer streams without a Fanout,
+        unconnected required ports (dangling outputs / unfed inputs),
+        stream-kind mismatches against PortSpec declarations, and — when
+        *backend* is given — blocks with no execution plane the backend
+        can drive (capability mismatch).
+        """
+        violations, _, _ = self._scan(allow_open=False)
+        if backend is not None:
+            from ..sim.backends import resolve_backend
+
+            planes = set(_BACKEND_PLANES.get(resolve_backend(backend),
+                                             ("scalar",)))
+            for block in self.blocks:
+                caps = type(block).capabilities()
+                if not caps & planes:
+                    violations.append(
+                        f"{block.name} ({type(block).__name__}) supports "
+                        f"{sorted(caps)} but backend {backend!r} drives "
+                        f"{sorted(planes)}; no common execution plane"
+                    )
+        if violations:
+            raise GraphValidationError(violations)
+        return self
+
+    # -- nested composition ---------------------------------------------
+    def as_node(self) -> GraphNode:
+        """Expose this validated subgraph as a single composite node.
+
+        Internal wiring is checked (kinds, duplicate producers,
+        multi-consumer streams); open streams become the node's port
+        interface instead of violations.
+        """
+        violations, open_in, open_out = self._scan(allow_open=True)
+        if violations:
+            raise GraphValidationError(violations)
+        return GraphNode(self, open_in, open_out)
+
+    def include(self, node: GraphNode, prefix: Optional[str] = None) -> GraphNode:
+        """Merge a composite node's blocks into this graph.
+
+        Channels are registered under ``{prefix}.{name}``; the node's
+        open ports stay addressable through ``node.input()``/
+        ``node.output()`` for wiring to enclosing blocks.
+        """
+        prefix = prefix if prefix is not None else node.name
+        for cname, chan in node.graph.channels.items():
+            key = f"{prefix}.{cname}" if prefix else cname
+            if key in self.channels:
+                raise GraphValidationError(
+                    f"including {node.name!r}: channel name {key!r} "
+                    f"collides with an existing stream"
+                )
+            self.channels[key] = chan
+        self.blocks.extend(node.graph.blocks)
+        self._unchecked |= node.graph._unchecked
+        self.groups[prefix or node.name] = list(node.graph.blocks)
+        return node
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        backend: Optional[str] = None,
+        max_resumptions: Optional[int] = None,
+        validate: bool = True,
+    ) -> SimulationReport:
+        """Validate (by default), then simulate on the chosen backend."""
+        if validate:
+            self.validate(backend=backend)
+        return super().run(max_cycles=max_cycles, backend=backend,
+                           max_resumptions=max_resumptions)

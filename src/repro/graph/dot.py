@@ -84,3 +84,59 @@ def write_dot(graph: SamGraph, path: str) -> str:
     with open(path, "w") as handle:
         handle.write(text)
     return path
+
+
+def blocks_to_dot(graph) -> str:
+    """Render a wired block graph (:class:`repro.graph.builder.Graph`).
+
+    Works on the instantiated-block plane rather than the IR plane:
+    edges are recovered from channel identity across each block's
+    registered ports and labelled with the producer/consumer port names;
+    subgraphs recorded by :meth:`Graph.include` become clusters.
+    """
+    producers = {}
+    consumers = {}
+    chans = {}
+    for block in graph.blocks:
+        for port, chan in block.outputs.items():
+            producers.setdefault(id(chan), []).append((block.name, port))
+            chans[id(chan)] = chan
+        for port, chan in block.inputs.items():
+            consumers.setdefault(id(chan), []).append((block.name, port))
+            chans[id(chan)] = chan
+
+    grouped = {}
+    for gname, members in getattr(graph, "groups", {}).items():
+        for block in members:
+            grouped[block.name] = gname
+
+    def node_line(block, indent="  "):
+        shape = _NODE_SHAPE.get(block.primitive, "box")
+        return (
+            f'{indent}"{block.name}" '
+            f'[label="{block.name}\\n{block.primitive}", shape={shape}];'
+        )
+
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=LR;",
+             "  node [fontsize=10];"]
+    for gi, (gname, members) in enumerate(
+            sorted(getattr(graph, "groups", {}).items())):
+        lines.append(f"  subgraph cluster_sub_{gi} {{")
+        lines.append(f'    label="{gname}"; style=dashed; color="gray50";')
+        for block in members:
+            lines.append(node_line(block, indent="    "))
+        lines.append("  }")
+    for block in graph.blocks:
+        if block.name not in grouped:
+            lines.append(node_line(block))
+    for cid, chan in chans.items():
+        style = _EDGE_STYLE.get(chan.kind, "color=black")
+        for src, sport in producers.get(cid, ()):
+            for dst, dport in consumers.get(cid, ()):
+                lines.append(
+                    f'  "{src}" -> "{dst}" '
+                    f'[label="{chan.name}", taillabel="{sport}", '
+                    f'headlabel="{dport}", fontsize=8, {style}];'
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -38,7 +38,7 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import BitvectorLevel, FiberTensor
-from ..graph.builder import GraphBuilder
+from ..graph.builder import Graph
 
 CONFIGS = ("dense", "crd", "crd_skip", "crd_split", "bv", "bv_split")
 
@@ -95,51 +95,55 @@ def _skip_vecmul(b, c, backend: Optional[str] = None) -> VecMulResult:
     """Compressed coiteration with the galloping feedback of section 4.2."""
     bt = FiberTensor.from_numpy(np.asarray(b, dtype=float), name="b")
     ct = FiberTensor.from_numpy(np.asarray(c, dtype=float), name="c")
-    g = GraphBuilder("vecmul_crd_skip")
+    g = Graph("vecmul_crd_skip")
 
     for tensor, tag in ((bt, "b"), (ct, "c")):
-        g.add(RootFeeder(g.ch(f"{tag}_root", "ref"), name=f"root_{tag}"))
+        g.add(RootFeeder(g.out(f"{tag}_root", "ref"), name=f"root_{tag}"))
+        # The skip stream flows backwards (merger -> scanner) through the
+        # merger's side-band port, so it is forward-referenced here and
+        # exempted from the producerless-stream check.
         g.add(
             make_scanner(
                 tensor.levels[0],
-                g[f"{tag}_root"],
-                g.ch(f"{tag}_crd"),
-                g.ch(f"{tag}_ref", "ref"),
-                in_skip=g.ch(f"{tag}_skip"),
+                g.in_(f"{tag}_root"),
+                g.out(f"{tag}_crd"),
+                g.out(f"{tag}_ref", "ref"),
+                in_skip=g.in_(f"{tag}_skip", kind="crd"),
                 name=f"scan_{tag}",
             )
         )
+        g.unused(f"{tag}_skip")
     g.add(
         Intersect(
             [
-                MergeSide(g["b_crd"], [g["b_ref"]], skip=g["b_skip"]),
-                MergeSide(g["c_crd"], [g["c_ref"]], skip=g["c_skip"]),
+                MergeSide(g.in_("b_crd"), [g.in_("b_ref")], skip=g.in_("b_skip")),
+                MergeSide(g.in_("c_crd"), [g.in_("c_ref")], skip=g.in_("c_skip")),
             ],
-            g.ch("x_crd"),
-            [[g.ch("xb_ref", "ref")], [g.ch("xc_ref", "ref")]],
+            g.out("x_crd"),
+            [[g.out("xb_ref", "ref")], [g.out("xc_ref", "ref")]],
             name="intersect_i",
         )
     )
-    g.add(ArrayLoad(bt.vals, g["xb_ref"], g.ch("b_val", "vals"), name="vals_b"))
-    g.add(ArrayLoad(ct.vals, g["xc_ref"], g.ch("c_val", "vals"), name="vals_c"))
-    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("x_val", "vals"), name="mul"))
-    crd_writer = g.add(CompressedLevelWriter(g["x_crd"], name="write_crd"))
-    val_writer = g.add(ValsWriter(g["x_val"], name="write_vals"))
+    g.add(ArrayLoad(bt.vals, g.in_("xb_ref"), g.out("b_val", "vals"), name="vals_b"))
+    g.add(ArrayLoad(ct.vals, g.in_("xc_ref"), g.out("c_val", "vals"), name="vals_c"))
+    g.add(ALU("mul", g.in_("b_val"), g.in_("c_val"), g.out("x_val", "vals"), name="mul"))
+    crd_writer = g.add(CompressedLevelWriter(g.in_("x_crd"), name="write_crd"))
+    val_writer = g.add(ValsWriter(g.in_("x_val"), name="write_vals"))
     report = g.run(backend=backend)
     return VecMulResult("crd_skip", report.cycles, val_writer.vals, crd_writer.crd)
 
 
-def _bv_chain(tag: str, levels: Sequence[BitvectorLevel], g: GraphBuilder):
+def _bv_chain(tag: str, levels: Sequence[BitvectorLevel], g: Graph):
     """Wire root -> bitvector scanners for one operand; returns port names."""
-    g.add(RootFeeder(g.ch(f"{tag}_root", "ref"), name=f"root_{tag}"))
+    g.add(RootFeeder(g.out(f"{tag}_root", "ref"), name=f"root_{tag}"))
     upstream = f"{tag}_root"
     for depth, level in enumerate(levels):
         g.add(
             BitvectorLevelScanner(
                 level,
                 g[upstream],
-                g.ch(f"{tag}_bv{depth}", "bv"),
-                g.ch(f"{tag}_base{depth}", "ref"),
+                g.out(f"{tag}_bv{depth}", "bv"),
+                g.out(f"{tag}_base{depth}", "ref"),
                 name=f"bvscan_{tag}{depth}",
             )
         )
@@ -153,7 +157,7 @@ def _bv_vecmul(b, c, bits_per_word: int, split: bool,
     b = np.asarray(b, dtype=float)
     c = np.asarray(c, dtype=float)
     size = b.size
-    g = GraphBuilder("vecmul_bv_split" if split else "vecmul_bv")
+    g = Graph("vecmul_bv_split" if split else "vecmul_bv")
 
     def build_levels(vec) -> tuple:
         coords = [int(i) for i in np.flatnonzero(vec)]
@@ -181,55 +185,58 @@ def _bv_vecmul(b, c, bits_per_word: int, split: bool,
     last_c = _bv_chain("c", levels_c[:1], g)
     g.add(
         BVIntersect(
-            g["b_bv0"], g[last_b], g["c_bv0"], g[last_c],
-            g.ch("and0", "bv"), g.ch("wa0", "bv"), g.ch("ba0", "ref"),
-            g.ch("wb0", "bv"), g.ch("bb0", "ref"), name="bv_and0",
+            g.in_("b_bv0"), g[last_b], g.in_("c_bv0"), g[last_c],
+            g.out("and0", "bv"), g.out("wa0", "bv"), g.out("ba0", "ref"),
+            g.out("wb0", "bv"), g.out("bb0", "ref"), name="bv_and0",
         )
     )
     g.add(
         BVExpander(
-            bits_per_word, g["and0"], g["wa0"], g["ba0"],
-            g["wb0"], g["bb0"], g.ch("crd0"), g.ch("refb0", "ref"),
-            g.ch("refc0", "ref"), name="bv_expand0",
+            bits_per_word, g.in_("and0"), g.in_("wa0"), g.in_("ba0"),
+            g.in_("wb0"), g.in_("bb0"), g.out("crd0"), g.out("refb0", "ref"),
+            g.out("refc0", "ref"), name="bv_expand0",
         )
     )
     if split:
         # Lower level: scan the surviving words and AND again.
         g.add(
             BitvectorLevelScanner(
-                levels_b[1], g["refb0"], g.ch("b_bv1", "bv"), g.ch("b_base1", "ref"),
+                levels_b[1], g.in_("refb0"), g.out("b_bv1", "bv"), g.out("b_base1", "ref"),
                 name="bvscan_b1",
             )
         )
         g.add(
             BitvectorLevelScanner(
-                levels_c[1], g["refc0"], g.ch("c_bv1", "bv"), g.ch("c_base1", "ref"),
+                levels_c[1], g.in_("refc0"), g.out("c_bv1", "bv"), g.out("c_base1", "ref"),
                 name="bvscan_c1",
             )
         )
         g.add(
             BVIntersect(
-                g["b_bv1"], g["b_base1"], g["c_bv1"], g["c_base1"],
-                g.ch("and1", "bv"), g.ch("wa1", "bv"), g.ch("ba1", "ref"),
-                g.ch("wb1", "bv"), g.ch("bb1", "ref"), name="bv_and1",
+                g.in_("b_bv1"), g.in_("b_base1"), g.in_("c_bv1"), g.in_("c_base1"),
+                g.out("and1", "bv"), g.out("wa1", "bv"), g.out("ba1", "ref"),
+                g.out("wb1", "bv"), g.out("bb1", "ref"), name="bv_and1",
             )
         )
         g.add(
             BVExpander(
-                bits_per_word, g["and1"], g["wa1"], g["ba1"],
-                g["wb1"], g["bb1"], g.ch("crd1"), g.ch("refb1", "ref"),
-                g.ch("refc1", "ref"), name="bv_expand1",
+                bits_per_word, g.in_("and1"), g.in_("wa1"), g.in_("ba1"),
+                g.in_("wb1"), g.in_("bb1"), g.out("crd1"), g.out("refb1", "ref"),
+                g.out("refc1", "ref"), name="bv_expand1",
             )
         )
         ref_b, ref_c, crd_out = "refb1", "refc1", "crd1"
+        # Only the lower level's expanded coordinates reach the writer;
+        # the upper expander's crd output exists for the non-split graph.
+        g.unused("crd0")
     else:
         ref_b, ref_c, crd_out = "refb0", "refc0", "crd0"
 
-    g.add(ArrayLoad(vals_b, g[ref_b], g.ch("b_val", "vals"), name="vals_b"))
-    g.add(ArrayLoad(vals_c, g[ref_c], g.ch("c_val", "vals"), name="vals_c"))
-    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("x_val", "vals"), name="mul"))
+    g.add(ArrayLoad(vals_b, g[ref_b], g.out("b_val", "vals"), name="vals_b"))
+    g.add(ArrayLoad(vals_c, g[ref_c], g.out("c_val", "vals"), name="vals_c"))
+    g.add(ALU("mul", g.in_("b_val"), g.in_("c_val"), g.out("x_val", "vals"), name="mul"))
     crd_writer = g.add(CompressedLevelWriter(g[crd_out], name="write_crd"))
-    val_writer = g.add(ValsWriter(g["x_val"], name="write_vals"))
+    val_writer = g.add(ValsWriter(g.in_("x_val"), name="write_vals"))
     report = g.run(backend=backend)
     config = "bv_split" if split else "bv"
     return VecMulResult(config, report.cycles, val_writer.vals, crd_writer.crd)

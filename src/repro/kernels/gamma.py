@@ -37,7 +37,7 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import FiberTensor
-from ..graph.builder import GraphBuilder
+from ..graph.builder import Graph
 
 
 @dataclass
@@ -65,85 +65,105 @@ def gamma_spmm(
     nonempty_rows = bt.levels[0].fiber_size(0)
     lanes = max(1, min(lanes, nonempty_rows)) if nonempty_rows else 1
 
-    g = GraphBuilder("gamma_spmm")
+    def build_lane(lane: int) -> Graph:
+        """One Gustavson lane as a validated subgraph.
 
-    # Scan B's i level once and distribute rows across lanes.
-    g.add(RootFeeder(g.ch("b_root", "ref"), name="root_B"))
-    g.add(
-        make_scanner(bt.levels[0], g["b_root"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
-                     name="scan_Bi")
-    )
-    g.add(Fanout(g["bi_crd"], [g.ch("bi_par"), g.ch("bi_wr")], name="fan_bi"))
-    lane_ref = [g.ch(f"l{l}_ref", "ref") for l in range(lanes)]
-    lane_crd = [g.ch(f"l{l}_crd") for l in range(lanes)]
-    g.add(
-        Parallelizer(g["bi_ref"], lane_ref, granularity="element", name="par_ref")
-    )
-    g.add(
-        Parallelizer(g["bi_par"], lane_crd, granularity="element", name="par_crd")
-    )
-
-    lane_xj, lane_xv = [], []
-    for lane in range(lanes):
+        Open inputs: ``crd``/``ref`` (this lane's share of B's rows);
+        open outputs: ``xj``/``xv`` (the lane's per-row results).  The
+        enclosing graph fans rows in through a ``Parallelizer`` and
+        rejoins the outputs with ``InterleaveSerializer``s.
+        """
         p = f"l{lane}"
-        g.add(RootFeeder(g.ch(f"{p}_croot", "ref"), name=f"root_C_{lane}"))
-        g.add_all(
-            make_repeater(lane_crd[lane], g[f"{p}_croot"],
-                          g.ch(f"{p}_crep", "ref"), name=f"repeat_Ci_{lane}")
+        lg = Graph(p)
+        lane_crd = lg.in_("crd", kind="crd")
+        lane_ref = lg.in_("ref", kind="ref")
+        lg.add(RootFeeder(lg.out("croot", "ref"), name=f"root_C_{lane}"))
+        lg.add_all(
+            make_repeater(lane_crd, lg.in_("croot"),
+                          lg.out("crep", "ref"), name=f"repeat_Ci_{lane}")
         )
-        g.add(
-            make_scanner(bt.levels[1], lane_ref[lane], g.ch(f"{p}_bk_crd"),
-                         g.ch(f"{p}_bk_ref", "ref"), name=f"scan_Bk_{lane}")
+        lg.add(
+            make_scanner(bt.levels[1], lane_ref, lg.out("bk_crd"),
+                         lg.out("bk_ref", "ref"), name=f"scan_Bk_{lane}")
         )
-        g.add(
-            make_scanner(ct.levels[0], g[f"{p}_crep"], g.ch(f"{p}_ck_crd"),
-                         g.ch(f"{p}_ck_ref", "ref"), name=f"scan_Ck_{lane}")
+        lg.add(
+            make_scanner(ct.levels[0], lg.in_("crep"), lg.out("ck_crd"),
+                         lg.out("ck_ref", "ref"), name=f"scan_Ck_{lane}")
         )
-        g.add(
+        lg.add(
             Intersect(
-                [MergeSide(g[f"{p}_bk_crd"], [g[f"{p}_bk_ref"]]),
-                 MergeSide(g[f"{p}_ck_crd"], [g[f"{p}_ck_ref"]])],
-                g.ch(f"{p}_k_crd"),
-                [[g.ch(f"{p}_kb_ref", "ref")], [g.ch(f"{p}_kc_ref", "ref")]],
+                [MergeSide(lg.in_("bk_crd"), [lg.in_("bk_ref")]),
+                 MergeSide(lg.in_("ck_crd"), [lg.in_("ck_ref")])],
+                lg.out("k_crd"),
+                [[lg.out("kb_ref", "ref")], [lg.out("kc_ref", "ref")]],
                 name=f"intersect_k_{lane}",
             )
         )
-        g.add(
-            make_scanner(ct.levels[1], g[f"{p}_kc_ref"], g.ch(f"{p}_cj_crd"),
-                         g.ch(f"{p}_cj_ref", "ref"), name=f"scan_Cj_{lane}")
+        # Gustavson never needs the intersected k coordinate itself,
+        # only the surviving fiber references.
+        lg.unused("k_crd")
+        lg.add(
+            make_scanner(ct.levels[1], lg.in_("kc_ref"), lg.out("cj_crd"),
+                         lg.out("cj_ref", "ref"), name=f"scan_Cj_{lane}")
         )
-        g.add(
-            Fanout(g[f"{p}_cj_crd"], [g.ch(f"{p}_cj_rep"), g.ch(f"{p}_cj_red")],
+        lg.add(
+            Fanout(lg.in_("cj_crd"), [lg.out("cj_rep"), lg.out("cj_red")],
                    name=f"fan_cj_{lane}")
         )
-        g.add_all(
-            make_repeater(g[f"{p}_cj_rep"], g[f"{p}_kb_ref"],
-                          g.ch(f"{p}_b_rep", "ref"), name=f"repeat_Bj_{lane}")
+        lg.add_all(
+            make_repeater(lg.in_("cj_rep"), lg.in_("kb_ref"),
+                          lg.out("b_rep", "ref"), name=f"repeat_Bj_{lane}")
         )
-        g.add(ArrayLoad(bt.vals, g[f"{p}_b_rep"], g.ch(f"{p}_bval", "vals"),
-                        name=f"vals_B_{lane}"))
-        g.add(ArrayLoad(ct.vals, g[f"{p}_cj_ref"], g.ch(f"{p}_cval", "vals"),
-                        name=f"vals_C_{lane}"))
-        g.add(ALU("mul", g[f"{p}_bval"], g[f"{p}_cval"],
-                  g.ch(f"{p}_prod", "vals"), name=f"mul_{lane}"))
-        g.add(
-            VectorReducer(g[f"{p}_cj_red"], g[f"{p}_prod"],
-                          g.ch(f"{p}_xj"), g.ch(f"{p}_xv", "vals"),
+        lg.add(ArrayLoad(bt.vals, lg.in_("b_rep"), lg.out("bval", "vals"),
+                         name=f"vals_B_{lane}"))
+        lg.add(ArrayLoad(ct.vals, lg.in_("cj_ref"), lg.out("cval", "vals"),
+                         name=f"vals_C_{lane}"))
+        lg.add(ALU("mul", lg.in_("bval"), lg.in_("cval"),
+                   lg.out("prod", "vals"), name=f"mul_{lane}"))
+        lg.add(
+            VectorReducer(lg.in_("cj_red"), lg.in_("prod"),
+                          lg.out("xj"), lg.out("xv", "vals"),
                           name=f"reduce_{lane}")
         )
-        lane_xj.append(g[f"{p}_xj"])
-        lane_xv.append(g[f"{p}_xv"])
+        return lg
+
+    # Each lane is a validated subgraph exposed as a composite node; its
+    # open streams are the ports the PE array wires up below.
+    lane_nodes = [build_lane(lane).as_node() for lane in range(lanes)]
+
+    g = Graph("gamma_spmm")
+
+    # Scan B's i level once and distribute rows across lanes.
+    g.add(RootFeeder(g.out("b_root", "ref"), name="root_B"))
+    g.add(
+        make_scanner(bt.levels[0], g.in_("b_root"),
+                     g.out("bi_crd"), g.out("bi_ref", "ref"), name="scan_Bi")
+    )
+    g.add(Fanout(g.in_("bi_crd"), [g.out("bi_par"), g.out("bi_wr")],
+                 name="fan_bi"))
+    g.add(
+        Parallelizer(g.in_("bi_ref"), [n.input("ref") for n in lane_nodes],
+                     granularity="element", name="par_ref")
+    )
+    g.add(
+        Parallelizer(g.in_("bi_par"), [n.input("crd") for n in lane_nodes],
+                     granularity="element", name="par_crd")
+    )
+    for lane, node in enumerate(lane_nodes):
+        g.include(node, prefix=f"l{lane}")
 
     # Rejoin per-row results in original row order.
-    g.add(InterleaveSerializer(lane_xj, g.ch("xj_crd"), name="join_crd"))
-    g.add(InterleaveSerializer(lane_xv, g.ch("x_val", "vals"), name="join_val"))
+    g.add(InterleaveSerializer([n.output("xj") for n in lane_nodes],
+                               g.out("xj_crd"), name="join_crd"))
+    g.add(InterleaveSerializer([n.output("xv") for n in lane_nodes],
+                               g.out("x_val", "vals"), name="join_val"))
     g.add(
-        CoordDropper(g["bi_wr"], g["xj_crd"], g.ch("xi_d"), g.ch("xj_d"),
-                     name="drop_i")
+        CoordDropper(g.in_("bi_wr"), g.in_("xj_crd"),
+                     g.out("xi_d"), g.out("xj_d"), name="drop_i")
     )
-    xi_writer = g.add(CompressedLevelWriter(g["xi_d"], name="write_Xi"))
-    xj_writer = g.add(CompressedLevelWriter(g["xj_d"], name="write_Xj"))
-    xv_writer = g.add(ValsWriter(g["x_val"], name="write_Xvals"))
+    xi_writer = g.add(CompressedLevelWriter(g.in_("xi_d"), name="write_Xi"))
+    xj_writer = g.add(CompressedLevelWriter(g.in_("xj_d"), name="write_Xj"))
+    xv_writer = g.add(ValsWriter(g.in_("x_val"), name="write_Xvals"))
 
     report = g.run(backend=backend)
     x = FiberTensor(

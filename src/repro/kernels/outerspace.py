@@ -36,7 +36,7 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import DenseLevel, FiberTensor
-from ..graph.builder import GraphBuilder
+from ..graph.builder import Graph
 
 
 @dataclass
@@ -62,57 +62,59 @@ def outerspace_spmm(
     ct = FiberTensor.from_numpy(C, name="C")
 
     # ---- multiply phase: Y(i,k,j) = B(i,k) * C(k,j) in k,i,j order -------
-    g = GraphBuilder("outerspace_multiply")
+    g = Graph("outerspace_multiply")
 
-    g.add(RootFeeder(g.ch("b_root", "ref"), name="root_B"))
-    g.add(RootFeeder(g.ch("c_root", "ref"), name="root_C"))
+    g.add(RootFeeder(g.out("b_root", "ref"), name="root_B"))
+    g.add(RootFeeder(g.out("c_root", "ref"), name="root_C"))
     g.add(
-        make_scanner(bt.levels[0], g["b_root"], g.ch("bk_crd"), g.ch("bk_ref", "ref"),
+        make_scanner(bt.levels[0], g.in_("b_root"), g.out("bk_crd"), g.out("bk_ref", "ref"),
                      name="scan_Bk")
     )
     g.add(
-        make_scanner(ct.levels[0], g["c_root"], g.ch("ck_crd"), g.ch("ck_ref", "ref"),
+        make_scanner(ct.levels[0], g.in_("c_root"), g.out("ck_crd"), g.out("ck_ref", "ref"),
                      name="scan_Ck")
     )
     g.add(
         Intersect(
-            [MergeSide(g["bk_crd"], [g["bk_ref"]]),
-             MergeSide(g["ck_crd"], [g["ck_ref"]])],
-            g.ch("k_crd"), [[g.ch("kb_ref", "ref")], [g.ch("kc_ref", "ref")]],
+            [MergeSide(g.in_("bk_crd"), [g.in_("bk_ref")]),
+             MergeSide(g.in_("ck_crd"), [g.in_("ck_ref")])],
+            g.out("k_crd"), [[g.out("kb_ref", "ref")], [g.out("kc_ref", "ref")]],
             name="intersect_k",
         )
     )
     g.add(
-        make_scanner(bt.levels[1], g["kb_ref"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
+        make_scanner(bt.levels[1], g.in_("kb_ref"), g.out("bi_crd"), g.out("bi_ref", "ref"),
                      name="scan_Bi")
     )
-    g.add(Fanout(g["bi_crd"], [g.ch("bi_crd_rep"), g.ch("bi_crd_wr"),
-                               g.ch("bi_crd_krep")], name="fan_bi"))
+    g.add(Fanout(g.in_("bi_crd"), [g.out("bi_crd_rep"), g.out("bi_crd_wr"),
+                               g.out("bi_crd_krep")], name="fan_bi"))
     # Repeat C's surviving k reference over each i of B's column (Fig. 16
     # "Repeater Ci"), then scan C's j fibers once per i.
-    g.add_all(make_repeater(g["bi_crd_rep"], g["kc_ref"],
-                            g.ch("ci_rep", "ref"), name="repeat_Ci"))
+    g.add_all(make_repeater(g.in_("bi_crd_rep"), g.in_("kc_ref"),
+                            g.out("ci_rep", "ref"), name="repeat_Ci"))
     g.add(
-        make_scanner(ct.levels[1], g["ci_rep"], g.ch("cj_crd"), g.ch("cj_ref", "ref"),
+        make_scanner(ct.levels[1], g.in_("ci_rep"), g.out("cj_crd"), g.out("cj_ref", "ref"),
                      name="scan_Cj")
     )
-    g.add(Fanout(g["cj_crd"], [g.ch("cj_crd_rep"), g.ch("cj_crd_wr")],
+    g.add(Fanout(g.in_("cj_crd"), [g.out("cj_crd_rep"), g.out("cj_crd_wr")],
                  name="fan_cj"))
     # Repeat B's value reference over each j (Fig. 16 "Repeater Bj").
-    g.add_all(make_repeater(g["cj_crd_rep"], g["bi_ref"],
-                            g.ch("bj_rep", "ref"), name="repeat_Bj"))
-    g.add(ArrayLoad(bt.vals, g["bj_rep"], g.ch("b_val", "vals"), name="vals_B"))
-    g.add(ArrayLoad(ct.vals, g["cj_ref"], g.ch("c_val", "vals"), name="vals_C"))
-    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("y_val", "vals"), name="mul"))
+    g.add_all(make_repeater(g.in_("cj_crd_rep"), g.in_("bi_ref"),
+                            g.out("bj_rep", "ref"), name="repeat_Bj"))
+    g.add(ArrayLoad(bt.vals, g.in_("bj_rep"), g.out("b_val", "vals"), name="vals_B"))
+    g.add(ArrayLoad(ct.vals, g.in_("cj_ref"), g.out("c_val", "vals"), name="vals_C"))
+    g.add(ALU("mul", g.in_("b_val"), g.in_("c_val"), g.out("y_val", "vals"), name="mul"))
     # Discordant write of Y: k appended under its i fiber as it arrives.
-    g.add_all(make_repeater(g["bi_crd_krep"], g["k_crd"],
-                            g.ch("k_rep", "ref"), name="repeat_k_over_i"))
+    # The repeated payload is k *coordinates* (the repeater is
+    # payload-polymorphic); the writer consumes them as a crd stream.
+    g.add_all(make_repeater(g.in_("bi_crd_krep"), g.in_("k_crd"),
+                            g.out("k_rep", "crd"), name="repeat_k_over_i"))
     # The writer pairs (parent, crd): parent = the i coordinate naming the
     # fiber, crd = the repeated k coordinate appended under it.
-    ll_writer = g.add(LinkedListLevelWriter(g["bi_crd_wr"], g["k_rep"],
+    ll_writer = g.add(LinkedListLevelWriter(g.in_("bi_crd_wr"), g.in_("k_rep"),
                                             name="write_Yk"))
-    yj_writer = g.add(CompressedLevelWriter(g["cj_crd_wr"], name="write_Yj"))
-    yv_writer = g.add(ValsWriter(g["y_val"], name="write_Yvals"))
+    yj_writer = g.add(CompressedLevelWriter(g.in_("cj_crd_wr"), name="write_Yj"))
+    yv_writer = g.add(ValsWriter(g.in_("y_val"), name="write_Yvals"))
     multiply_report = g.run(backend=backend)
     multiply_cycles = multiply_report.cycles
 
@@ -123,33 +125,36 @@ def outerspace_spmm(
     y_j_level = yj_writer.level
     y_vals = yv_writer.vals
 
-    g2 = GraphBuilder("outerspace_merge")
+    g2 = Graph("outerspace_merge")
 
-    g2.add(RootFeeder(g2.ch("root", "ref"), name="root_Y"))
+    g2.add(RootFeeder(g2.out("root", "ref"), name="root_Y"))
     g2.add(
-        make_scanner(y_i_level, g2["root"], g2.ch("yi_crd"), g2.ch("yi_ref", "ref"),
+        make_scanner(y_i_level, g2.in_("root"), g2.out("yi_crd"), g2.out("yi_ref", "ref"),
                      name="scan_Yi")
     )
     g2.add(
-        make_scanner(y_k_level, g2["yi_ref"], g2.ch("yk_crd"), g2.ch("yk_ref", "ref"),
+        make_scanner(y_k_level, g2.in_("yi_ref"), g2.out("yk_crd"), g2.out("yk_ref", "ref"),
                      name="scan_Yk")
     )
     g2.add(
-        make_scanner(y_j_level, g2["yk_ref"], g2.ch("yj_crd"), g2.ch("yj_ref", "ref"),
+        make_scanner(y_j_level, g2.in_("yk_ref"), g2.out("yj_crd"), g2.out("yj_ref", "ref"),
                      name="scan_Yj")
     )
-    g2.add(ArrayLoad(y_vals, g2["yj_ref"], g2.ch("y_val", "vals"), name="vals_Y"))
+    # The k coordinates themselves are summed away; only the fiber
+    # references walk down to Y's j level.
+    g2.unused("yk_crd")
+    g2.add(ArrayLoad(y_vals, g2.in_("yj_ref"), g2.out("y_val", "vals"), name="vals_Y"))
     g2.add(
-        VectorReducer(g2["yj_crd"], g2["y_val"], g2.ch("xj_crd"),
-                      g2.ch("x_val", "vals"), name="reduce_k")
+        VectorReducer(g2.in_("yj_crd"), g2.in_("y_val"), g2.out("xj_crd"),
+                      g2.out("x_val", "vals"), name="reduce_k")
     )
     g2.add(
-        CoordDropper(g2["yi_crd"], g2["xj_crd"], g2.ch("xi_crd_d"),
-                     g2.ch("xj_crd_d"), name="drop_i")
+        CoordDropper(g2.in_("yi_crd"), g2.in_("xj_crd"), g2.out("xi_crd_d"),
+                     g2.out("xj_crd_d"), name="drop_i")
     )
-    xi_writer = g2.add(CompressedLevelWriter(g2["xi_crd_d"], name="write_Xi"))
-    xj_writer = g2.add(CompressedLevelWriter(g2["xj_crd_d"], name="write_Xj"))
-    xv_writer = g2.add(ValsWriter(g2["x_val"], name="write_Xvals"))
+    xi_writer = g2.add(CompressedLevelWriter(g2.in_("xi_crd_d"), name="write_Xi"))
+    xj_writer = g2.add(CompressedLevelWriter(g2.in_("xj_crd_d"), name="write_Xj"))
+    xv_writer = g2.add(ValsWriter(g2.in_("x_val"), name="write_Xvals"))
     merge_report = g2.run(backend=backend)
 
     x = FiberTensor(

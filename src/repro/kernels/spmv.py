@@ -37,7 +37,7 @@ from ..blocks import (
     make_scanner,
 )
 from ..formats import DenseLevel, FiberTensor
-from ..graph.builder import GraphBuilder
+from ..graph.builder import Graph
 from ..lang import CompiledProgram, compile_expression
 
 
@@ -76,39 +76,44 @@ def spmv_locate(B, c: np.ndarray, backend: Optional[str] = None):
             f"{c.size} entries"
         )
     c_level = DenseLevel(c.size)
-    g = GraphBuilder("spmv_locate")
+    g = Graph("spmv_locate")
 
-    g.add(RootFeeder(g.ch("root", "ref"), name="root_B"))
+    g.add(RootFeeder(g.out("root", "ref"), name="root_B"))
     g.add(
-        make_scanner(bt.levels[0], g["root"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
-                     name="scan_Bi")
+        make_scanner(bt.levels[0], g.in_("root"),
+                     g.out("bi_crd"), g.out("bi_ref", "ref"), name="scan_Bi")
     )
     g.add(
-        make_scanner(bt.levels[1], g["bi_ref"], g.ch("bj_crd"), g.ch("bj_ref", "ref"),
-                     name="scan_Bj")
+        make_scanner(bt.levels[1], g.in_("bi_ref"),
+                     g.out("bj_crd"), g.out("bj_ref", "ref"), name="scan_Bj")
     )
     # Locator probes c's dense level with B's j coordinates (always hits
     # in-bounds coordinates; the point is never iterating c).
     g.add(
         Locator(
-            c_level, g["bj_crd"], g["bj_ref"],
-            g.ch("loc_crd"), g.ch("c_ref", "ref"), g.ch("b_ref", "ref"),
+            c_level, g.in_("bj_crd"), g.in_("bj_ref"),
+            g.out("loc_crd"), g.out("c_ref", "ref"), g.out("b_ref", "ref"),
             name="locate_c",
         )
     )
-    g.add(ArrayLoad(bt.vals, g["b_ref"], g.ch("b_val", "vals"), name="vals_B"))
+    # A dense-level locate always hits, so the located coordinates
+    # duplicate bj_crd and nothing downstream reads them.
+    g.unused("loc_crd")
+    g.add(ArrayLoad(bt.vals, g.in_("b_ref"), g.out("b_val", "vals"),
+                    name="vals_B"))
     # Pass c as an array: ArrayLoad snapshots list memories with
     # np.asarray on every run, which at benchmark scale costs more than
     # the gather itself.
-    g.add(ArrayLoad(c, g["c_ref"], g.ch("c_val", "vals"), name="vals_c"))
-    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("prod", "vals"), name="mul"))
-    g.add(ScalarReducer(g["prod"], g.ch("sum", "vals"), name="reduce_j"))
+    g.add(ArrayLoad(c, g.in_("c_ref"), g.out("c_val", "vals"), name="vals_c"))
+    g.add(ALU("mul", g.in_("b_val"), g.in_("c_val"), g.out("prod", "vals"),
+              name="mul"))
+    g.add(ScalarReducer(g.in_("prod"), g.out("sum", "vals"), name="reduce_j"))
     g.add(
-        ValueDropper(g["bi_crd"], g["sum"], g.ch("x_crd"), g.ch("x_val", "vals"),
-                     name="drop_zero")
+        ValueDropper(g.in_("bi_crd"), g.in_("sum"),
+                     g.out("x_crd"), g.out("x_val", "vals"), name="drop_zero")
     )
-    crd_writer = g.add(CompressedLevelWriter(g["x_crd"], name="write_x_i"))
-    val_writer = g.add(ValsWriter(g["x_val"], name="write_x_vals"))
+    crd_writer = g.add(CompressedLevelWriter(g.in_("x_crd"), name="write_x_i"))
+    val_writer = g.add(ValsWriter(g.in_("x_val"), name="write_x_vals"))
     report = g.run(backend=backend)
     return crd_writer.crd, val_writer.vals, report.cycles
 
@@ -127,40 +132,48 @@ def spmv_scatter(B: np.ndarray, c: np.ndarray, backend: Optional[str] = None):
     c = np.asarray(c, dtype=float)
     bt = FiberTensor.from_numpy(B, name="B")
     ct = FiberTensor.from_numpy(c, name="c")
-    g = GraphBuilder("spmv_scatter")
+    g = Graph("spmv_scatter")
 
-    g.add(RootFeeder(g.ch("b_root", "ref"), name="root_B"))
-    g.add(RootFeeder(g.ch("c_root", "ref"), name="root_c"))
+    g.add(RootFeeder(g.out("b_root", "ref"), name="root_B"))
+    g.add(RootFeeder(g.out("c_root", "ref"), name="root_c"))
     g.add(
-        make_scanner(bt.levels[0], g["b_root"], g.ch("bi_crd"), g.ch("bi_ref", "ref"),
-                     name="scan_Bi")
+        make_scanner(bt.levels[0], g.in_("b_root"),
+                     g.out("bi_crd"), g.out("bi_ref", "ref"), name="scan_Bi")
     )
     g.add(
-        make_scanner(ct.levels[0], g["c_root"], g.ch("ci_crd"), g.ch("ci_ref", "ref"),
-                     name="scan_ci")
+        make_scanner(ct.levels[0], g.in_("c_root"),
+                     g.out("ci_crd"), g.out("ci_ref", "ref"), name="scan_ci")
     )
     g.add(
         Intersect(
-            [MergeSide(g["bi_crd"], [g["bi_ref"]]),
-             MergeSide(g["ci_crd"], [g["ci_ref"]])],
-            g.ch("i_crd"), [[g.ch("ib_ref", "ref")], [g.ch("ic_ref", "ref")]],
+            [MergeSide(g.in_("bi_crd"), [g.in_("bi_ref")]),
+             MergeSide(g.in_("ci_crd"), [g.in_("ci_ref")])],
+            g.out("i_crd"),
+            [[g.out("ib_ref", "ref")], [g.out("ic_ref", "ref")]],
             name="intersect_i",
         )
     )
+    # Only the surviving references matter; the intersected row
+    # coordinate itself is never consumed (the scatter target is j).
+    g.unused("i_crd")
     g.add(
-        make_scanner(bt.levels[1], g["ib_ref"], g.ch("bj_crd"), g.ch("bj_ref", "ref"),
-                     name="scan_Bj")
+        make_scanner(bt.levels[1], g.in_("ib_ref"),
+                     g.out("bj_crd"), g.out("bj_ref", "ref"), name="scan_Bj")
     )
-    g.add(Fanout(g["bj_crd"], [g.ch("bj_rep"), g.ch("bj_scatter")], name="fan_bj"))
+    g.add(Fanout(g.in_("bj_crd"), [g.out("bj_rep"), g.out("bj_scatter")],
+                 name="fan_bj"))
     # Broadcast the surviving c reference over B's row fiber (Figure 6).
-    g.add_all(make_repeater(g["bj_rep"], g["ic_ref"],
-                            g.ch("c_rep", "ref"), name="repeat_cj"))
-    g.add(ArrayLoad(bt.vals, g["bj_ref"], g.ch("b_val", "vals"), name="vals_B"))
-    g.add(ArrayLoad(ct.vals, g["c_rep"], g.ch("c_val", "vals"), name="vals_c"))
-    g.add(ALU("mul", g["b_val"], g["c_val"], g.ch("prod", "vals"), name="mul"))
+    g.add_all(make_repeater(g.in_("bj_rep"), g.in_("ic_ref"),
+                            g.out("c_rep", "ref"), name="repeat_cj"))
+    g.add(ArrayLoad(bt.vals, g.in_("bj_ref"), g.out("b_val", "vals"),
+                    name="vals_B"))
+    g.add(ArrayLoad(ct.vals, g.in_("c_rep"), g.out("c_val", "vals"),
+                    name="vals_c"))
+    g.add(ALU("mul", g.in_("b_val"), g.in_("c_val"), g.out("prod", "vals"),
+              name="mul"))
     # Scatter-add at the j coordinate: the dense result supports random
     # insert, so the reduction happens in memory.
-    scatter = g.add(ScatterValsWriter(B.shape[1], g["bj_scatter"],
-                                      g["prod"], name="scatter_x"))
+    scatter = g.add(ScatterValsWriter(B.shape[1], g.in_("bj_scatter"),
+                                      g.in_("prod"), name="scatter_x"))
     report = g.run(backend=backend)
     return np.array(scatter.vals), report.cycles

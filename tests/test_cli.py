@@ -54,6 +54,34 @@ class TestCLI:
         assert '"scan_c_0_1_j"' in clusters["merge-head"]
         assert '"repeat_c_0_1_i"' in clusters["repeater"]
 
+    def test_graph_check_reports_ok(self, capsys):
+        assert main(["graph", "x(i) = B(i,j) * c(j)", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "graph ok" in out
+        assert "blocks" in out and "streams validated" in out
+        assert "digraph" not in out
+
+    def test_graph_check_names_engine(self, capsys):
+        assert main(["--engine", "compiled", "graph",
+                     "x(i) = B(i,j) * c(j)", "--check"]) == 0
+        assert "(engine compiled)" in capsys.readouterr().out
+
+    def test_graph_check_fails_on_violations(self, capsys, monkeypatch):
+        # Sabotage validation so the command sees a wiring violation.
+        from repro.graph import GraphValidationError
+        from repro.graph.builder import Graph
+
+        def broken_validate(self, backend=None):
+            raise GraphValidationError("mul.in_a expects a 'vals' stream")
+
+        monkeypatch.setattr(Graph, "validate", broken_validate)
+        with pytest.raises(SystemExit) as err:
+            main(["graph", "x(i) = B(i,j) * c(j)", "--check"])
+        assert err.value.code == 1
+        captured = capsys.readouterr()
+        assert "graph check FAILED" in captured.err
+        assert "mul.in_a expects a 'vals' stream" in captured.err
+
     def test_graph_command_other_engine_plain(self, capsys):
         assert main(["--engine", "cycle", "graph",
                      "x(i) = B(i,j) * c(j)"]) == 0
