@@ -1,0 +1,39 @@
+"""Static analysis over wired block graphs (``repro lint``).
+
+Three passes, all running before (or without) a single simulated cycle:
+
+* :mod:`repro.analysis.protocol` — abstract interpretation assigning
+  every channel a stream signature (token kind + stop-level nesting
+  depth) through the :class:`~repro.blocks.base.StreamXfer` transfer
+  functions declared next to each block's port specs;
+* :mod:`repro.analysis.deadlock` — cycle enumeration over the channel
+  dependency graph plus a conservative sufficient-capacity check for
+  finite FIFOs;
+* :mod:`repro.analysis.rate` — steady-state balance estimates of
+  per-block busy cycles and the bottleneck chain, with a
+  counter-validated mode that compares predictions against the timed
+  engines' measured busy/stall counters.
+
+:func:`lint_blocks` orchestrates the passes over one wired block list;
+:mod:`repro.analysis.targets` captures kernel and expression graphs for
+the ``repro lint`` CLI.
+"""
+
+from .findings import AnalysisReport, Finding, SEVERITIES
+from .signature import StreamSig
+from .protocol import infer_protocol
+from .deadlock import analyze_deadlock
+from .rate import analyze_rates, predict_busy
+from .lint import lint_blocks
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "SEVERITIES",
+    "StreamSig",
+    "infer_protocol",
+    "analyze_deadlock",
+    "analyze_rates",
+    "predict_busy",
+    "lint_blocks",
+]

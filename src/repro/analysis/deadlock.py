@@ -1,0 +1,276 @@
+"""Deadlock analysis: dependency cycles and finite-FIFO capacity.
+
+Two questions about a wired graph, both answerable without running it:
+
+1. **Structural cycles.**  The channel dependency graph has an edge
+   producer → consumer for every channel (including side-band skip
+   channels, which mergers hold unregistered — they are what makes
+   scanner/merger pairs truly cyclic).  A cycle in which *every* edge
+   blocks its consumer is a guaranteed deadlock: each block waits on
+   the previous one forever.  Skip inputs are polled, never waited on
+   (:attr:`~repro.blocks.base.Block.nonblocking_inputs`), so the
+   backwards skip edges drop out of the blocking subgraph and the stock
+   acceleration structures are proved cycle-free.
+
+2. **Capacity sufficiency.**  With unbounded channels (the paper's
+   model) reconvergent fan-out is always safe.  A finite channel on one
+   arm of a reconvergence can deadlock: the consumer refuses to pop it
+   until tokens arrive on the longer arm, while the producer stalls on
+   the full FIFO and starves that very arm.  The conservative
+   sufficient condition used here: for a finite channel, find the
+   shortest *alternative* undirected path between its endpoints
+   (skip edges excluded — they carry no matched token volume).  No
+   alternative path means the channel is a simple chain edge — any
+   capacity ≥ 1 suffices.  Otherwise the reconvergent loop holds up to
+   ``len(path) - 1`` in-flight tokens of skew, so
+   ``capacity >= len(path) - 1`` is sufficient; smaller capacities are
+   reported as ``insufficient-capacity`` (error).  If an *amplifying*
+   primitive (level scanner, repeater — blocks that emit many tokens
+   per input token) sits on the alternative path, no constant bound is
+   sufficient and any finite capacity earns an
+   ``amplified-reconvergence`` warning.
+
+``meta["deadlock"]["proved_free"]`` is True exactly when neither check
+fired — the pass proved absence of capacity deadlock under its model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..blocks.base import Block
+from ..streams.channel import Channel
+from .findings import AnalysisReport, Finding
+
+#: primitives that emit more tokens than they consume on some edge —
+#: an alternative path through one of these has no constant token-skew
+#: bound, so no finite capacity can be proved sufficient
+AMPLIFIERS = ("level_scanner", "repeat")
+
+
+class _Edge:
+    """One channel as a dependency edge in the block graph."""
+
+    __slots__ = ("channel", "producer", "producer_port",
+                 "consumer", "consumer_port", "blocking", "skip")
+
+    def __init__(self, channel: Channel,
+                 producer: Block, producer_port: str,
+                 consumer: Block, consumer_port: str,
+                 blocking: bool, skip: bool):
+        self.channel = channel
+        self.producer = producer
+        self.producer_port = producer_port
+        self.consumer = consumer
+        self.consumer_port = consumer_port
+        #: the consumer waits (rather than polls) for tokens
+        self.blocking = blocking
+        #: side-band skip feedback (unregistered merger output)
+        self.skip = skip
+
+
+def _collect_edges(blocks: List[Block]) -> List[_Edge]:
+    producers: Dict[int, Tuple[Block, str, bool]] = {}
+    consumers: Dict[int, Tuple[Block, str]] = {}
+    chans: Dict[int, Channel] = {}
+    for block in blocks:
+        for port, chan in block.outputs.items():
+            producers[id(chan)] = (block, port, False)
+            chans[id(chan)] = chan
+        for port, chan in block.sideband_outputs().items():
+            producers[id(chan)] = (block, port, True)
+            chans[id(chan)] = chan
+        for port, chan in block.inputs.items():
+            consumers[id(chan)] = (block, port)
+            chans[id(chan)] = chan
+    edges = []
+    for cid, (producer, pport, skip) in producers.items():
+        consumer = consumers.get(cid)
+        if consumer is None:
+            continue
+        cblock, cport = consumer
+        blocking = cport not in cblock.nonblocking_inputs
+        edges.append(_Edge(chans[cid], producer, pport, cblock, cport,
+                           blocking, skip))
+    return edges
+
+
+def _blocking_cycles(blocks: List[Block],
+                     edges: List[_Edge]) -> List[List[str]]:
+    """Cycles in the blocking-edge subgraph (one witness per SCC)."""
+    adjacency: Dict[int, List[Tuple[int, _Edge]]] = {id(b): [] for b in blocks}
+    for edge in edges:
+        if edge.blocking:
+            adjacency.setdefault(id(edge.producer), []).append(
+                (id(edge.consumer), edge))
+
+    # Tarjan SCC, iterative.
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    counter = [0]
+    sccs: List[List[int]] = []
+
+    for root in adjacency:
+        if root in index:
+            continue
+        work = [(root, iter(adjacency.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ, _ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    by_id = {id(b): b for b in blocks}
+    self_loops = {id(e.producer) for e in edges
+                  if e.blocking and e.producer is e.consumer}
+    cycles = []
+    for component in sccs:
+        if len(component) > 1 or component[0] in self_loops:
+            cycles.append([by_id[bid].name for bid in reversed(component)])
+    return cycles
+
+
+def _alternative_path(edges: List[_Edge], avoid: _Edge
+                      ) -> Optional[List[Block]]:
+    """Shortest undirected block path between *avoid*'s endpoints.
+
+    The avoided channel itself and all skip edges are excluded; returns
+    the block sequence producer..consumer, or None when the finite
+    channel is the only connection (a chain edge).
+    """
+    adjacency: Dict[int, List[Tuple[int, Block]]] = {}
+    for edge in edges:
+        if edge is avoid or edge.skip:
+            continue
+        a, b = edge.producer, edge.consumer
+        adjacency.setdefault(id(a), []).append((id(b), b))
+        adjacency.setdefault(id(b), []).append((id(a), a))
+    start, goal = avoid.producer, avoid.consumer
+    parents: Dict[int, Optional[Tuple[int, Block]]] = {id(start): None}
+    frontier = deque([(id(start), start)])
+    while frontier:
+        nid, node = frontier.popleft()
+        if node is goal:
+            path = [node]
+            link = parents[nid]
+            while link is not None:
+                pid, parent = link
+                path.append(parent)
+                link = parents[pid]
+            path.reverse()
+            return path
+        for succ_id, succ in adjacency.get(nid, ()):
+            if succ_id in parents:
+                continue
+            parents[succ_id] = (nid, node)
+            frontier.append((succ_id, succ))
+    return None
+
+
+def analyze_deadlock(blocks: List[Block]) -> AnalysisReport:
+    """Run the deadlock pass over a wired block list."""
+    report = AnalysisReport()
+    edges = _collect_edges(blocks)
+
+    for cycle in _blocking_cycles(blocks, edges):
+        report.add(Finding(
+            severity="error",
+            pass_name="deadlock",
+            code="dependency-cycle",
+            block=cycle[0],
+            message=(
+                "blocking dependency cycle: "
+                + " -> ".join(cycle + [cycle[0]])
+                + " (every edge waits; the graph cannot make progress)"
+            ),
+            details={"cycle": cycle},
+        ))
+
+    finite = [e for e in edges if e.channel.capacity is not None]
+    for edge in finite:
+        path = _alternative_path(edges, edge)
+        if path is None:
+            continue  # chain edge: any capacity >= 1 is safe
+        amplifiers = [b.name for b in path[1:-1]
+                      if b.primitive in AMPLIFIERS]
+        hops = len(path) - 1
+        required = hops - 1
+        where = (f"{edge.producer.name}.{edge.producer_port} -> "
+                 f"{edge.consumer.name}.{edge.consumer_port}")
+        if amplifiers:
+            report.add(Finding(
+                severity="warning",
+                pass_name="deadlock",
+                code="amplified-reconvergence",
+                block=edge.consumer.name,
+                port=edge.consumer_port,
+                channel=edge.channel.name,
+                message=(
+                    f"finite channel {edge.channel.name!r} ({where}, "
+                    f"capacity {edge.channel.capacity}) reconverges through "
+                    f"amplifying blocks {', '.join(amplifiers)}; no constant "
+                    f"capacity bounds the token skew — cannot prove "
+                    f"deadlock freedom"
+                ),
+                details={"capacity": edge.channel.capacity,
+                         "alt_path": [b.name for b in path],
+                         "amplifiers": amplifiers},
+            ))
+            continue
+        if edge.channel.capacity < required:
+            report.add(Finding(
+                severity="error",
+                pass_name="deadlock",
+                code="insufficient-capacity",
+                block=edge.consumer.name,
+                port=edge.consumer_port,
+                channel=edge.channel.name,
+                message=(
+                    f"finite channel {edge.channel.name!r} ({where}) has "
+                    f"capacity {edge.channel.capacity} but its reconvergent "
+                    f"path {' -> '.join(b.name for b in path)} can hold "
+                    f"{required} tokens of skew; capacity >= {required} is "
+                    f"needed to prove deadlock freedom"
+                ),
+                details={"capacity": edge.channel.capacity,
+                         "required": required,
+                         "alt_path": [b.name for b in path]},
+            ))
+
+    report.meta["deadlock"] = {
+        "proved_free": not report.findings,
+        "edges": len(edges),
+        "finite_channels": [e.channel.name for e in finite],
+    }
+    return report

@@ -1,0 +1,129 @@
+"""Typed findings and the analysis report container.
+
+Every analysis pass reports :class:`Finding` records — machine-readable
+(block / port / channel / code / details) so tooling and CI can act on
+them, human-readable (``message``) so ``repro lint`` output reads like a
+compiler diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Severity levels, most severe first.  ``error`` findings fail
+#: ``repro lint`` (and ``validate(analyze=True)``); ``warning`` marks
+#: conservative can't-prove-safe results; ``info`` carries advisory
+#: diagnostics such as rate cross-validation divergences.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+_SEVERITY_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from a static-analysis pass.
+
+    * ``severity`` — one of :data:`SEVERITIES`;
+    * ``pass_name`` — ``"protocol"``, ``"deadlock"`` or ``"rate"``;
+    * ``code`` — stable machine identifier (``"kind-mismatch"``,
+      ``"capacity-deadlock"``, ...);
+    * ``block`` / ``port`` / ``channel`` — where the problem is, as far
+      as the pass can localise it (any may be empty);
+    * ``message`` — one-line human diagnostic;
+    * ``details`` — pass-specific structured payload (inferred vs
+      expected signatures, the offending cycle, predicted vs measured
+      counters).
+    """
+
+    severity: str
+    pass_name: str
+    code: str
+    message: str
+    block: str = ""
+    port: str = ""
+    channel: str = ""
+    details: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self.severity]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "severity": self.severity,
+            "pass": self.pass_name,
+            "code": self.code,
+            "block": self.block,
+            "port": self.port,
+            "channel": self.channel,
+            "message": self.message,
+            "details": self.details,
+        }
+
+    def render(self) -> str:
+        where = self.block
+        if self.port:
+            where = f"{where}.{self.port}" if where else self.port
+        prefix = f"{self.severity}[{self.pass_name}/{self.code}]"
+        if where:
+            return f"{prefix} {where}: {self.message}"
+        return f"{prefix} {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Findings from one or more passes over one graph, plus pass metadata.
+
+    ``meta`` holds per-pass summary facts that are not diagnostics:
+    inferred channel signatures, the deadlock pass's proof status,
+    predicted busy counts and the bottleneck chain.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.findings.extend(other.findings)
+        self.meta.update(other.meta)
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings, key=lambda f: (f.rank, f.block, f.port))
+
+    def by_severity(self, severity: str) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity("warning")
+
+    def worst(self) -> Optional[str]:
+        """The most severe level present, or None when clean."""
+        if not self.findings:
+            return None
+        return min(self.findings, key=lambda f: f.rank).severity
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "findings": [f.to_json() for f in self.sorted_findings()],
+            "meta": self.meta,
+            "summary": {
+                severity: len(self.by_severity(severity)) for severity in SEVERITIES
+            },
+        }
+
+    def render(self) -> str:
+        if not self.findings:
+            return "clean: no findings"
+        return "\n".join(f.render() for f in self.sorted_findings())

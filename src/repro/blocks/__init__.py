@@ -10,6 +10,7 @@ from .base import (
     RootFeeder,
     Sink,
     StreamFeeder,
+    StreamXfer,
 )
 from .bitvector import BVExpander, BVIntersect, BVUnion, BitvectorConverter
 from .compute import ALU, Exp, OPERATORS, ScalarALU
@@ -72,6 +73,7 @@ __all__ = [
     "Serializer",
     "Sink",
     "StreamFeeder",
+    "StreamXfer",
     "UncompressedLevelScanner",
     "UncompressedLevelWriter",
     "Union",

@@ -20,7 +20,7 @@ import numpy as np
 from ..streams.batch import CODE_DONE, CODE_EMPTY
 from ..streams.channel import Channel
 from ..streams.token import is_data, is_done, is_empty
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 
 class ArrayLoad(Block):
@@ -31,6 +31,10 @@ class ArrayLoad(Block):
     port_specs = (
         PortSpec('in_ref', 'in', kind='ref'),
         PortSpec('out_data', 'out', kind='vals'),
+    )
+    stream_xfer = StreamXfer(
+        ins=(("in_ref", "d"),),
+        outs=(("out_data", "vals", "d"),),
     )
 
     def __init__(
@@ -170,6 +174,9 @@ class ArrayStore(Block):
     port_specs = (
         PortSpec('in_ref', 'in', kind='ref'),
         PortSpec('in_data', 'in', kind='vals'),
+    )
+    stream_xfer = StreamXfer(
+        ins=(("in_ref", "d"), ("in_data", "d")),
     )
 
     def __init__(

@@ -91,6 +91,43 @@ class PortSpec:
 
 
 @dataclass(frozen=True)
+class StreamXfer:
+    """Declarative stream-protocol transfer function for one block class.
+
+    Consumed by :mod:`repro.analysis.protocol`, which abstractly
+    interprets a wired graph and assigns every channel a *stream
+    signature* — ``(kind, depth)`` where ``depth`` is the stop-token
+    nesting depth (``[x, D]`` has depth 0, one fiber of stops depth 1,
+    and so on).  The declaration lives next to :attr:`Block.port_specs`
+    so a block's interface (ports) and its protocol semantics (how
+    nesting depth flows through it) are read in one place.
+
+    * ``ins`` — ``(port pattern, depth expression)`` pairs.  Each bound
+      input whose inferred depth is known *binds* the block's depth
+      variable ``d`` by inverting the expression (``"d+1"`` at depth 3
+      binds ``d = 2``); all bound inputs must agree, and disagreement is
+      exactly a protocol violation (a reducer fed the wrong nesting
+      depth, a repeater fed an un-repeated signal).
+    * ``outs`` — ``(port pattern, kind source, depth expression)``
+      triples.  The kind source is a literal stream kind (``"crd"``), a
+      copy reference ``"=port"`` naming the input port whose inferred
+      kind flows through (payload-polymorphic ports), or ``""`` to keep
+      the channel's declared kind.  Patterns may use the same
+      ``{i}``/``{j}`` placeholders as :class:`PortSpec`; indices bound
+      by the out pattern substitute into a copy reference, so
+      ``("out_ref{i}_{j}", "=ref{i}_{j}", "d")`` copies side-matched.
+
+    Depth expressions: ``"d"``, ``"d+N"``, ``"d-N"``, an integer
+    literal, or ``"max(d-N,M)"``.  Ports left out of both tuples are
+    opaque to the analysis — side-band skip feedback and optional target
+    references, which intentionally do not join depth propagation.
+    """
+
+    ins: Tuple[Tuple[str, str], ...] = ()
+    outs: Tuple[Tuple[str, str, str], ...] = ()
+
+
+@dataclass(frozen=True)
 class TimingDescriptor:
     """Declarative per-block timing for the timed-batch backend.
 
@@ -161,6 +198,15 @@ class Block:
     #: test blocks) disables the name check in :meth:`_in`/:meth:`_out`.
     port_specs: Tuple[PortSpec, ...] = ()
 
+    #: declarative protocol transfer function (see :class:`StreamXfer`);
+    #: ``None`` means the block is opaque to protocol inference.
+    stream_xfer: Optional[StreamXfer] = None
+
+    #: input ports the generator polls without blocking (a scanner's
+    #: skip feedback): they never create a blocking dependence, so the
+    #: deadlock analysis excludes them from cycle enumeration.
+    nonblocking_inputs: Tuple[str, ...] = ()
+
     #: batched-drain hook.  Subclasses that support the numpy token fast
     #: path override this with a method ``drain_batch(self) -> (bool, int)``
     #: following the :meth:`drain` contract (progress flag, token-operation
@@ -227,6 +273,26 @@ class Block:
             if spec.direction == direction and spec.matches(port):
                 return spec
         return None
+
+    def stream_xfer_for(self) -> Optional["StreamXfer"]:
+        """The protocol transfer for *this instance*.
+
+        Defaults to the class-level :attr:`stream_xfer`; blocks whose
+        protocol depends on construction parameters (a feeder's token
+        list, a vector reducer's flush level) override this to build the
+        declaration from instance state.
+        """
+        return type(self).stream_xfer
+
+    def sideband_outputs(self) -> Dict[str, Channel]:
+        """Output channels held by the block without registration.
+
+        Mergers hold each side's skip-feedback channel directly (the
+        ``sideband`` :class:`PortSpec` flag); the deadlock analysis
+        needs those edges to enumerate the real feedback cycles they
+        create, so blocks with side-band outputs report them here.
+        """
+        return {}
 
     @classmethod
     def capabilities(cls) -> FrozenSet[str]:
@@ -627,6 +693,14 @@ class StreamFeeder(Block):
         self.tokens = list(tokens)
         self.out = self._out("out", out)
 
+    def stream_xfer_for(self) -> Optional[StreamXfer]:
+        """Source signature read off the token list it will play."""
+        depth = 0
+        for token in self.tokens:
+            if is_stop(token):
+                depth = max(depth, token.level + 1)
+        return StreamXfer(outs=(("out", "", str(depth)),))
+
     def _run(self):
         for token in self.tokens:
             yield from self._put(self.out, token)
@@ -737,6 +811,10 @@ class Fanout(Block):
         PortSpec("in", "in", kind=None),
         PortSpec("out{i}", "out", kind=None, variadic=True),
     )
+    stream_xfer = StreamXfer(
+        ins=(("in", "d"),),
+        outs=(("out{i}", "=in", "d"),),
+    )
 
     def __init__(self, in_: Channel, outs, name: str = "fanout"):
         super().__init__(name)
@@ -826,6 +904,7 @@ class Sink(Block):
 
     primitive = "sink"
     port_specs = (PortSpec("in", "in", kind=None),)
+    stream_xfer = StreamXfer(ins=(("in", "d"),))
 
     def __init__(self, in_: Channel, name: str = "sink"):
         super().__init__(name)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from ..formats.bitvector import popcount
 from ..streams.channel import Channel
 from ..streams.token import DONE, EMPTY, is_data, is_done, is_stop
-from .base import Block, PortSpec, BlockError
+from .base import Block, PortSpec, BlockError, StreamXfer
 
 
 class BitvectorConverter(Block):
@@ -31,6 +31,11 @@ class BitvectorConverter(Block):
     port_specs = (
         PortSpec('in_crd', 'in', kind='crd'),
         PortSpec('out_bv', 'out', kind='bv'),
+    )
+    # Coordinates collapse into words but the stop structure is kept.
+    stream_xfer = StreamXfer(
+        ins=(("in_crd", "d"),),
+        outs=(("out_bv", "bv", "d"),),
     )
 
     def __init__(
@@ -84,6 +89,15 @@ class _BVMerge(Block):
         PortSpec('out_base_a', 'out', kind='ref'),
         PortSpec('out_word_b', 'out', kind='bv'),
         PortSpec('out_base_b', 'out', kind='ref'),
+    )
+    # Word-granular merge of two aligned bitvector streams: every input
+    # and output stream shares one nesting depth.
+    stream_xfer = StreamXfer(
+        ins=(("in_bv_a", "d"), ("in_base_a", "d"),
+             ("in_bv_b", "d"), ("in_base_b", "d")),
+        outs=(("out_bv", "bv", "d"), ("out_word_a", "bv", "d"),
+              ("out_base_a", "ref", "d"), ("out_word_b", "bv", "d"),
+              ("out_base_b", "ref", "d")),
     )
 
     def __init__(
@@ -181,6 +195,14 @@ class BVExpander(Block):
         PortSpec('out_crd', 'out', kind='crd'),
         PortSpec('out_ref_a', 'out', kind='ref'),
         PortSpec('out_ref_b', 'out', kind='ref'),
+    )
+    # Each word expands into its set-bit coordinates within the same
+    # fiber, so boundary structure (and depth) is preserved.
+    stream_xfer = StreamXfer(
+        ins=(("in_bv", "d"), ("in_word_a", "d"), ("in_base_a", "d"),
+             ("in_word_b", "d"), ("in_base_b", "d")),
+        outs=(("out_crd", "crd", "d"), ("out_ref_a", "ref", "d"),
+              ("out_ref_b", "ref", "d")),
     )
 
     def __init__(

@@ -21,7 +21,7 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, decode_code
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 OPERATORS = {
     "add": operator.add,
@@ -48,6 +48,11 @@ class ALU(Block):
         PortSpec('in_a', 'in', kind='vals'),
         PortSpec('in_b', 'in', kind='vals'),
         PortSpec('out', 'out', kind='vals'),
+    )
+    # Elementwise zip: both operand streams must share one shape.
+    stream_xfer = StreamXfer(
+        ins=(("in_a", "d"), ("in_b", "d")),
+        outs=(("out", "vals", "d"),),
     )
 
     def __init__(
@@ -412,6 +417,10 @@ class ScalarALU(Block):
         PortSpec('in_a', 'in', kind='vals'),
         PortSpec('out', 'out', kind='vals'),
     )
+    stream_xfer = StreamXfer(
+        ins=(("in_a", "d"),),
+        outs=(("out", "vals", "d"),),
+    )
 
     def __init__(
         self,
@@ -514,6 +523,10 @@ class Exp(Block):
     port_specs = (
         PortSpec('in_a', 'in', kind='vals'),
         PortSpec('out', 'out', kind='vals'),
+    )
+    stream_xfer = StreamXfer(
+        ins=(("in_a", "d"),),
+        outs=(("out", "vals", "d"),),
     )
 
     def __init__(self, fn: Callable, in_a: Channel, out: Channel, name: str = "map"):

@@ -28,7 +28,7 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN, TokenBatch
 from ..streams.channel import Channel
 from ..streams.timing import _concat_i64
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 
 class CoordDropper(Block):
@@ -41,6 +41,13 @@ class CoordDropper(Block):
         PortSpec('in_inner', 'in', kind=None),
         PortSpec('out_outer_crd', 'out', kind='crd'),
         PortSpec('out_inner', 'out', kind=None),
+    )
+    # Fiber mode: the inner stream is one nesting level deeper than the
+    # outer coordinates it hangs under (Figure 8); dropping empty fibers
+    # removes tokens but not levels.
+    stream_xfer = StreamXfer(
+        ins=(("in_outer_crd", "d"), ("in_inner", "d+1")),
+        outs=(("out_outer_crd", "crd", "d"), ("out_inner", "=in_inner", "d+1")),
     )
 
     def __init__(
@@ -478,6 +485,11 @@ class ValueDropper(Block):
         PortSpec('in_val', 'in', kind='vals'),
         PortSpec('out_crd', 'out', kind='crd'),
         PortSpec('out_val', 'out', kind='vals'),
+    )
+    # Value mode: one value per coordinate at the same level.
+    stream_xfer = StreamXfer(
+        ins=(("in_crd", "d"), ("in_val", "d")),
+        outs=(("out_crd", "crd", "d"), ("out_val", "vals", "d")),
     )
 
     def __init__(

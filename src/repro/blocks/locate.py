@@ -23,7 +23,7 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps
 from ..streams.token import DONE, EMPTY, is_data, is_done, is_empty, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 
 class Locator(Block):
@@ -43,6 +43,18 @@ class Locator(Block):
         PortSpec('out_crd', 'out', kind='crd'),
         PortSpec('out_ref_found', 'out', kind='ref'),
         PortSpec('out_ref_in', 'out', kind=None),
+    )
+    # One probe event per aligned (crd, ref) pair: every output stream
+    # mirrors the probing coordinate stream's shape (misses emit N at
+    # the same position), so nesting depth is preserved on all three
+    # outputs.  The optional target reference is opaque.
+    stream_xfer = StreamXfer(
+        ins=(("in_crd", "d"), ("in_ref", "d")),
+        outs=(
+            ("out_crd", "crd", "d"),
+            ("out_ref_found", "ref", "d"),
+            ("out_ref_in", "=in_ref", "d"),
+        ),
     )
 
     def __init__(

@@ -30,7 +30,7 @@ import numpy as np
 from ..streams.batch import CODE_DONE, CODE_EMPTY, decode_code
 from ..streams.channel import Channel
 from ..streams.token import DONE, EMPTY, Stop, is_data, is_done, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 #: sentinel for "no token held" in the batched intersecter drain
 _NO_TOKEN = object()
@@ -69,6 +69,15 @@ class _Merger(Block):
         PortSpec('out_ref{i}_{j}', 'out', kind=None, variadic=True),
         PortSpec('skip{i}', 'out', kind='crd', required=False, variadic=True, sideband=True),
     )
+    # An m-finger merge over same-level fibers: every side iterates the
+    # same nesting depth and the merged outputs stay at it.  Reference
+    # payloads are opaque (post-compute unions carry value streams), so
+    # each output reference copies its side-matched input kind; the skip
+    # feedback is side-band and excluded from propagation.
+    stream_xfer = StreamXfer(
+        ins=(("crd{i}", "d"), ("ref{i}_{j}", "d")),
+        outs=(("out_crd", "crd", "d"), ("out_ref{i}_{j}", "=ref{i}_{j}", "d")),
+    )
 
     def __init__(
         self,
@@ -100,6 +109,14 @@ class _Merger(Block):
     @property
     def arity(self) -> int:
         return len(self.sides)
+
+    def sideband_outputs(self):
+        """The held skip-feedback channels, for deadlock-cycle analysis."""
+        return {
+            f"skip{i}": side.skip
+            for i, side in enumerate(self.sides)
+            if side.skip is not None
+        }
 
     def _pop_side(self, index: int):
         """Pop one aligned (crd, refs...) tuple from side *index*.

@@ -25,7 +25,7 @@ from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, Stop, is_data, is_done, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 
 class Parallelizer(Block):
@@ -47,6 +47,12 @@ class Parallelizer(Block):
     port_specs = (
         PortSpec('in', 'in', kind=None),
         PortSpec('out{i}', 'out', kind=None, variadic=True),
+    )
+    # Every lane sees every stop/done token, so lane streams keep the
+    # input's shape (only the data tokens are distributed).
+    stream_xfer = StreamXfer(
+        ins=(("in", "d"),),
+        outs=(("out{i}", "=in", "d"),),
     )
 
     def __init__(
@@ -162,6 +168,11 @@ class Serializer(Block):
         PortSpec('in{i}', 'in', kind=None, variadic=True),
         PortSpec('out', 'out', kind=None),
     )
+    # Lane streams carry identical boundary structure; the join keeps it.
+    stream_xfer = StreamXfer(
+        ins=(("in{i}", "d"),),
+        outs=(("out", "=in0", "d"),),
+    )
 
     def __init__(self, ins: List[Channel], out: Channel, name: str = "ser"):
         super().__init__(name)
@@ -227,6 +238,12 @@ class InterleaveSerializer(Block):
     port_specs = (
         PortSpec('in{i}', 'in', kind=None, variadic=True),
         PortSpec('out', 'out', kind=None),
+    )
+    # Independent per-lane fibers interleave one fiber at a time; the
+    # joined stream keeps the per-lane nesting depth.
+    stream_xfer = StreamXfer(
+        ins=(("in{i}", "d"),),
+        outs=(("out", "=in0", "d"),),
     )
 
     def __init__(self, ins: List[Channel], out: Channel, name: str = "iser"):

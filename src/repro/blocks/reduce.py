@@ -34,7 +34,7 @@ from ..streams.batch import CODE_DONE, decode_code, sequential_segment_sums
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 EMPTY_POLICIES = ("zero", "drop")
 
@@ -52,6 +52,14 @@ class ScalarReducer(Block):
     port_specs = (
         PortSpec('in_val', 'in', kind='vals'),
         PortSpec('out_val', 'out', kind='vals'),
+    )
+    # Folds the innermost fiber into one value: every S0 (or bare D)
+    # boundary becomes a sum, so the stream loses exactly one nesting
+    # level.  Feeding a depth-0 stream (nothing to fold) is a protocol
+    # error the "d-1" expression surfaces as a negative depth.
+    stream_xfer = StreamXfer(
+        ins=(("in_val", "d"),),
+        outs=(("out_val", "vals", "d-1"),),
     )
 
     def __init__(
@@ -269,6 +277,18 @@ class VectorReducer(Block):
         PortSpec('out_crd', 'out', kind='crd'),
         PortSpec('out_val', 'out', kind='vals'),
     )
+
+    def stream_xfer_for(self):
+        # Stops below flush_level separate the fibers being accumulated
+        # and are absorbed; a flush emits Stop(level - flush_level), and
+        # the final at-D flush always closes with Stop(0), so the output
+        # keeps at least one level.
+        f = self.flush_level
+        out = f"max(d-{f},1)"
+        return StreamXfer(
+            ins=(("in_crd", "d"), ("in_val", "d")),
+            outs=(("out_crd", "crd", out), ("out_val", "vals", out)),
+        )
 
     def __init__(
         self,
@@ -612,6 +632,15 @@ class MatrixReducer(Block):
         PortSpec('out_crd_outer', 'out', kind='crd'),
         PortSpec('out_crd_inner', 'out', kind='crd'),
         PortSpec('out_val', 'out', kind='vals'),
+    )
+    # Accumulates a whole two-level structure and flushes it at D as a
+    # fixed matrix shape: outer fiber (depth 1) over inner fibers
+    # (depth 2), whatever the accumulation region's input nesting was.
+    stream_xfer = StreamXfer(
+        ins=(("in_crd_outer", "d"), ("in_crd_inner", "d+1"),
+             ("in_val", "d+1")),
+        outs=(("out_crd_outer", "crd", "1"), ("out_crd_inner", "crd", "2"),
+              ("out_val", "vals", "2")),
     )
 
     def __init__(

@@ -38,7 +38,7 @@ from ..streams.batch import (
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import DONE, is_data, is_done, is_empty, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 #: the repeat token emitted by RepeatSigGen for every coordinate
 REPEAT = "R"
@@ -52,6 +52,11 @@ class RepeatSigGen(Block):
     port_specs = (
         PortSpec('in_crd', 'in', kind='crd'),
         PortSpec('out_repsig', 'out', kind='repsig'),
+    )
+    # One R per coordinate, stops pass through: shape-preserving.
+    stream_xfer = StreamXfer(
+        ins=(("in_crd", "d"),),
+        outs=(("out_repsig", "repsig", "d"),),
     )
 
     def __init__(self, in_crd: Channel, out_repsig: Channel, name: str = "repsig"):
@@ -157,6 +162,14 @@ class Repeater(Block):
         PortSpec('in_ref', 'in', kind=None),
         PortSpec('in_repsig', 'in', kind='repsig'),
         PortSpec('out_ref', 'out', kind=None),
+    )
+    # The driving repeat signal is exactly one nesting level deeper than
+    # the reference stream it repeats (Figure 6); the output takes the
+    # signal's shape with the reference payload.  An un-repeated signal
+    # (equal depth) is the canonical miswiring this declaration catches.
+    stream_xfer = StreamXfer(
+        ins=(("in_ref", "d"), ("in_repsig", "d+1")),
+        outs=(("out_ref", "=in_ref", "d+1"),),
     )
 
     def __init__(

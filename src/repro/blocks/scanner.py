@@ -34,7 +34,7 @@ from ..formats.level import Level
 from ..streams.batch import CODE_DONE, CODE_EMPTY, NO_TOKEN
 from ..streams.channel import Channel
 from ..streams.token import DONE, Stop, is_data, is_done, is_empty, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 
 class LevelScanner(Block):
@@ -48,6 +48,14 @@ class LevelScanner(Block):
         PortSpec('out_crd', 'out', kind='crd'),
         PortSpec('out_ref', 'out', kind='ref'),
     )
+    # One scanned level adds one nesting depth: every input Stop(n)
+    # re-emits as Stop(n+1) and each fiber closes with its own stop.
+    # The skip feedback is polled (never blocks) and opaque to depth.
+    stream_xfer = StreamXfer(
+        ins=(("in_ref", "d"),),
+        outs=(("out_crd", "crd", "d+1"), ("out_ref", "ref", "d+1")),
+    )
+    nonblocking_inputs = ("in_skip",)
 
     def __init__(
         self,
@@ -420,6 +428,12 @@ class BitvectorLevelScanner(Block):
         PortSpec('in_ref', 'in', kind='ref'),
         PortSpec('out_bv', 'out', kind='bv'),
         PortSpec('out_ref', 'out', kind='ref'),
+    )
+    # Same depth discipline as LevelScanner, with bitvector words in
+    # place of coordinates.
+    stream_xfer = StreamXfer(
+        ins=(("in_ref", "d"),),
+        outs=(("out_bv", "bv", "d+1"), ("out_ref", "ref", "d+1")),
     )
 
     def __init__(

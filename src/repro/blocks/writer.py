@@ -24,7 +24,7 @@ from ..formats.tensor import FiberTensor
 from ..streams.channel import Channel
 from ..streams.timing import merge_stamps, split_done_stamped
 from ..streams.token import is_data, is_done, is_empty, is_stop
-from .base import Block, PortSpec, BlockError, TimingDescriptor
+from .base import Block, PortSpec, BlockError, StreamXfer, TimingDescriptor
 
 
 def _sink_window_timed(block, channel, reader):
@@ -59,6 +59,7 @@ class CompressedLevelWriter(Block):
     port_specs = (
         PortSpec('in_crd', 'in', kind='crd'),
     )
+    stream_xfer = StreamXfer(ins=(("in_crd", "d"),))
 
     def __init__(self, in_crd: Channel, name: str = "wr_comp"):
         super().__init__(name)
@@ -172,6 +173,7 @@ class UncompressedLevelWriter(Block):
     port_specs = (
         PortSpec('in_crd', 'in', kind='crd'),
     )
+    stream_xfer = StreamXfer(ins=(("in_crd", "d"),))
 
     def __init__(self, size: int, in_crd: Channel, name: str = "wr_dense"):
         super().__init__(name)
@@ -250,6 +252,7 @@ class ValsWriter(Block):
     port_specs = (
         PortSpec('in_val', 'in', kind='vals'),
     )
+    stream_xfer = StreamXfer(ins=(("in_val", "d"),))
 
     def __init__(self, in_val: Channel, name: str = "wr_vals"):
         super().__init__(name)
@@ -345,6 +348,8 @@ class ScatterValsWriter(Block):
         PortSpec('in_ref', 'in', kind=None),
         PortSpec('in_val', 'in', kind='vals'),
     )
+    # Scatter target and value arrive as one aligned pair per event.
+    stream_xfer = StreamXfer(ins=(("in_ref", "d"), ("in_val", "d")))
 
     def __init__(self, size: int, in_ref: Channel, in_val: Channel, name: str = "wr_scatter"):
         super().__init__(name)
@@ -499,6 +504,9 @@ class LinkedListLevelWriter(Block):
         PortSpec('in_parent_ref', 'in', kind=None),
         PortSpec('in_crd', 'in', kind='crd'),
     )
+    # Discordant append: one (parent, coordinate) pair per event, both
+    # streams share one shape.
+    stream_xfer = StreamXfer(ins=(("in_parent_ref", "d"), ("in_crd", "d")))
 
     def __init__(self, in_parent_ref: Channel, in_crd: Channel, name: str = "wr_ll"):
         super().__init__(name)

@@ -256,6 +256,93 @@ def _datasets_smoke(args, registry) -> None:
         raise SystemExit(f"{name}: SpMV mismatch vs. scipy reference")
 
 
+def _cmd_lint(args) -> None:
+    """Static analysis over kernel and expression graphs.
+
+    Targets are kernel names (``spmv``, ``gamma``, ...), expressions
+    (anything containing ``=``), or ``all`` (every kernel plus the
+    expression-lowering targets).  Each target's graphs are captured by
+    running it over small fixed-seed operands, then the protocol,
+    deadlock, and (with ``--rate``) rate passes run; error-severity
+    findings make the command exit non-zero.  ``--cross-validate`` runs
+    the timed-batch backend and checks the static rate predictions
+    against its measured busy counters.
+    """
+    import json as jsonlib
+
+    from .analysis import lint_blocks
+    from .analysis.targets import (
+        EXPRESSION_TARGETS,
+        KERNEL_RUNNERS,
+        capture_expression,
+        capture_kernel,
+    )
+
+    backend = "timed-batch" if args.cross_validate else "functional"
+    rate = args.rate or args.cross_validate
+
+    jobs = []  # (capture thunk) pairs preserving CLI order
+    for target in args.targets or ["all"]:
+        if target == "all":
+            for name in sorted(KERNEL_RUNNERS):
+                jobs.append(("kernel", name, None))
+            for expression, schedule in EXPRESSION_TARGETS:
+                jobs.append(("expression", expression, schedule))
+        elif "=" in target:
+            jobs.append(("expression", target, None))
+        else:
+            if target not in KERNEL_RUNNERS:
+                raise SystemExit(
+                    f"unknown lint target {target!r}; choose kernel names "
+                    f"from {sorted(KERNEL_RUNNERS)}, an expression "
+                    f"containing '=', or 'all'"
+                )
+            jobs.append(("kernel", target, None))
+
+    results = []
+    errors = 0
+    total_findings = 0
+    for kind, spec, schedule in jobs:
+        if kind == "kernel":
+            captured = capture_kernel(spec, backend=backend)
+        else:
+            captured = capture_expression(spec, backend=backend,
+                                          schedule=schedule)
+        for graph in captured:
+            measured = graph.measured_busy() if args.cross_validate else None
+            report = lint_blocks(graph.blocks, rate=rate, measured=measured)
+            errors += len(report.errors)
+            total_findings += len(report.findings)
+            results.append({"target": graph.label,
+                            "blocks": len(graph.blocks),
+                            **report.to_json()})
+            status = report.worst() or "clean"
+            line = f"{graph.label}: {status}"
+            if rate and report.meta.get("rate", {}).get("bottleneck"):
+                meta = report.meta["rate"]
+                line += f" (bottleneck {meta['bottleneck']}"
+                if "bottleneck_match" in meta:
+                    line += (" — counters agree" if meta["bottleneck_match"]
+                             else " — COUNTERS DISAGREE")
+                line += ")"
+            print(line)
+            for finding in report.sorted_findings():
+                print(f"  {finding.render()}")
+
+    print(f"linted {len(results)} graphs: {total_findings} findings, "
+          f"{errors} errors")
+    if args.json:
+        payload = {"graphs": results,
+                   "errors": errors,
+                   "findings": total_findings}
+        with open(args.json, "w") as handle:
+            jsonlib.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if errors:
+        raise SystemExit(1)
+
+
 def _cmd_compile(args) -> None:
     from .lang import compile_expression, expression_features, primitive_row
 
@@ -446,6 +533,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validate the wired graph (ports, kinds, backend "
                    "capabilities) instead of printing DOT; exits non-zero "
                    "listing every violation")
+
+    p = sub.add_parser(
+        "lint", help="static analysis (protocol, deadlock, rate) over "
+        "kernel or expression graphs; exits non-zero on error findings"
+    )
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="kernel names (spmv, gamma, ...), expressions "
+                   "containing '=', or 'all' (default: all)")
+    p.add_argument("--rate", action="store_true",
+                   help="also run the rate pass (bottleneck prediction)")
+    p.add_argument("--cross-validate", action="store_true",
+                   help="run the timed-batch backend and check the static "
+                   "rate predictions against its measured busy counters")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write machine-readable findings to FILE")
     return parser
 
 
@@ -462,6 +564,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "compile": _cmd_compile,
     "graph": _cmd_graph,
+    "lint": _cmd_lint,
 }
 
 

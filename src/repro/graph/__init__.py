@@ -1,7 +1,15 @@
 """SAM dataflow graph IR, DOT export, builder, and simulator binding."""
 
 from .bind import BoundGraph, bind, node_ports
-from .builder import Graph, GraphBuilder, GraphNode, GraphValidationError
+from .builder import (
+    Graph,
+    GraphBuilder,
+    GraphNode,
+    GraphValidationError,
+    RunCapture,
+    active_capture,
+    capture_runs,
+)
 from .dot import blocks_to_dot, to_dot, write_dot
 from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
 
@@ -11,6 +19,9 @@ __all__ = [
     "GraphBuilder",
     "GraphNode",
     "GraphValidationError",
+    "RunCapture",
+    "active_capture",
+    "capture_runs",
     "Edge",
     "GraphError",
     "Node",

@@ -42,7 +42,7 @@ from ..formats.tensor import FiberTensor, scalar_tensor
 from ..sim.backends import SimulationReport, run_blocks
 from ..streams.channel import Channel
 from .builder import Graph
-from .ir import Edge, GraphError, Node, SamGraph, fanout_groups
+from .ir import GraphError, Node, SamGraph, fanout_groups
 
 
 def node_ports(node: Node) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
@@ -132,10 +132,19 @@ class BoundGraph:
         backend: Optional[str] = None,
         max_resumptions: Optional[int] = None,
     ) -> SimulationReport:
+        from .builder import active_capture
+
+        capture = active_capture()
+        if capture is not None and not capture.simulate:
+            self._report = SimulationReport(0, list(self.blocks))
+            capture.record(self.blocks, self._report)
+            return self._report
         self._report = run_blocks(
             self.blocks, max_cycles=max_cycles, backend=backend,
             max_resumptions=max_resumptions,
         )
+        if capture is not None:
+            capture.record(self.blocks, self._report)
         return self._report
 
     @property

@@ -30,12 +30,66 @@ Typical use::
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..blocks.base import Block
 from ..sim.backends import SimulationReport, run_blocks
 from ..streams.channel import Channel
 from ..streams.stream import STREAM_KINDS
+
+
+class RunCapture:
+    """Recorder for simulation launches made while a capture is active.
+
+    ``runs`` collects one ``(blocks, report)`` pair per launch through
+    :meth:`GraphBuilder.run` or :meth:`repro.graph.bind.BoundGraph.run`.
+    With ``simulate=False`` the launch is intercepted entirely: the
+    block list is recorded and a zero-cycle report returned without
+    running, so ``repro lint`` can collect graph structure from kernels
+    whose results it does not need.
+    """
+
+    def __init__(self, simulate: bool = True):
+        self.simulate = simulate
+        self.runs: List[Tuple[List[Block], SimulationReport]] = []
+
+    def record(self, blocks: Iterable[Block],
+               report: SimulationReport) -> None:
+        self.runs.append((list(blocks), report))
+
+
+#: innermost-last stack of active captures (see :func:`capture_runs`)
+_CAPTURE_STACK: List[RunCapture] = []
+
+
+def active_capture() -> Optional[RunCapture]:
+    """The innermost active :class:`RunCapture`, or None."""
+    return _CAPTURE_STACK[-1] if _CAPTURE_STACK else None
+
+
+@contextlib.contextmanager
+def capture_runs(simulate: bool = True):
+    """Record every graph launched through the builder/bind run paths.
+
+    The static-analysis CLI uses this to get at the wired block lists
+    kernels build internally::
+
+        with capture_runs() as capture:
+            spmv_locate(matrix, vector, backend="functional")
+        for blocks, report in capture.runs:
+            ...
+
+    ``simulate=False`` skips the simulations entirely (structure-only
+    capture); kernels that consume their own intermediate results need
+    the default ``simulate=True``.
+    """
+    capture = RunCapture(simulate=simulate)
+    _CAPTURE_STACK.append(capture)
+    try:
+        yield capture
+    finally:
+        _CAPTURE_STACK.pop()
 
 
 class GraphValidationError(RuntimeError):
@@ -120,8 +174,17 @@ class GraphBuilder:
         ``max_resumptions`` is the functional backends' explicit
         token-operation budget (``max_cycles`` is advisory there).
         """
-        return run_blocks(self.blocks, max_cycles=max_cycles, backend=backend,
-                          max_resumptions=max_resumptions)
+        capture = active_capture()
+        if capture is not None and not capture.simulate:
+            report = SimulationReport(0, list(self.blocks))
+            capture.record(self.blocks, report)
+            return report
+        report = run_blocks(self.blocks, max_cycles=max_cycles,
+                            backend=backend,
+                            max_resumptions=max_resumptions)
+        if capture is not None:
+            capture.record(self.blocks, report)
+        return report
 
     def __repr__(self) -> str:
         return (
@@ -196,7 +259,10 @@ class Graph(GraphBuilder):
         A second ``out()`` for the same name is rejected immediately —
         one stream has one producer (merge explicitly through a
         ``Serializer`` instead).  Adopts a forward-referenced channel
-        created earlier by :meth:`in_`, fixing its kind.
+        created earlier by :meth:`in_` when the declarations agree;
+        conflicting re-declarations (a different kind or capacity than
+        the forward reference committed to) raise instead of silently
+        mutating the channel consumers already hold.
         """
         if kind not in STREAM_KINDS:
             raise ValueError(f"unknown stream kind {kind!r} for {name!r}")
@@ -208,8 +274,19 @@ class Graph(GraphBuilder):
         self._produced.add(name)
         if name in self.channels:
             chan = self.channels[name]
-            chan.kind = kind
+            if chan.kind != kind:
+                raise GraphValidationError(
+                    f"stream {name!r} was forward-referenced as kind "
+                    f"{chan.kind!r} but its producer declares {kind!r}; "
+                    f"make the declarations agree"
+                )
             if capacity is not None:
+                if chan.capacity is not None and chan.capacity != capacity:
+                    raise GraphValidationError(
+                        f"stream {name!r} already has capacity "
+                        f"{chan.capacity} but its producer re-declares "
+                        f"capacity {capacity}; conflicting capacities"
+                    )
                 chan.capacity = capacity
             if record:
                 chan.record = record
@@ -336,7 +413,8 @@ class Graph(GraphBuilder):
                     )
         return violations, open_in, open_out
 
-    def validate(self, backend: Optional[str] = None) -> "Graph":
+    def validate(self, backend: Optional[str] = None,
+                 analyze: bool = False) -> "Graph":
         """Check the wired graph; raises :class:`GraphValidationError`.
 
         Rejected at bind time, each naming the offending block and port:
@@ -345,6 +423,12 @@ class Graph(GraphBuilder):
         stream-kind mismatches against PortSpec declarations, and — when
         *backend* is given — blocks with no execution plane the backend
         can drive (capability mismatch).
+
+        ``analyze=True`` additionally runs the static-analysis passes
+        (:mod:`repro.analysis`: protocol inference and deadlock/capacity
+        checking) and raises on any error-severity finding, so a graph
+        can be proved protocol-consistent and deadlock-free before its
+        first simulated cycle.
         """
         violations, _, _ = self._scan(allow_open=False)
         if backend is not None:
@@ -362,6 +446,14 @@ class Graph(GraphBuilder):
                     )
         if violations:
             raise GraphValidationError(violations)
+        if analyze:
+            from ..analysis import lint_blocks
+
+            findings = lint_blocks(self.blocks).errors
+            if findings:
+                raise GraphValidationError(
+                    [finding.render() for finding in findings]
+                )
         return self
 
     # -- nested composition ---------------------------------------------

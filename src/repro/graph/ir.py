@@ -11,7 +11,7 @@ the right-hand side of Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: node kinds that correspond to countable SAM primitives, mapped to the
 #: Table 1 column they are tallied under.

@@ -1,0 +1,43 @@
+"""Bottleneck cross-validation pins (satellite acceptance).
+
+For SpMV and Gamma the rate pass's statically predicted bottleneck block
+must be the block the timed-batch backend actually measures as
+highest-busy — the CounterPoint-style check that the analytical model
+and the cycle-level simulator agree on where the critical resource is.
+"""
+
+import pytest
+
+from repro.analysis import analyze_rates
+from repro.analysis.targets import capture_kernel
+
+
+def _pin(kernel):
+    graphs = capture_kernel(kernel, backend="timed-batch")
+    assert graphs
+    for graph in graphs:
+        measured = graph.measured_busy()
+        report = analyze_rates(graph.blocks, measured=measured)
+        meta = report.meta["rate"]
+        assert meta["calibrated"], graph.label
+        predicted = meta["bottleneck"]
+        peak = max(measured.values())
+        assert measured.get(predicted) == peak, (
+            f"{graph.label}: predicted bottleneck {predicted} "
+            f"(measured {measured.get(predicted)}) but the timed backend "
+            f"peaked at {meta['measured_bottleneck']} ({peak})"
+        )
+        assert meta["bottleneck_match"] is True
+
+
+class TestBottleneckPins:
+    def test_spmv_predicted_bottleneck_is_measured_peak(self):
+        _pin("spmv")
+
+    def test_gamma_predicted_bottleneck_is_measured_peak(self):
+        _pin("gamma")
+
+    def test_gamma_no_divergence_findings(self):
+        graph = capture_kernel("gamma", backend="timed-batch")[0]
+        report = analyze_rates(graph.blocks, measured=graph.measured_busy())
+        assert report.findings == [], [f.render() for f in report.findings]

@@ -1,0 +1,67 @@
+"""Unit tests for the findings container and its JSON shape."""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisReport, Finding, SEVERITIES
+
+
+def _finding(severity="error", **kw):
+    base = dict(severity=severity, pass_name="protocol",
+                code="kind-mismatch", message="crd into a vals port",
+                block="mul", port="in_b")
+    base.update(kw)
+    return Finding(**base)
+
+
+class TestFinding:
+    def test_render_names_pass_code_and_site(self):
+        text = _finding().render()
+        assert "error[protocol/kind-mismatch]" in text
+        assert "mul.in_b" in text
+        assert "crd into a vals port" in text
+
+    def test_rank_follows_severity_order(self):
+        ranks = [_finding(severity=s).rank for s in SEVERITIES]
+        assert ranks == sorted(ranks)
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            _finding(severity="fatal")
+
+    def test_to_json_round_trips(self):
+        payload = _finding(details={"expected": "vals"}).to_json()
+        # must be plain-JSON serialisable for the CI artifact
+        again = json.loads(json.dumps(payload))
+        assert again["severity"] == "error"
+        assert again["block"] == "mul"
+        assert again["details"] == {"expected": "vals"}
+
+
+class TestAnalysisReport:
+    def test_sorted_findings_put_errors_first(self):
+        report = AnalysisReport()
+        report.add(_finding(severity="info", code="rate-divergence"))
+        report.add(_finding(severity="error"))
+        report.add(_finding(severity="warning", code="amplified"))
+        severities = [f.severity for f in report.sorted_findings()]
+        assert severities == ["error", "warning", "info"]
+        assert report.worst() == "error"
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+
+    def test_empty_report(self):
+        report = AnalysisReport()
+        assert report.findings == []
+        assert report.errors == []
+        assert report.worst() is None
+
+    def test_to_json_summarises_by_severity(self):
+        report = AnalysisReport()
+        report.add(_finding())
+        report.add(_finding(severity="info"))
+        payload = report.to_json()
+        assert payload["summary"] == {"error": 1, "warning": 0, "info": 1}
+        assert len(payload["findings"]) == 2
+        json.dumps(payload)  # artifact-serialisable end to end

@@ -1,0 +1,77 @@
+"""Unit tests for the stream-signature lattice helpers."""
+
+import pytest
+
+from repro.analysis.signature import (
+    MAX_DEPTH,
+    StreamSig,
+    bind_depth,
+    eval_depth,
+    match_pattern,
+    parse_depth_expr,
+    substitute_indices,
+)
+
+
+class TestDepthExpressions:
+    def test_parse_forms(self):
+        assert parse_depth_expr("d") == ("offset", 0, 0)
+        assert parse_depth_expr("d+1") == ("offset", 1, 0)
+        assert parse_depth_expr("d-2") == ("offset", -2, 0)
+        assert parse_depth_expr("0") == ("const", 0, 0)
+        assert parse_depth_expr("max(d-1,0)") == ("maxoff", 1, 0)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_depth_expr("d*2")
+
+    def test_eval(self):
+        assert eval_depth("d", 3) == 3
+        assert eval_depth("d+1", 2) == 3
+        assert eval_depth("d-1", 3) == 2
+        assert eval_depth("3", 9) == 3
+        # the clamp kicks in at the bottom of the lattice
+        assert eval_depth("max(d-1,0)", 0) == 0
+        assert eval_depth("max(d-1,0)", 4) == 3
+
+    def test_bind_inverts_eval(self):
+        # bind_depth answers: which d would have produced this depth?
+        assert bind_depth("d", 2) == (2,)
+        assert bind_depth("d+1", 3) == (2,)
+        assert bind_depth("d-1", 2) == (3,)
+        # at the clamp the inverse is ambiguous: d=0 and d=1 both map to 0
+        assert bind_depth("max(d-1,0)", 0) == (0, 1)
+        assert bind_depth("max(d-1,0)", 2) == (3,)
+        # a matching constant leaves d unconstrained ...
+        assert bind_depth("2", 2) == tuple(range(MAX_DEPTH + 1))
+        # ... and a conflicting one rules every d out
+        assert bind_depth("2", 3) == ()
+
+    def test_bind_round_trips_for_every_depth(self):
+        for expr in ("d", "d+1", "d-1", "max(d-1,0)", "max(d-2,0)"):
+            for d in range(MAX_DEPTH + 1):
+                depth = eval_depth(expr, d)
+                assert d in bind_depth(expr, depth), (expr, d)
+
+
+class TestPortPatterns:
+    def test_exact_and_indexed_matches(self):
+        assert match_pattern("out", "out") == {}
+        assert match_pattern("crd{i}", "crd1") == {"i": "1"}
+        assert match_pattern("out_ref{i}_{j}", "out_ref1_0") == {
+            "i": "1", "j": "0"}
+        assert match_pattern("crd{i}", "ref0") is None
+        assert match_pattern("out", "out_crd") is None
+
+    def test_substitute(self):
+        assert substitute_indices("out_ref{i}_{j}",
+                                  {"i": "1", "j": "0"}) == "out_ref1_0"
+
+
+class TestStreamSig:
+    def test_render(self):
+        assert StreamSig("crd", 2).render() == "crd@2"
+
+    def test_hash_equality(self):
+        assert StreamSig("ref", 1) == StreamSig("ref", 1)
+        assert len({StreamSig("ref", 1), StreamSig("ref", 1)}) == 1
