@@ -1,6 +1,6 @@
 """Wall-clock comparison of the simulation backends, emitting JSON.
 
-Two sections:
+Four sections:
 
 * **bound-graph workloads** — fig13-sized element-wise multiplies plus
   SpM*SpM graphs, timed under every backend (cycle, event, timed-batch,
@@ -13,23 +13,36 @@ Two sections:
   headline — ``compiled`` must beat ``timed-batch`` by >= 3x there —
   both while reproducing the reference cycle count bit for bit.
   Compiled rows also carry the segment-fusion statistics
-  (segments/fused blocks/fallbacks/kinds) from the last run.
+  (segments/fused blocks/fallbacks/kinds) and JIT dispatcher/plan-cache
+  stats from the last run.
 * **kernel scaling** — Gamma SpM*SpM and element-wise multiply at ~2e4
   and ~1e5 nnz under ``timed-batch`` and ``compiled`` only (the scalar
   backends would take minutes at these sizes).  Cycle counts must agree
   bit for bit, and a third gate rides the largest Gamma row: the
   merge-head/repeater/writer-tail fusion must make ``compiled`` >= 1.5x
   faster than ``timed-batch``.
+* **jit comparison** — the compiled backend on spmv_locate at 1e5 nnz
+  and the largest Gamma row under ``REPRO_JIT=0`` vs ``REPRO_JIT=1``.
+  Skipped (rows marked unavailable) without numba; with numba the JIT
+  tier must be >= 1.5x on spmv_locate and no slower on Gamma (>= 0.95x,
+  the noise floor), with identical cycle counts either way.
+
+Every measured number is the **median** of ``--rounds`` timing rounds
+taken *after* ``--warmup`` untimed rounds, so single-shot wall-clock
+noise cannot trip a gate and JIT compile time never pollutes a measured
+round.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engines.py [--rounds 3] [-o BENCH_engines.json]
+    PYTHONPATH=src python benchmarks/bench_engines.py \
+        [--rounds 3] [--warmup 1] [-o BENCH_engines.json]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -56,6 +69,26 @@ COMPILED_GATE = 3.0
 KERNEL_DENSITIES = (0.005, 0.025)
 #: required compiled speedup over timed-batch on the largest Gamma row
 GAMMA_GATE = 1.5
+#: required JIT-tier speedup over the numpy path on spmv_locate at 1e5 nnz
+JIT_SPMV_GATE = 1.5
+#: "gamma no slower" floor for the JIT tier (0.95 = 5% noise allowance)
+JIT_GAMMA_FLOOR = 0.95
+
+
+def _median_time(fn, rounds: int, warmup: int):
+    """``(median_seconds, last_result)`` of *fn* over timed rounds.
+
+    Runs ``warmup + rounds`` times; the first *warmup* rounds are
+    discarded (cold caches, JIT compilation), the median of the rest is
+    reported.
+    """
+    times = []
+    result = None
+    for _ in range(warmup + rounds):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times[warmup:])), result
 
 
 def _fusion_stats() -> dict:
@@ -63,6 +96,18 @@ def _fusion_stats() -> dict:
     from repro.sim.backends.compiled import LAST_FUSION_STATS
 
     return dict(LAST_FUSION_STATS)
+
+
+def _jit_row_stats() -> dict:
+    """Compact JIT summary of the compiled backend's last run."""
+    from repro.sim.backends.compiled import LAST_JIT_STATS
+
+    stats = dict(LAST_JIT_STATS)
+    return {
+        "backend": stats.get("backend"),
+        "plan_cache": dict(stats.get("plan_cache", {})),
+        "plans": len(stats.get("plans", ())),
+    }
 
 
 def _vecmul_case(name: str, size: int, nnz: int, dense: bool):
@@ -119,26 +164,30 @@ def _scaling_operand(nnz: int):
     return tensor, rng.random(size)
 
 
-def run_bound_graphs(rounds: int) -> list:
+def run_bound_graphs(rounds: int, warmup: int) -> list:
     results = []
     for name, graph, tensors in build_cases():
         entry = {"workload": name, "engines": {}}
         cycles_by_engine = {}
         for engine in ENGINES:
-            best = None
-            for _ in range(rounds):
+            # bind() is setup, not simulation: rebuild per round, time
+            # only the run
+            times = []
+            report = None
+            for _ in range(warmup + rounds):
                 bound = bind(graph, tensors)
                 start = time.perf_counter()
                 report = bound.run(backend=engine)
-                elapsed = time.perf_counter() - start
-                best = elapsed if best is None else min(best, elapsed)
+                times.append(time.perf_counter() - start)
+            median = float(np.median(times[warmup:]))
             cycles_by_engine[engine] = report.cycles
             entry["engines"][engine] = {
-                "seconds": best,
+                "seconds": median,
                 "cycles": report.cycles,
             }
             if engine == "compiled":
                 entry["engines"][engine]["fusion"] = _fusion_stats()
+                entry["engines"][engine]["jit"] = _jit_row_stats()
         for engine in ("event", "timed-batch", "compiled"):
             if cycles_by_engine[engine] != cycles_by_engine["cycle"]:
                 raise AssertionError(
@@ -154,23 +203,22 @@ def run_bound_graphs(rounds: int) -> list:
     return results
 
 
-def run_timed_scaling(rounds: int) -> list:
+def run_timed_scaling(rounds: int, warmup: int) -> list:
     results = []
     for nnz in SCALING_SIZES:
         tensor, vec = _scaling_operand(nnz)
         entry = {"workload": f"spmv_locate_{nnz}", "nnz": nnz, "engines": {}}
         cycles_by_engine = {}
         for engine in TIMED_ENGINES:
-            best = None
-            for _ in range(rounds):
-                start = time.perf_counter()
-                _, _, cycles = spmv_locate(tensor, vec, backend=engine)
-                elapsed = time.perf_counter() - start
-                best = elapsed if best is None else min(best, elapsed)
+            median, (_, _, cycles) = _median_time(
+                lambda engine=engine: spmv_locate(tensor, vec, backend=engine),
+                rounds, warmup,
+            )
             cycles_by_engine[engine] = cycles
-            entry["engines"][engine] = {"seconds": best, "cycles": cycles}
+            entry["engines"][engine] = {"seconds": median, "cycles": cycles}
             if engine == "compiled":
                 entry["engines"][engine]["fusion"] = _fusion_stats()
+                entry["engines"][engine]["jit"] = _jit_row_stats()
         for engine in ("event", "timed-batch", "compiled"):
             if cycles_by_engine[engine] != cycles_by_engine["cycle"]:
                 raise AssertionError(
@@ -203,7 +251,7 @@ def run_timed_scaling(rounds: int) -> list:
     return results
 
 
-def run_kernel_scaling(rounds: int) -> list:
+def run_kernel_scaling(rounds: int, warmup: int) -> list:
     from repro.kernels.elementwise import vecmul
     from repro.kernels.gamma import gamma_spmm
 
@@ -218,17 +266,16 @@ def run_kernel_scaling(rounds: int) -> list:
                  "engines": {}}
         cycles = {}
         for engine in ("timed-batch", "compiled"):
-            best = None
-            for _ in range(rounds):
-                start = time.perf_counter()
-                result = gamma_spmm(B, C, backend=engine)
-                elapsed = time.perf_counter() - start
-                best = elapsed if best is None else min(best, elapsed)
+            median, result = _median_time(
+                lambda engine=engine: gamma_spmm(B, C, backend=engine),
+                rounds, warmup,
+            )
             cycles[engine] = result.cycles
-            entry["engines"][engine] = {"seconds": best,
+            entry["engines"][engine] = {"seconds": median,
                                         "cycles": result.cycles}
             if engine == "compiled":
                 entry["engines"][engine]["fusion"] = _fusion_stats()
+                entry["engines"][engine]["jit"] = _jit_row_stats()
         if cycles["compiled"] != cycles["timed-batch"]:
             raise AssertionError(
                 f"gamma d={density}: compiled cycles {cycles['compiled']} "
@@ -246,17 +293,16 @@ def run_kernel_scaling(rounds: int) -> list:
         entry = {"workload": f"vecmul_crd_{size}", "nnz": nnz, "engines": {}}
         cycles = {}
         for engine in ("timed-batch", "compiled"):
-            best = None
-            for _ in range(rounds):
-                start = time.perf_counter()
-                result = vecmul("crd", b, c, backend=engine)
-                elapsed = time.perf_counter() - start
-                best = elapsed if best is None else min(best, elapsed)
+            median, result = _median_time(
+                lambda engine=engine: vecmul("crd", b, c, backend=engine),
+                rounds, warmup,
+            )
             cycles[engine] = result.cycles
-            entry["engines"][engine] = {"seconds": best,
+            entry["engines"][engine] = {"seconds": median,
                                         "cycles": result.cycles}
             if engine == "compiled":
                 entry["engines"][engine]["fusion"] = _fusion_stats()
+                entry["engines"][engine]["jit"] = _jit_row_stats()
         if cycles["compiled"] != cycles["timed-batch"]:
             raise AssertionError(
                 f"vecmul nnz={nnz}: compiled cycles {cycles['compiled']} "
@@ -278,15 +324,101 @@ def run_kernel_scaling(rounds: int) -> list:
     return results
 
 
-def run_bench(rounds: int = 3) -> dict:
-    workloads = run_bound_graphs(rounds)
-    scaling = run_timed_scaling(rounds)
-    kernels = run_kernel_scaling(rounds)
+def _set_jit_mode(mode: str) -> None:
+    from repro.jit import reconfigure, warmup as jit_warmup
+
+    os.environ["REPRO_JIT"] = mode
+    reconfigure()
+    jit_warmup()  # compile outside any timed round (no-op unless numba)
+
+
+def run_jit_comparison(rounds: int, warmup: int) -> dict:
+    """Compiled backend, numpy path vs JIT tier — gated when numba exists.
+
+    Both modes must produce identical cycle counts; with numba installed
+    the JIT tier must be >= ``JIT_SPMV_GATE`` x on spmv_locate at 1e5 nnz
+    and >= ``JIT_GAMMA_FLOOR`` x on the largest Gamma row (post-warmup
+    medians).
+    """
+    from repro.jit import numba_available, reconfigure
+    from repro.kernels.gamma import gamma_spmm
+
+    available = numba_available()
+    section = {"available": available, "spmv_gate": JIT_SPMV_GATE,
+               "gamma_floor": JIT_GAMMA_FLOOR, "workloads": []}
+    if not available:
+        return section
+
+    tensor, vec = _scaling_operand(SCALING_SIZES[-1])
+    density = KERNEL_DENSITIES[-1]
+    B = np.asarray(random_sparse_matrix(2000, 2000, density, seed=42), float)
+    C = np.asarray(random_sparse_matrix(2000, 2000, density, seed=43), float)
+
+    cases = [
+        ("spmv_locate_100000",
+         lambda: spmv_locate(tensor, vec, backend="compiled")[2]),
+        (f"gamma_2000_d{density}",
+         lambda: gamma_spmm(B, C, backend="compiled").cycles),
+    ]
+    saved = os.environ.get("REPRO_JIT")
+    try:
+        for name, fn in cases:
+            row = {"workload": name}
+            _set_jit_mode("0")
+            row["numpy_seconds"], cycles_off = _median_time(
+                lambda fn=fn: fn(), rounds, warmup
+            )
+            _set_jit_mode("1")
+            row["jit_seconds"], cycles_on = _median_time(
+                lambda fn=fn: fn(), rounds, warmup
+            )
+            row["jit"] = _jit_row_stats()
+            if cycles_on != cycles_off:
+                raise AssertionError(
+                    f"{name}: cycles differ under REPRO_JIT=1 "
+                    f"({cycles_on}) vs REPRO_JIT=0 ({cycles_off})"
+                )
+            row["cycles"] = cycles_on
+            row["jit_speedup"] = row["numpy_seconds"] / row["jit_seconds"]
+            section["workloads"].append(row)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_JIT", None)
+        else:
+            os.environ["REPRO_JIT"] = saved
+        reconfigure()
+
+    spmv_row = section["workloads"][0]
+    if spmv_row["jit_speedup"] < JIT_SPMV_GATE:
+        raise AssertionError(
+            f"JIT tier must be >= {JIT_SPMV_GATE}x the numpy path on "
+            f"spmv_locate at {SCALING_SIZES[-1]} nnz, measured "
+            f"{spmv_row['jit_speedup']:.2f}x"
+        )
+    gamma_row = section["workloads"][1]
+    if gamma_row["jit_speedup"] < JIT_GAMMA_FLOOR:
+        raise AssertionError(
+            f"JIT tier must not slow Gamma down (>= {JIT_GAMMA_FLOOR}x), "
+            f"measured {gamma_row['jit_speedup']:.2f}x"
+        )
+    return section
+
+
+def run_bench(rounds: int = 3, warmup: int = 1) -> dict:
+    from repro.jit import jit_stats
+
+    workloads = run_bound_graphs(rounds, warmup)
+    scaling = run_timed_scaling(rounds, warmup)
+    kernels = run_kernel_scaling(rounds, warmup)
+    jit = run_jit_comparison(rounds, warmup)
     return {
         "rounds": rounds,
+        "warmup": warmup,
+        "jit": jit_stats(),
         "workloads": workloads,
         "timed_scaling": scaling,
         "kernel_scaling": kernels,
+        "jit_comparison": jit,
         "summary": {
             "best_functional_speedup": max(
                 e["engines"]["functional"]["speedup_vs_cycle"] for e in workloads
@@ -309,9 +441,15 @@ def run_bench(rounds: int = 3) -> dict:
             "gamma_compiled_speedup_vs_timed_batch_at_scale": [
                 e for e in kernels if e["workload"].startswith("gamma")
             ][-1]["compiled_speedup_vs_timed_batch"],
+            "jit_spmv_speedup_at_scale": (
+                jit["workloads"][0]["jit_speedup"]
+                if jit["workloads"] else None
+            ),
             "scaling_gate": SCALING_GATE,
             "compiled_gate": COMPILED_GATE,
             "gamma_gate": GAMMA_GATE,
+            "jit_spmv_gate": JIT_SPMV_GATE,
+            "jit_gamma_floor": JIT_GAMMA_FLOOR,
         },
     }
 
@@ -319,11 +457,13 @@ def run_bench(rounds: int = 3) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=3,
-                        help="timing rounds per engine (best is kept)")
+                        help="timing rounds per engine (median is kept)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup rounds before the timed ones")
     parser.add_argument("-o", "--output", default=None,
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
-    payload = run_bench(rounds=args.rounds)
+    payload = run_bench(rounds=args.rounds, warmup=args.warmup)
     text = json.dumps(payload, indent=2)
     if args.output:
         with open(args.output, "w") as fh:

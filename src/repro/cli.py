@@ -332,9 +332,12 @@ def _cmd_lint(args) -> None:
     print(f"linted {len(results)} graphs: {total_findings} findings, "
           f"{errors} errors")
     if args.json:
+        from .jit import jit_stats
+
         payload = {"graphs": results,
                    "errors": errors,
-                   "findings": total_findings}
+                   "findings": total_findings,
+                   "jit": jit_stats()}
         with open(args.json, "w") as handle:
             jsonlib.dump(payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -408,6 +411,24 @@ def _cmd_graph(args) -> None:
               + (f" (engine {engine})" if engine else ""))
         return
     bound = bind(program.graph, program._prepare_inputs(tensors))
+    if getattr(args, "jit_stats", False):
+        from .graph.bind import segment_plan_key
+        from .jit import PLAN_CACHE, jit_stats, plan_digest
+
+        stats = jit_stats()
+        print(f"jit: mode={stats['mode']} backend={stats['backend']}"
+              + (f" (numba {stats['numba']})" if stats["numba"] else ""))
+        for kname, tier in sorted(stats["kernels"].items()):
+            print(f"  kernel {kname}: {tier}")
+        cache = stats["plan_cache"]
+        print(f"plan cache: {cache['size']} plans, {cache['hits']} hits, "
+              f"{cache['misses']} misses")
+        for seg in partition_segments(bound.blocks):
+            key = segment_plan_key(bound.blocks, seg)
+            names = ", ".join(bound.blocks[i].name for i in seg.members)
+            state = "warm" if key in PLAN_CACHE else "cold"
+            print(f"segment {seg.kind} [{plan_digest(key)}] {state}: {names}")
+        return
     if engine in (None, "compiled"):
         segments = partition_segments(bound.blocks)
         program.graph.annotate_fusion(
@@ -533,6 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validate the wired graph (ports, kinds, backend "
                    "capabilities) instead of printing DOT; exits non-zero "
                    "listing every violation")
+    p.add_argument("--jit-stats", action="store_true",
+                   help="report the JIT tier instead of DOT: dispatcher "
+                   "resolution (compiled vs fallback) per kernel plus each "
+                   "fused segment's plan-cache key")
 
     p = sub.add_parser(
         "lint", help="static analysis (protocol, deadlock, rate) over "

@@ -710,3 +710,71 @@ def fused_segment_names(blocks) -> List[List[str]]:
     """Block-name lists of :func:`partition_segments`, for DOT/reporting."""
     return [[blocks[i].name for i in seg.members]
             for seg in partition_segments(blocks)]
+
+
+def _plan_transform_tag(block) -> Tuple:
+    """Hashable identity of a member's data transform, for plan keys.
+
+    Two segments whose members apply different ALU ops (or different
+    scalar constants) must not share a plan even though their timing
+    descriptors match.
+    """
+    from ..blocks.compute import Exp
+
+    if isinstance(block, ScalarALU):
+        return ("scalar_alu", block.op, float(block.constant))
+    if isinstance(block, ALU):
+        return ("alu", block.op)
+    if isinstance(block, Exp):
+        return ("exp", getattr(block._fn, "__name__", "fn"))
+    if isinstance(block, ArrayLoad):
+        return ("array_load",)
+    return ()
+
+
+def segment_plan_key(blocks, segment: "FusedSegment") -> Tuple:
+    """Structural plan-cache key of one fused segment.
+
+    Keys capture everything the compiled backend's composed schedule
+    depends on — member classes, fuse roles, timing descriptors
+    (ii/latency/ctrl cycles), transform tags, link visibility deltas,
+    and feeder placement — and nothing run-specific (no clocks, no
+    data), so repeated bindings of the same expression shape map to the
+    same :class:`repro.jit.SegmentPlan`.  Link deltas are derived
+    structurally (0 when the consumer runs later in the block list, 1
+    otherwise — the rule the engine applies at init time), so keys
+    computed without timed state (e.g. by ``repro graph --jit-stats``)
+    match the engine's.
+    """
+    producers: Dict[Channel, int] = {}
+    consumers: Dict[Channel, int] = {}
+    for i, block in enumerate(blocks):
+        for ch in block.outputs.values():
+            producers[ch] = i
+        for ch in block.inputs.values():
+            consumers.setdefault(ch, i)
+    members = []
+    for i in segment.members:
+        block = blocks[i]
+        timing = getattr(block, "timing", None)
+        if timing is None:
+            desc = (1, 0, 1)
+        else:
+            desc = (timing.ii, timing.latency, timing.ctrl_cycles)
+        members.append(
+            (type(block).__name__, _fuse_role(block), desc,
+             _plan_transform_tag(block))
+        )
+    deltas = []
+    for ch in segment.links:
+        p = producers.get(ch)
+        c = consumers.get(ch)
+        deltas.append(0 if p is not None and c is not None and c > p else 1)
+    feeders = tuple(f is not None for f in segment.feeders)
+    return (
+        segment.shape,
+        segment.kind,
+        tuple(members),
+        tuple(deltas),
+        feeders,
+    )

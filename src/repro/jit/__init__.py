@@ -1,0 +1,31 @@
+"""JIT tier: numba-accelerated schedule/transform kernels with
+transparent numpy fallback, plus the per-graph plan cache.
+
+See :mod:`repro.jit.dispatch` for the ``REPRO_JIT`` fallback ladder and
+``docs/architecture.md`` ("JIT tier") for the bit-exactness argument.
+"""
+
+from .dispatch import (
+    ENV_VAR,
+    KERNEL_NAMES,
+    get_kernel,
+    jit_stats,
+    numba_available,
+    reconfigure,
+    warmup,
+)
+from .plan import PLAN_CACHE, PlanCache, SegmentPlan, plan_digest
+
+__all__ = [
+    "ENV_VAR",
+    "KERNEL_NAMES",
+    "PLAN_CACHE",
+    "PlanCache",
+    "SegmentPlan",
+    "get_kernel",
+    "jit_stats",
+    "numba_available",
+    "plan_digest",
+    "reconfigure",
+    "warmup",
+]

@@ -1,0 +1,83 @@
+"""Per-graph plan cache for the compiled backend's fused segments.
+
+A :class:`SegmentPlan` freezes the composed schedule parameters of one
+fused segment — the stage ii vector and inter-stage deltas that
+``compose_rate1`` would otherwise re-derive from block state on every
+``run()``.  Plans are keyed by *segment structure*
+(:func:`repro.graph.bind.segment_plan_key`): block classes, fuse roles,
+timing descriptors, transform tags, and structural link deltas — nothing
+run-specific — so two bindings of the same expression shape share one
+plan.  Repeated runs in a sweep therefore hit the cache and reuse the
+already-specialized dispatchers; hit/miss counters surface in
+``report.jit``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, Hashable, Optional
+
+import numpy as np
+
+
+def plan_digest(key: Hashable) -> str:
+    """Short stable digest of a plan key, for display and artifacts."""
+    return hashlib.sha1(repr(key).encode("utf-8")).hexdigest()[:12]
+
+
+class SegmentPlan:
+    """Composed schedule parameters of one fused segment."""
+
+    __slots__ = ("key", "digest", "kind", "iis", "stage_deltas")
+
+    def __init__(
+        self,
+        key: Hashable,
+        kind: str,
+        iis: Optional[np.ndarray] = None,
+        stage_deltas: Optional[np.ndarray] = None,
+    ) -> None:
+        self.key = key
+        self.digest = plan_digest(key)
+        self.kind = kind
+        self.iis = iis
+        self.stage_deltas = stage_deltas
+
+
+class PlanCache:
+    """Keyed store of :class:`SegmentPlan` with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[Hashable, SegmentPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._plans
+
+    def get(
+        self, key: Hashable, factory: Callable[[], SegmentPlan]
+    ) -> SegmentPlan:
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = factory()
+        self._plans[key] = plan
+        return plan
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._plans)}
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache; sweeps and repeated ``run()`` calls share it.
+PLAN_CACHE = PlanCache()

@@ -67,6 +67,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ...jit import PLAN_CACHE, SegmentPlan, get_kernel, jit_stats
 from ...streams.batch import (
     CODE_DONE,
     CODE_EMPTY,
@@ -97,6 +98,12 @@ LAST_FUSION_STATS = {
     "total_blocks": 0,
     "kinds": {},
 }
+
+#: JIT statistics of the most recent :class:`CompiledEngine` run —
+#: dispatcher inventory, plan-cache hit/miss deltas, and per-segment
+#: plan digests.  Mirrors ``report.jit`` the way
+#: :data:`LAST_FUSION_STATS` mirrors ``report.fusion``.
+LAST_JIT_STATS = {}
 
 #: sentinel returned by a unit step that must dissolve its segment
 _DISSOLVE = object()
@@ -218,7 +225,7 @@ def _compose_fast(arrivals, stages):
     return out
 
 
-def _advance_members(members, deltas, arrivals):
+def _advance_members(members, deltas, arrivals, plan=None):
     """Composed ``_t_advance`` across a fused chain: one schedule each.
 
     *arrivals* is the head's token-order arrival array (already
@@ -227,6 +234,11 @@ def _advance_members(members, deltas, arrivals):
     exactly what its own ``_t_advance`` would apply.  Falls back to the
     member-by-member calls when any carry is pending (carries interact
     with the first arrival, which the composed pass does not model).
+
+    With the JIT tier active the whole composition runs as one fused
+    2-D kernel pass; *plan* (the segment's cached
+    :class:`~repro.jit.SegmentPlan`) supplies the precomputed stage
+    ii/delta vectors so warm runs skip rebuilding them per window.
     """
     if any(m._t_carry for m in members):
         scheds = []
@@ -237,14 +249,31 @@ def _advance_members(members, deltas, arrivals):
             cur = member._t_advance(cur)
             scheds.append(cur)
         return scheds
-    stages = [
-        (m._tclock, m.timing.ii, 0 if k == 0 else deltas[k - 1])
-        for k, m in enumerate(members)
-    ]
     arrivals = np.asarray(arrivals, dtype=np.int64)
-    scheds = _compose_fast(arrivals, stages)
-    if scheds is None:
-        scheds = compose_rate1(arrivals, stages)
+    kern = get_kernel("compose_rate1")
+    if kern is not None:
+        nm = len(members)
+        clocks = np.empty(nm, dtype=np.int64)
+        for k, member in enumerate(members):
+            clocks[k] = member._tclock
+        if plan is not None and plan.iis is not None:
+            iis, stage_deltas = plan.iis, plan.stage_deltas
+        else:
+            iis = np.empty(nm, dtype=np.int64)
+            stage_deltas = np.empty(nm, dtype=np.int64)
+            for k, member in enumerate(members):
+                iis[k] = member.timing.ii
+                stage_deltas[k] = 0 if k == 0 else deltas[k - 1]
+        mat = kern(np.ascontiguousarray(arrivals), clocks, iis, stage_deltas)
+        scheds = [mat[k] for k in range(nm)]
+    else:
+        stages = [
+            (m._tclock, m.timing.ii, 0 if k == 0 else deltas[k - 1])
+            for k, m in enumerate(members)
+        ]
+        scheds = _compose_fast(arrivals, stages)
+        if scheds is None:
+            scheds = compose_rate1(arrivals, stages)
     n = len(scheds[0])
     for member, c in zip(members, scheds):
         ii = member.timing.ii
@@ -466,10 +495,11 @@ class _ChainUnit:
     __slots__ = (
         "members", "blocks", "links", "deltas", "head", "roles",
         "parts", "head_in", "tail_out", "sides", "active", "lazy_ok",
-        "emitters", "kind",
+        "emitters", "kind", "plan",
     )
 
     def __init__(self, blocks, segment, parts):
+        self.plan = None
         self.members = list(segment.members)
         n_feeders = sum(1 for f in segment.feeders if f is not None)
         spine = segment.members[n_feeders:]
@@ -725,7 +755,9 @@ class _ChainUnit:
                 self.blocks, self.deltas, merged, ci, known
             )
         if cctrl is None:
-            scheds = _advance_members(self.blocks, self.deltas, merged)
+            scheds = _advance_members(
+                self.blocks, self.deltas, merged, self.plan
+            )
             cctrl = scheds[-1][ci]
         else:
             scheds = None
@@ -789,10 +821,11 @@ class _ScanLocateUnit:
 
     __slots__ = (
         "members", "scan", "loc", "links", "delta", "active",
-        "emitters", "kind",
+        "emitters", "kind", "plan",
     )
 
     def __init__(self, blocks, segment):
+        self.plan = None
         self.members = list(segment.members)
         self.scan = blocks[segment.members[0]]
         self.loc = blocks[segment.members[1]]
@@ -938,19 +971,28 @@ class _ScanLocateUnit:
                         if scan._t_carry > val[0]:
                             val[0] = scan._t_carry
                         scan._t_carry = 0
-                    offs = np.maximum.accumulate(
-                        val - (pos * ii if ii != 1 else pos)
-                    )
-                    np.maximum(offs, scan._tclock, out=offs)
                     span = (total - 1) * ii + ii
-                    end = int(offs[-1]) + span
+                    kern = get_kernel("scan_sched")
+                    if kern is not None:
+                        sched, off_last = kern(
+                            np.ascontiguousarray(pos),
+                            np.ascontiguousarray(val),
+                            total, ii, scan._tclock, delta, loc._tclock,
+                        )
+                        end = int(off_last) + span
+                    else:
+                        offs = np.maximum.accumulate(
+                            val - (pos * ii if ii != 1 else pos)
+                        )
+                        np.maximum(offs, scan._tclock, out=offs)
+                        end = int(offs[-1]) + span
+                        offs_l = np.maximum(offs + delta, loc._tclock)
+                        ramp = _idx(total) * ii if ii != 1 else _idx(total)
+                        sched = np.repeat(offs_l, np.diff(pos, append=total))
+                        sched += ramp
                     scan.busy_cycles += total
                     scan.stall_cycles += (end - scan._tclock) - ii * total
                     scan._tclock = end
-                    offs_l = np.maximum(offs + delta, loc._tclock)
-                    ramp = _idx(total) * ii if ii != 1 else _idx(total)
-                    sched = np.repeat(offs_l, np.diff(pos, append=total))
-                    sched += ramp
                     emit_mask = np.ones(total, dtype=bool)
                     emit_mask[stop_idx] = False
                     self._probe(
@@ -1016,9 +1058,10 @@ class _MergeHeadUnit:
     construction.  Any member that bails the timed plane mid-run
     surfaces as ``_DISSOLVE`` and the engine drops the segment."""
 
-    __slots__ = ("members", "blocks", "active", "emitters", "kind")
+    __slots__ = ("members", "blocks", "active", "emitters", "kind", "plan")
 
     def __init__(self, blocks, segment):
+        self.plan = None
         self.members = list(segment.members)
         self.blocks = [blocks[i] for i in segment.members]
         self.active = True
@@ -1056,9 +1099,10 @@ class _RepeaterUnit:
     Elevated stops, folds, ``N`` references, empty-fiber pairings, and
     done handling run the stock branches verbatim."""
 
-    __slots__ = ("members", "sig", "rep", "active", "emitters", "kind")
+    __slots__ = ("members", "sig", "rep", "active", "emitters", "kind", "plan")
 
     def __init__(self, blocks, segment):
+        self.plan = None
         self.members = list(segment.members)
         self.sig = blocks[segment.members[0]]
         self.rep = blocks[segment.members[1]]
@@ -1216,8 +1260,14 @@ class _RepeaterUnit:
             if codes is None:
                 codes, stamps = self._flat_sig(rd_sig)
                 pos, ei, nci = 0, 0, 0
-                ends_all = np.flatnonzero(codes != CODE_REPEAT)
-                nonclose = np.flatnonzero(codes[ends_all] != 0)
+                kern = get_kernel("repsig_ends")
+                if kern is not None and len(codes):
+                    ends_all, nonclose = kern(
+                        np.ascontiguousarray(codes), CODE_REPEAT
+                    )
+                else:
+                    ends_all = np.flatnonzero(codes != CODE_REPEAT)
+                    nonclose = np.flatnonzero(codes[ends_all] != 0)
             if pos >= len(codes):
                 # Held window exhausted (or not pure control): fall back
                 # to the stock token-exact branch for the remainder.
@@ -1336,9 +1386,10 @@ class CompiledEngine(TimedBatchEngine):
             UncompressedLevelWriter,
             ValsWriter,
         )
-        from ...graph.bind import partition_segments
+        from ...graph.bind import partition_segments, segment_plan_key
 
         units = {}
+        plans = []
         stats = {
             "segments": 0,
             "fused_blocks": 0,
@@ -1414,9 +1465,39 @@ class CompiledEngine(TimedBatchEngine):
                     for ch in blocks[m].outputs.values()
                 )
             ]
+            key = segment_plan_key(blocks, seg)
+            cached = key in PLAN_CACHE
+            unit.plan = PLAN_CACHE.get(
+                key, lambda k=key, s=seg, u=unit: self._build_plan(k, s, u)
+            )
+            plans.append({
+                "kind": seg.kind,
+                "members": len(seg.members),
+                "key": unit.plan.digest,
+                "cached": cached,
+            })
             for i in seg.members:
                 units[i] = unit
-        return units, stats
+        return units, stats, plans
+
+    @staticmethod
+    def _build_plan(key, segment, unit):
+        """Freeze a chain unit's stage ii/delta vectors into its plan.
+
+        Non-chain shapes carry no composed-schedule parameters (their
+        scheduling state is per-window), so their plans cache only the
+        key/kind identity for reporting.
+        """
+        iis = stage_deltas = None
+        if segment.shape == "chain":
+            nm = len(unit.blocks)
+            iis = np.fromiter(
+                (b.timing.ii for b in unit.blocks), np.int64, nm
+            )
+            stage_deltas = np.zeros(nm, dtype=np.int64)
+            if len(unit.deltas):
+                stage_deltas[1:] = unit.deltas
+        return SegmentPlan(key, segment.kind, iis, stage_deltas)
 
     def run(self, max_cycles: Optional[int] = None) -> SimulationReport:
         blocks = self.blocks
@@ -1495,7 +1576,8 @@ class CompiledEngine(TimedBatchEngine):
                     )
 
         # -- segment fusion ------------------------------------------------
-        units, stats = self._compile_segments(blocks, timed)
+        cache_hits, cache_misses = PLAN_CACHE.hits, PLAN_CACHE.misses
+        units, stats, plans = self._compile_segments(blocks, timed)
 
         out_ch = [list(b.outputs.values()) for b in blocks]
         in_ch = [list(b.inputs.values()) for b in blocks]
@@ -1682,7 +1764,14 @@ class CompiledEngine(TimedBatchEngine):
         LAST_FUSION_STATS.clear()
         LAST_FUSION_STATS.update(stats)
         LAST_FUSION_STATS["kinds"] = dict(stats["kinds"])
+        jit_info = jit_stats()
+        jit_info["plan_cache"]["run_hits"] = PLAN_CACHE.hits - cache_hits
+        jit_info["plan_cache"]["run_misses"] = PLAN_CACHE.misses - cache_misses
+        jit_info["plans"] = plans
+        LAST_JIT_STATS.clear()
+        LAST_JIT_STATS.update(jit_info)
         report = SimulationReport(cycles, self.blocks)
         report.fusion = dict(stats)
         report.fusion["kinds"] = dict(stats["kinds"])
+        report.jit = jit_info
         return report

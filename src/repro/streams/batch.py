@@ -28,6 +28,7 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..jit import get_kernel
 from .token import DONE, EMPTY, Stop, is_stop
 
 #: control codes (ctrl_code entries); stop tokens use their level (>= 0)
@@ -552,6 +553,50 @@ class BatchBuilder:
         return count
 
 
+def _validate_segments(ndata: int, starts: np.ndarray,
+                       lens: np.ndarray) -> None:
+    """Reject malformed segment tables up front.
+
+    Python slices silently truncate past-the-end segments and numpy's
+    fancy indexing wraps negative starts, so both sum paths would quietly
+    return wrong partial sums from a malformed table; one vectorised
+    check turns that into a loud error.  Valid tables (CSR-style
+    position splits) have in-bounds, non-negative segments whose starts
+    and ends are each non-decreasing.
+    """
+    if len(starts) != len(lens):
+        raise ValueError(
+            f"segment table mismatch: {len(starts)} starts vs {len(lens)} lens"
+        )
+    if len(starts) == 0:
+        return
+    if bool((lens < 0).any()):
+        raise ValueError("segment lengths must be non-negative")
+    if bool((starts < 0).any()):
+        raise ValueError("segment starts must be non-negative")
+    ends = starts + lens
+    if bool((ends > ndata).any()):
+        raise ValueError(
+            f"segment overruns data: end {int(ends.max())} > {ndata} tokens"
+        )
+    if len(starts) > 1:
+        if bool((starts[1:] < starts[:-1]).any()):
+            raise ValueError("segment starts must be non-decreasing")
+        if bool((ends[1:] < ends[:-1]).any()):
+            raise ValueError("segment ends must be non-decreasing")
+
+
+def _sequential_sums_loop(data: np.ndarray, starts: np.ndarray,
+                          lens: np.ndarray) -> np.ndarray:
+    """Scalar reference loop shared by both sum entry points (no
+    validation — callers have already checked the table)."""
+    out = np.empty(len(starts))
+    values = data.tolist()
+    for i, (start, length) in enumerate(zip(starts.tolist(), lens.tolist())):
+        out[i] = sum(values[start:start + length], 0.0) if length else 0.0
+    return out
+
+
 def sequential_segment_sums(data: np.ndarray, starts: np.ndarray,
                             lens: np.ndarray) -> np.ndarray:
     """Per-segment left-to-right sums, bit-identical to a scalar loop.
@@ -561,16 +606,25 @@ def sequential_segment_sums(data: np.ndarray, starts: np.ndarray,
     ``tolist()`` so it reproduces the generators' ``acc = 0.0; acc += v``
     accumulator exactly — numpy's vectorised reductions (``np.sum``,
     ``np.add.reduceat``) use pairwise summation, whose rounding order
-    differs from the sequential loop for longer segments.
+    differs from the sequential loop for longer segments.  With the JIT
+    tier active the same left-to-right loop runs compiled
+    (:func:`repro.jit.kernels.segment_sums_k`), preserving the rounding
+    order.  Malformed segment tables raise :class:`ValueError`.
     """
     if len(starts) == 0:
         return _EMPTY_F64
     data = np.asarray(data, dtype=np.float64)
-    out = np.empty(len(starts))
-    values = data.tolist()
-    for i, (start, length) in enumerate(zip(starts.tolist(), lens.tolist())):
-        out[i] = sum(values[start:start + length], 0.0) if length else 0.0
-    return out
+    starts = np.asarray(starts, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    _validate_segments(len(data), starts, lens)
+    kern = get_kernel("segment_sums")
+    if kern is not None:
+        return kern(
+            np.ascontiguousarray(data),
+            np.ascontiguousarray(starts),
+            np.ascontiguousarray(lens),
+        )
+    return _sequential_sums_loop(data, starts, lens)
 
 
 def exact_segment_sums(data: np.ndarray, starts: np.ndarray,
@@ -596,16 +650,24 @@ def exact_segment_sums(data: np.ndarray, starts: np.ndarray,
         return _EMPTY_F64
     starts = np.asarray(starts, dtype=np.int64)
     lens = np.asarray(lens, dtype=np.int64)
-    if n < 16:
-        return sequential_segment_sums(data, starts, lens)
     data = np.asarray(data, dtype=np.float64)
+    _validate_segments(len(data), starts, lens)
+    kern = get_kernel("segment_sums")
+    if kern is not None:
+        return kern(
+            np.ascontiguousarray(data),
+            np.ascontiguousarray(starts),
+            np.ascontiguousarray(lens),
+        )
+    if n < 16:
+        return _sequential_sums_loop(data, starts, lens)
     out = np.empty(n)
     # Segments much longer than typical would stretch the step loop for
     # everyone; sum those the scalar way and column-walk the rest.
     cap = max(64, 4 * int(lens.sum()) // n)
     long = lens > cap
     if long.any():
-        out[long] = sequential_segment_sums(data, starts[long], lens[long])
+        out[long] = _sequential_sums_loop(data, starts[long], lens[long])
         keep = ~long
         starts, lens = starts[keep], lens[keep]
         if len(starts) == 0:

@@ -1,0 +1,42 @@
+"""Shared fixture: switch the JIT tier's ``REPRO_JIT`` mode for a test.
+
+The dispatch state is module-global and resolved lazily from the
+environment, so every switch must go through ``reconfigure()`` — and be
+undone afterwards so the surrounding test run keeps whatever mode it was
+launched with (CI runs the whole suite under ``REPRO_JIT=numba``).
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+import repro.jit as jit
+
+
+@pytest.fixture
+def jit_mode():
+    saved = os.environ.get(jit.ENV_VAR)
+
+    @contextmanager
+    def _switch(mode):
+        if mode is None:
+            os.environ.pop(jit.ENV_VAR, None)
+        else:
+            os.environ[jit.ENV_VAR] = mode
+        jit.reconfigure()
+        try:
+            yield
+        finally:
+            if saved is None:
+                os.environ.pop(jit.ENV_VAR, None)
+            else:
+                os.environ[jit.ENV_VAR] = saved
+            jit.reconfigure()
+
+    yield _switch
+    if saved is None:
+        os.environ.pop(jit.ENV_VAR, None)
+    else:
+        os.environ[jit.ENV_VAR] = saved
+    jit.reconfigure()

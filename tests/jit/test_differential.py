@@ -1,0 +1,213 @@
+"""Differential suite: full-report identity with the JIT tier on vs off.
+
+Every case runs the same workload twice — ``REPRO_JIT=0`` (the numpy
+reference paths) and the strongest kernel tier this interpreter has
+(numba in CI's jit leg, the pure-Python kernel sources elsewhere — both
+execute the exact logic the dispatcher serves) — and asserts the full
+``SimulationReport`` is identical: cycle counts, per-block busy/stall
+activity, per-channel token counts, sink outputs, writer outputs, and
+fusion stats.  ``report.jit`` is the one field deliberately excluded:
+it records which tier ran, so it differs between the modes by design.
+"""
+
+import numpy as np
+import pytest
+
+import repro.jit as jit
+from repro.analysis.targets import KERNEL_RUNNERS, capture_kernel
+from repro.blocks import CompressedLevelWriter, Sink
+from repro.sim import graph_token_counts, run_blocks
+
+#: the strongest tier available here; "py" still covers the kernels.
+BEST_TIER = "numba" if jit.numba_available() else "py"
+
+BACKENDS = ("timed-batch", "compiled")
+
+
+def _report_tuple(blocks, report):
+    return (
+        report.cycles,
+        report.block_activity(),
+        graph_token_counts(blocks),
+        [b.tokens for b in blocks if isinstance(b, Sink)],
+        [(list(b.seg), list(b.crd)) for b in blocks
+         if isinstance(b, CompressedLevelWriter)],
+        getattr(report, "fusion", None),
+    )
+
+
+def _capture_reports(kernel, backend):
+    return [
+        (g.label,) + _report_tuple(g.blocks, g.report)
+        for g in capture_kernel(kernel, backend=backend, seed=7)
+    ]
+
+
+def _full_report(blocks, backend):
+    report = run_blocks(blocks, backend=backend)
+    return _report_tuple(blocks, report)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", sorted(KERNEL_RUNNERS))
+def test_kernel_reports_identical(jit_mode, kernel, backend):
+    with jit_mode("0"):
+        base = _capture_reports(kernel, backend)
+    with jit_mode(BEST_TIER):
+        jitted = _capture_reports(kernel, backend)
+    assert jitted == base
+
+
+# -- merge-heavy fuzz: scanner-fed intersect/union heads -----------------
+
+def _merge_builder(seed):
+    from repro.blocks import (
+        Intersect,
+        MergeSide,
+        StreamFeeder,
+        Union,
+        make_scanner,
+    )
+    from repro.formats import CompressedLevel
+    from repro.streams import Channel, DONE, Stop
+
+    rng = np.random.default_rng(8000 + seed)
+    universe = 20
+    n_fibers = int(rng.integers(1, 4))
+    root_tokens = []
+    for r in range(n_fibers):
+        root_tokens.append(r)
+        root_tokens.append(Stop(0))
+    root_tokens[-1] = DONE
+    fibers = {}
+    for tag in ("a", "b"):
+        fibers[tag] = [
+            sorted(rng.choice(universe,
+                              size=int(rng.integers(0, universe // 2)),
+                              replace=False).tolist())
+            for _ in range(n_fibers)
+        ]
+    merger_cls = Union if seed % 2 else Intersect
+    with_writer = seed % 3 != 2
+
+    def build():
+        blocks = []
+        sides = []
+        for tag in ("a", "b"):
+            level = CompressedLevel.from_fibers(fibers[tag])
+            in_ref = Channel(f"root_{tag}", kind="ref")
+            crd = Channel(f"crd_{tag}")
+            ref = Channel(f"ref_{tag}", kind="ref")
+            blocks.append(StreamFeeder(list(root_tokens), in_ref,
+                                       name=f"feed_{tag}"))
+            blocks.append(make_scanner(level, in_ref, crd, ref,
+                                       name=f"scan_{tag}"))
+            sides.append(MergeSide(crd, [ref]))
+        oc = Channel("oc")
+        oa = Channel("oa", kind="ref")
+        ob = Channel("ob", kind="ref")
+        blocks.append(merger_cls(sides, oc, [[oa], [ob]], name="merge"))
+        blocks.append(Sink(oa, name="sink_a"))
+        blocks.append(Sink(ob, name="sink_b"))
+        if with_writer:
+            blocks.append(CompressedLevelWriter(oc, name="wr"))
+        else:
+            blocks.append(Sink(oc, name="sink_crd"))
+        return blocks
+
+    return build
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(6))
+def test_merge_heavy_differential(jit_mode, seed, backend):
+    build = _merge_builder(seed)
+    with jit_mode("0"):
+        base = _full_report(build(), backend)
+    with jit_mode(BEST_TIER):
+        jitted = _full_report(build(), backend)
+    assert jitted == base
+
+
+# -- repeater-heavy fuzz: RepeatSigGen -> Repeater pipelines --------------
+
+def _repeat_streams(rng):
+    """A (driver, references) pair obeying the repeat protocol: one
+    driver fiber per reference, group-closing stops elevated, empty
+    groups and empty (N) references allowed."""
+    from repro.streams import DONE, EMPTY, Stop
+
+    ref_toks, drv_toks = [], []
+    for _ in range(int(rng.integers(1, 4))):
+        n_refs = int(rng.integers(0, 4))
+        if n_refs == 0:
+            ref_toks.append(Stop(0))
+            drv_toks.append(Stop(1))
+            continue
+        for j in range(n_refs):
+            tok = EMPTY if rng.random() < 0.15 else float(len(ref_toks))
+            ref_toks.append(tok)
+            for _ in range(int(rng.integers(0, 5))):
+                drv_toks.append(int(rng.integers(0, 30)))
+            drv_toks.append(Stop(1) if j == n_refs - 1 else Stop(0))
+        ref_toks.append(Stop(0))
+    ref_toks.append(DONE)
+    drv_toks.append(DONE)
+    return drv_toks, ref_toks
+
+
+def _repeater_builder(seed):
+    from repro.blocks import StreamFeeder, make_repeater
+    from repro.streams import Channel
+
+    rng = np.random.default_rng(9000 + seed)
+    streams = [_repeat_streams(rng) for _ in range(2)]
+
+    def build():
+        blocks = []
+        for i, (drv, ref) in enumerate(streams):
+            crd_ch = Channel(f"drv{i}")
+            ref_ch = Channel(f"ref{i}", kind="ref")
+            out = Channel(f"out{i}", kind="ref")
+            blocks.append(StreamFeeder(list(drv), crd_ch, name=f"fd{i}"))
+            blocks.append(StreamFeeder(list(ref), ref_ch, name=f"fr{i}"))
+            blocks.extend(make_repeater(crd_ch, ref_ch, out,
+                                        name=f"rep{i}"))
+            blocks.append(Sink(out, name=f"sink{i}"))
+        return blocks
+
+    return build
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(6))
+def test_repeater_heavy_differential(jit_mode, seed, backend):
+    build = _repeater_builder(seed)
+    with jit_mode("0"):
+        base = _full_report(build(), backend)
+    with jit_mode(BEST_TIER):
+        jitted = _full_report(build(), backend)
+    assert jitted == base
+
+
+# -- report.jit bookkeeping on the compiled backend -----------------------
+
+def test_report_jit_section(jit_mode):
+    with jit_mode("0"):
+        g = capture_kernel("spmv", backend="compiled", seed=7)[0]
+        assert g.report.jit["backend"] == "off"
+        assert not g.report.jit["enabled"]
+    with jit_mode(BEST_TIER):
+        g = capture_kernel("spmv", backend="compiled", seed=7)[0]
+        info = g.report.jit
+        assert info["enabled"]
+        assert info["plans"], "compiled spmv should produce fused segments"
+        assert {"run_hits", "run_misses"} <= set(info["plan_cache"])
+        for plan in info["plans"]:
+            assert {"kind", "members", "key", "cached"} <= set(plan)
+
+    # a repeat run of the identical graph shape must hit the plan cache
+    with jit_mode(BEST_TIER):
+        g = capture_kernel("spmv", backend="compiled", seed=7)[0]
+        assert g.report.jit["plan_cache"]["run_misses"] == 0
+        assert all(plan["cached"] for plan in g.report.jit["plans"])

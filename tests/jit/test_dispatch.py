@@ -1,0 +1,145 @@
+"""Dispatch-mode gating, stats shape, plan cache, and plan-key semantics."""
+
+import pytest
+
+import repro.jit as jit
+from repro.analysis.targets import capture_kernel
+from repro.graph.bind import partition_segments, segment_plan_key
+from repro.jit import KERNEL_NAMES, PlanCache, SegmentPlan, plan_digest
+from repro.jit import kernels as sources
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["0", "off", "false", "no", "OFF"])
+    def test_off_modes_disable_every_kernel(self, jit_mode, mode):
+        with jit_mode(mode):
+            assert all(jit.get_kernel(n) is None for n in KERNEL_NAMES)
+            stats = jit.jit_stats()
+            assert not stats["enabled"]
+            assert stats["backend"] == "off"
+            assert set(stats["kernels"].values()) == {"off"}
+
+    @pytest.mark.parametrize("mode", ["py", "python"])
+    def test_py_modes_serve_the_pure_python_sources(self, jit_mode, mode):
+        with jit_mode(mode):
+            for name in KERNEL_NAMES:
+                assert jit.get_kernel(name) is getattr(sources, name + "_k")
+            stats = jit.jit_stats()
+            assert stats["enabled"]
+            assert stats["backend"] == "python"
+            assert set(stats["kernels"].values()) == {"python"}
+
+    def test_require_mode(self, jit_mode):
+        with jit_mode("numba"):
+            if jit.numba_available():
+                stats = jit.jit_stats()
+                assert stats["backend"] == "numba"
+                assert stats["numba"]
+            else:
+                with pytest.raises(RuntimeError, match="requires numba"):
+                    jit.get_kernel("rate1_schedule")
+
+    @pytest.mark.parametrize("mode", [None, "1", "auto", "yes-please"])
+    def test_auto_modes_fall_back_silently(self, jit_mode, mode):
+        with jit_mode(mode):
+            stats = jit.jit_stats()
+            if jit.numba_available():
+                assert stats["backend"] == "numba"
+                assert stats["enabled"]
+            else:
+                assert stats["backend"] == "numpy"
+                assert not stats["enabled"]
+                assert all(
+                    jit.get_kernel(n) is None for n in KERNEL_NAMES
+                )
+
+    def test_stats_shape(self, jit_mode):
+        with jit_mode("py"):
+            stats = jit.jit_stats()
+            assert set(stats) == {
+                "enabled", "mode", "backend", "numba", "kernels",
+                "plan_cache",
+            }
+            assert set(stats["kernels"]) == set(KERNEL_NAMES)
+            assert set(stats["plan_cache"]) == {"hits", "misses", "size"}
+
+    def test_warmup_is_noop_without_numba(self, jit_mode):
+        with jit_mode("py"):
+            assert jit.warmup() == []
+        with jit_mode("0"):
+            assert jit.warmup() == []
+        if jit.numba_available():
+            with jit_mode("numba"):
+                assert jit.warmup() == sorted(KERNEL_NAMES)
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self):
+        cache = PlanCache()
+        built = []
+
+        def factory():
+            plan = SegmentPlan(("k",), "chain")
+            built.append(plan)
+            return plan
+
+        first = cache.get(("k",), factory)
+        again = cache.get(("k",), factory)
+        assert first is again
+        assert built == [first]
+        assert cache.snapshot() == {"hits": 1, "misses": 1, "size": 1}
+        assert ("k",) in cache and len(cache) == 1
+        cache.clear()
+        assert cache.snapshot() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_digest_is_stable_and_short(self):
+        key = (("Intersect", "head"), (1, 0, 1))
+        assert plan_digest(key) == plan_digest(key)
+        assert len(plan_digest(key)) == 12
+        assert plan_digest(key) != plan_digest(key + ((),))
+
+
+class TestSegmentPlanKey:
+    def _segment_keys(self, name):
+        captured = capture_kernel(name, backend="functional", seed=7)
+        blocks = captured[0].blocks
+        return blocks, [
+            (seg, segment_plan_key(blocks, seg))
+            for seg in partition_segments(blocks)
+        ]
+
+    def test_key_is_deterministic_across_bindings(self):
+        _, first = self._segment_keys("spmv")
+        _, second = self._segment_keys("spmv")
+        assert [k for _, k in first] == [k for _, k in second]
+
+    def test_key_ignores_run_state_but_sees_structure(self):
+        blocks, keyed = self._segment_keys("spmv")
+        # the key must not embed anything run-specific: rebinding the
+        # same expression (fresh block instances, fresh channels) above
+        # already proved stability.  Now flip one structural attribute —
+        # an ALU's op — and the containing segment's key must change.
+        target = None
+        for seg, key in keyed:
+            for i in seg.members:
+                if getattr(blocks[i], "op", None) in ("mul", "add"):
+                    target = (seg, key, blocks[i])
+                    break
+            if target:
+                break
+        assert target is not None, "spmv graph should contain an ALU"
+        seg, old_key, alu = target
+        saved = alu.op
+        try:
+            alu.op = "max"
+            assert segment_plan_key(blocks, seg) != old_key
+        finally:
+            alu.op = saved
+        assert segment_plan_key(blocks, seg) == old_key
+
+    def test_different_kernels_do_not_collide_everywhere(self):
+        _, spmv = self._segment_keys("spmv")
+        _, gamma = self._segment_keys("gamma")
+        spmv_keys = {k for _, k in spmv}
+        gamma_keys = {k for _, k in gamma}
+        assert spmv_keys != gamma_keys

@@ -1,0 +1,220 @@
+"""Bit-exactness of every JIT kernel against its numpy/Python reference.
+
+The kernels are plain functions, so the references here are written out
+explicitly (the same formulas the production call sites use) and the
+comparisons are exact — ``==``, never ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jit import kernels as K
+
+
+def _rate1_ref(arrivals, clock, ii):
+    n = len(arrivals)
+    idx = np.arange(n, dtype=np.int64) * ii
+    base = np.maximum(arrivals - idx, clock)
+    return np.maximum.accumulate(base) + idx
+
+
+class TestRate1Schedule:
+    @pytest.mark.parametrize("ii", [1, 2, 5])
+    def test_matches_accumulate_form(self, ii):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(1, 60))
+            arrivals = np.sort(rng.integers(0, 100, n)).astype(np.int64)
+            clock = int(rng.integers(0, 50))
+            got = K.rate1_schedule_k(arrivals, clock, ii)
+            assert got.tolist() == _rate1_ref(arrivals, clock, ii).tolist()
+
+    def test_unsorted_arrivals(self):
+        arrivals = np.array([9, 1, 14, 2, 2], dtype=np.int64)
+        got = K.rate1_schedule_k(arrivals, 3, 2)
+        assert got.tolist() == _rate1_ref(arrivals, 3, 2).tolist()
+
+
+class TestComposeRate1:
+    def test_matches_stagewise_reference(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            n = int(rng.integers(1, 40))
+            s = int(rng.integers(1, 5))
+            arrivals = np.sort(rng.integers(0, 80, n)).astype(np.int64)
+            clocks = rng.integers(0, 30, s).astype(np.int64)
+            iis = rng.integers(1, 4, s).astype(np.int64)
+            deltas = rng.integers(0, 2, s).astype(np.int64)
+            got = K.compose_rate1_k(arrivals, clocks, iis, deltas)
+            prev = arrivals
+            for j in range(s):
+                ref = _rate1_ref(prev + deltas[j], int(clocks[j]), int(iis[j]))
+                assert got[j].tolist() == ref.tolist(), f"stage {j}"
+                prev = ref
+
+    def test_decelerating_and_accelerating_stages(self):
+        # ii grows then shrinks across stages — covers both branches of
+        # the production compose_rate1 (fresh accumulate vs elementwise)
+        arrivals = np.arange(0, 40, 2, dtype=np.int64)
+        clocks = np.array([0, 5, 0], dtype=np.int64)
+        iis = np.array([1, 3, 2], dtype=np.int64)
+        deltas = np.array([0, 1, 1], dtype=np.int64)
+        got = K.compose_rate1_k(arrivals, clocks, iis, deltas)
+        prev = arrivals
+        for j in range(3):
+            ref = _rate1_ref(prev + deltas[j], int(clocks[j]), int(iis[j]))
+            assert got[j].tolist() == ref.tolist()
+            prev = ref
+
+
+class TestSegmentSums:
+    def test_bit_identical_to_python_sum(self):
+        rng = np.random.default_rng(2)
+        lens = rng.integers(0, 40, 30).astype(np.int64)
+        starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(lens)[:-1]]
+        )
+        total = int(lens.sum())
+        # adversarial floats: wide exponent range so accumulation order
+        # visibly changes low bits under any other summation scheme
+        data = rng.uniform(0.1, 1.0, total) * (
+            10.0 ** rng.integers(-12, 12, total)
+        )
+        got = K.segment_sums_k(data, starts, lens)
+        values = data.tolist()
+        for i, (s, ln) in enumerate(zip(starts.tolist(), lens.tolist())):
+            assert got[i] == (sum(values[s:s + ln], 0.0) if ln else 0.0)
+
+    def test_signed_zero_and_empty(self):
+        data = np.array([-0.0, 0.0, -0.0])
+        got = K.segment_sums_k(
+            data,
+            np.array([0, 1, 3], dtype=np.int64),
+            np.array([1, 2, 0], dtype=np.int64),
+        )
+        # 0.0 + (-0.0) == +0.0 in IEEE round-to-nearest; empties are +0.0
+        assert all(not np.signbit(v) for v in got)
+        assert got.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestScanSched:
+    def _ref(self, pos, val, total, ii, scan_clock, delta, loc_clock):
+        offs = np.maximum.accumulate(val - pos * ii)
+        offs = np.maximum(offs, scan_clock)
+        offs_l = np.maximum(offs + delta, loc_clock)
+        sched = np.repeat(offs_l, np.diff(pos, append=total))
+        sched = sched + np.arange(total, dtype=np.int64) * ii
+        return sched, int(offs[-1])
+
+    def test_matches_cummax_repeat_form(self):
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            m = int(rng.integers(1, 12))
+            total = int(rng.integers(m, m + 30))
+            # event positions: strictly inside [0, total), first at 0,
+            # duplicates allowed (empty spans) as the interleave produces
+            pos = np.sort(rng.integers(0, total, m)).astype(np.int64)
+            pos[0] = 0
+            val = rng.integers(0, 60, m).astype(np.int64)
+            ii = int(rng.integers(1, 4))
+            scan_clock = int(rng.integers(0, 40))
+            delta = int(rng.integers(0, 2))
+            loc_clock = int(rng.integers(0, 40))
+            sched, off_last = K.scan_sched_k(
+                pos, val, total, ii, scan_clock, delta, loc_clock
+            )
+            ref_sched, ref_off = self._ref(
+                pos, val, total, ii, scan_clock, delta, loc_clock
+            )
+            assert sched.tolist() == ref_sched.tolist()
+            assert int(off_last) == ref_off
+
+
+class TestMergeEvents:
+    def _ref(self, crds_a, crds_b, arr_a, arr_b, close_a, close_b):
+        values = np.union1d(crds_a, crds_b)
+        m = len(values)
+        ia = np.searchsorted(crds_a, values)
+        present_a = np.zeros(m, dtype=bool)
+        valid = ia < len(crds_a)
+        present_a[valid] = crds_a[ia[valid]] == values[valid]
+        ib = np.searchsorted(crds_b, values)
+        present_b = np.zeros(m, dtype=bool)
+        valid = ib < len(crds_b)
+        present_b[valid] = crds_b[ib[valid]] == values[valid]
+        arrivals = np.zeros(m + 1, dtype=np.int64)
+        head_a = int(arr_a[0]) if len(arr_a) else close_a
+        head_b = int(arr_b[0]) if len(arr_b) else close_b
+        arrivals[0] = max(head_a, head_b)
+        if m:
+            succ_a = np.append(arr_a[1:], close_a)
+            gate_a = np.where(present_a, succ_a[np.cumsum(present_a) - 1], 0)
+            succ_b = np.append(arr_b[1:], close_b)
+            gate_b = np.where(present_b, succ_b[np.cumsum(present_b) - 1], 0)
+            np.maximum(arrivals[1:], np.maximum(gate_a, gate_b),
+                       out=arrivals[1:])
+        return values, present_a, present_b, ia, ib, arrivals
+
+    def _check(self, crds_a, crds_b, arr_a, arr_b, close_a, close_b):
+        got = K.merge_events_k(crds_a, crds_b, arr_a, arr_b, close_a, close_b)
+        ref = self._ref(crds_a, crds_b, arr_a, arr_b, close_a, close_b)
+        for g, r, name in zip(got, ref, ("values", "pa", "pb", "ia", "ib",
+                                         "arrivals")):
+            assert g.tolist() == r.tolist(), name
+        assert got[0].dtype == ref[0].dtype
+
+    def test_random_sorted_fibers(self):
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            na, nb = int(rng.integers(0, 15)), int(rng.integers(0, 15))
+            crds_a = np.unique(rng.integers(0, 25, na)).astype(np.int64)
+            crds_b = np.unique(rng.integers(0, 25, nb)).astype(np.int64)
+            arr_a = np.sort(rng.integers(0, 50, len(crds_a))).astype(np.int64)
+            arr_b = np.sort(rng.integers(0, 50, len(crds_b))).astype(np.int64)
+            close_a = int(arr_a[-1]) + int(rng.integers(0, 5)) if len(arr_a) \
+                else int(rng.integers(0, 50))
+            close_b = int(arr_b[-1]) + int(rng.integers(0, 5)) if len(arr_b) \
+                else int(rng.integers(0, 50))
+            self._check(crds_a, crds_b, arr_a, arr_b, close_a, close_b)
+
+    def test_within_side_duplicates(self):
+        # duplicate coordinate runs: the reference consumes one element
+        # per present event (cumsum) while searchsorted points at the
+        # run's first occurrence — the kernel must reproduce both
+        crds_a = np.array([5, 5, 7], dtype=np.int64)
+        crds_b = np.array([5, 9], dtype=np.int64)
+        arr_a = np.array([3, 4, 8], dtype=np.int64)
+        arr_b = np.array([2, 11], dtype=np.int64)
+        self._check(crds_a, crds_b, arr_a, arr_b, 12, 13)
+
+    def test_empty_sides(self):
+        e = np.empty(0, dtype=np.int64)
+        crds = np.array([1, 4], dtype=np.int64)
+        arr = np.array([2, 6], dtype=np.int64)
+        self._check(e, crds, e, arr, 7, 9)
+        self._check(crds, e, arr, e, 9, 7)
+        self._check(e, e, e, e, 3, 5)
+
+    def test_float_coordinates(self):
+        crds_a = np.array([0.5, 2.25], dtype=np.float64)
+        crds_b = np.array([2.25, 3.0], dtype=np.float64)
+        arr_a = np.array([1, 2], dtype=np.int64)
+        arr_b = np.array([1, 5], dtype=np.int64)
+        self._check(crds_a, crds_b, arr_a, arr_b, 6, 7)
+
+
+class TestRepsigEnds:
+    def test_matches_flatnonzero_form(self):
+        from repro.streams.batch import CODE_REPEAT
+
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            n = int(rng.integers(1, 80))
+            codes = rng.choice(
+                [CODE_REPEAT, 0, 1, 2, -1], size=n
+            ).astype(np.int64)
+            ends, nonclose = K.repsig_ends_k(codes, CODE_REPEAT)
+            ref_ends = np.flatnonzero(codes != CODE_REPEAT)
+            ref_nonclose = np.flatnonzero(codes[ref_ends] != 0)
+            assert ends.tolist() == ref_ends.tolist()
+            assert nonclose.tolist() == ref_nonclose.tolist()

@@ -14,6 +14,7 @@ from repro.streams.batch import (
     concat_batches,
     decode_code,
     encode_token,
+    exact_segment_sums,
     sequential_segment_sums,
 )
 
@@ -233,6 +234,37 @@ class TestSequentialSegmentSums:
             np.empty(0), np.zeros(2, np.int64), np.zeros(2, np.int64)
         )
         assert out.tolist() == [0.0, 0.0]
+
+    def test_degenerate_segments(self):
+        # empty segments interleaved with real ones, zero-length tail
+        data = np.array([1.5, 2.25, 4.0])
+        starts = np.array([0, 1, 1, 3, 3], dtype=np.int64)
+        lens = np.array([1, 0, 2, 0, 0], dtype=np.int64)
+        for fn in (sequential_segment_sums, exact_segment_sums):
+            assert fn(data, starts, lens).tolist() == [1.5, 0.0, 6.25, 0.0, 0.0]
+
+    def test_malformed_tables_raise(self):
+        data = np.arange(10, dtype=np.float64)
+        cases = [
+            # overrun: Python slices would silently truncate to data[8:10]
+            ([8], [5]),
+            # negative start: fancy indexing would silently wrap around
+            ([-2], [2]),
+            ([0], [-1]),
+            # non-monotone starts / ends
+            ([5, 0], [1, 1]),
+            ([0, 1], [9, 2]),
+        ]
+        for starts, lens in cases:
+            s = np.array(starts, dtype=np.int64)
+            n = np.array(lens, dtype=np.int64)
+            for fn in (sequential_segment_sums, exact_segment_sums):
+                with pytest.raises(ValueError):
+                    fn(data, s, n)
+        with pytest.raises(ValueError):
+            sequential_segment_sums(
+                data, np.zeros(2, np.int64), np.zeros(1, np.int64)
+            )
 
 
 def test_concat_batches_offsets_ctrl_positions():
